@@ -1,0 +1,42 @@
+// Command rtds-bench runs the full experiment suite (DESIGN.md §4) and
+// prints every table; -md emits GitHub-flavored markdown for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	rtds-bench [-quick] [-md] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "small networks/horizons (seconds instead of minutes)")
+	md := flag.Bool("md", false, "emit markdown tables")
+	seed := flag.Int64("seed", 1, "random seed for every experiment")
+	flag.Parse()
+
+	size := experiments.Full
+	if *quick {
+		size = experiments.Quick
+	}
+	start := time.Now()
+	tables, err := experiments.All(size, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		if *md {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "suite completed in %v\n", time.Since(start).Round(time.Millisecond))
+}

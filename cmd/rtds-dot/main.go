@@ -1,0 +1,53 @@
+// Command rtds-dot emits Graphviz DOT for the repository's generators:
+// network topologies and task-graph families.
+//
+// Usage:
+//
+//	rtds-dot -what topo -kind grid -n 16
+//	rtds-dot -what dag  -kind gauss -n 20
+//	rtds-dot -what paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/daggen"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+func main() {
+	what := flag.String("what", "paper", "what to render: topo|dag|paper")
+	kind := flag.String("kind", "random", "generator kind (see internal/graph, internal/daggen)")
+	n := flag.Int("n", 16, "approximate size")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	switch *what {
+	case "paper":
+		fmt.Println(experiments.PaperExampleDAG().DOT())
+	case "topo":
+		g, err := graph.Generate(graph.TopologyKind(*kind), *n,
+			graph.DelayRange{Min: 1, Max: 5}, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(trace.TopologyDOT(*kind, g))
+	case "dag":
+		g, err := daggen.Generate(daggen.Kind(*kind), *n, daggen.Params{}, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(g.DOT())
+	default:
+		fatal(fmt.Errorf("unknown -what %q", *what))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

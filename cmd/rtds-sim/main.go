@@ -1,0 +1,103 @@
+// Command rtds-sim runs one configurable RTDS simulation: a topology, a
+// sporadic workload, and the scheduling scheme of choice, reporting the
+// guarantee ratio, rejection breakdown and communication cost.
+//
+// Example:
+//
+//	rtds-sim -sites 32 -topo random -radius 3 -load 0.8 -tightness 2.5 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/daggen"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		sites     = flag.Int("sites", 32, "number of sites")
+		topoKind  = flag.String("topo", "random", "topology: ring|line|star|clique|grid|torus|hypercube|tree|random|geometric")
+		radius    = flag.Int("radius", 3, "computing-sphere hop radius h")
+		load      = flag.Float64("load", 0.6, "offered load (total work / capacity)")
+		tightness = flag.Float64("tightness", 2.5, "deadline = tightness x critical path")
+		horizon   = flag.Float64("horizon", 400, "arrival horizon (virtual time)")
+		taskSize  = flag.Int("tasks", 8, "approximate tasks per job")
+		seed      = flag.Int64("seed", 1, "random seed")
+		localOnly = flag.Bool("local-only", false, "baseline: never distribute")
+		preempt   = flag.Bool("preemptive", false, "preemptive local scheduler (§13)")
+		verbose   = flag.Bool("v", false, "print per-job outcomes")
+		traceLog  = flag.Bool("trace", false, "print the protocol event timeline")
+	)
+	flag.Parse()
+
+	topo, err := graph.Generate(graph.TopologyKind(*topoKind), *sites,
+		graph.DelayRange{Min: 0.05, Max: 0.3}, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Radius = *radius
+	cfg.LocalOnly = *localOnly
+	cfg.Preemptive = *preempt
+	cfg.TraceEvents = *traceLog
+
+	spec := workload.Spec{
+		Sites:     topo.Len(),
+		Horizon:   *horizon,
+		TaskSize:  *taskSize,
+		Params:    daggen.Params{MinComplexity: 0.5, MaxComplexity: 5},
+		Tightness: *tightness,
+		Seed:      *seed,
+	}
+	spec.RatePerSite = workload.RateForLoad(*load, workload.ExpectedWorkPerJob(spec, 200))
+	arrivals, err := workload.Generate(spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	cluster, err := core.NewCluster(topo, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, a := range arrivals {
+		if _, err := cluster.Submit(a.At, a.Origin, a.Graph, a.Deadline); err != nil {
+			fatal(err)
+		}
+	}
+	if err := cluster.Run(); err != nil {
+		fatal(err)
+	}
+
+	bootMsgs, bootBytes := cluster.BootstrapCost()
+	fmt.Printf("topology: %s, %d sites, %d links; sphere radius h=%d\n",
+		*topoKind, topo.Len(), topo.NumEdges(), *radius)
+	fmt.Printf("workload: %d jobs, offered load %.2f (realized %.2f), tightness %.2f\n",
+		len(arrivals), *load, workload.OfferedLoad(arrivals, topo.Len(), *horizon), *tightness)
+	fmt.Printf("bootstrap: %d messages, %d bytes (one-time PCS construction)\n", bootMsgs, bootBytes)
+	fmt.Println(cluster.Summarize())
+	if v := cluster.Violations(); len(v) > 0 {
+		fmt.Printf("CAUSALITY VIOLATIONS: %d (first: %s)\n", len(v), v[0])
+		os.Exit(1)
+	}
+	if *verbose {
+		for _, j := range cluster.Jobs() {
+			fmt.Printf("  %-12s %-22s arrival=%8.2f decided=%8.2f acs=%d procs=%d\n",
+				j.ID, j.Outcome.String()+"/"+j.RejectStage, j.Arrival, j.DecisionAt, j.ACSSize, j.NumProcs)
+		}
+	}
+	if *traceLog {
+		for _, e := range cluster.Events() {
+			fmt.Println(e)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

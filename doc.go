@@ -1,0 +1,44 @@
+// Package rtds is a Go implementation of Real-Time Distributed Scheduling
+// of precedence graphs on arbitrary wide networks, reproducing the
+// algorithm of Butelle, Hakem and Finta (IPPS 2007).
+//
+// # Model
+//
+// A network is an arbitrary connected graph of sites joined by
+// bidirectional links weighted with communication delays. Sporadic
+// real-time jobs — DAGs of tasks with computational complexities, a release
+// and a hard deadline — arrive at any site at any time and compete for the
+// sites' computation processors.
+//
+// Each site runs the same state machine; there is no centralized control:
+//
+//   - the site first tries to guarantee an arriving job locally, inserting
+//     all tasks between its existing reservations before the deadline;
+//   - otherwise it enrolls its Available Computing Sphere — the unlocked
+//     subset of a hop-bounded neighborhood precomputed by an interrupted
+//     distributed shortest-paths algorithm — and its mapper list-schedules
+//     the DAG onto logical processors, deriving per-task windows that are
+//     validated by the sphere members and matched to sites by a maximum
+//     coupling; a perfect coupling dispatches the tasks, anything less
+//     rejects the job and unlocks the sphere.
+//
+// # Quick start
+//
+//	topo := rtds.NewRandomNetwork(16, 3, 42)
+//	cluster, err := rtds.NewCluster(topo, rtds.DefaultConfig())
+//	if err != nil { ... }
+//	job := rtds.NewJob("render").
+//		Task(1, 6).Task(2, 4).Task(3, 4).Task(4, 2).Task(5, 5).
+//		Edge(1, 3).Edge(2, 3).Edge(1, 4).Edge(3, 5).Edge(4, 5).
+//		MustBuild()
+//	rec, err := cluster.Submit(0, 0, job, 66)
+//	if err != nil { ... }
+//	if err := cluster.Run(); err != nil { ... }
+//	fmt.Println(rec.Outcome, cluster.Summarize())
+//
+// The package is a facade: the implementation lives in the internal
+// packages (internal/core for the protocol, internal/mapper for the
+// trial-mapping construction, internal/routing for sphere construction,
+// internal/schedule for the local scheduler, and so on). See DESIGN.md for
+// the full inventory and EXPERIMENTS.md for the reproduction results.
+package rtds

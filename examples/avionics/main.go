@@ -1,0 +1,109 @@
+// Avionics: the paper's introduction lists flight control among the
+// motivating real-time systems. This example models a federated avionics
+// network — cockpit, sensor, and actuator segments bridged by routers —
+// with heterogeneous processor powers (the §13 uniform-machines extension)
+// and two job classes: tight control-loop DAGs and longer navigation jobs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	rtds "repro"
+)
+
+func controlLoop(name string, rng *rand.Rand) *rtds.DAG {
+	// sense -> fuse -> {pitch, roll, yaw} -> actuate
+	jb := rtds.NewJob(name)
+	jb.Task(1, 0.5+rng.Float64()*0.5) // sense
+	jb.Task(2, 1+rng.Float64())       // fuse
+	jb.Edge(1, 2)
+	for i := rtds.TaskID(3); i <= 5; i++ {
+		jb.Task(i, 0.8+rng.Float64()*0.8)
+		jb.Edge(2, i)
+	}
+	jb.Task(6, 0.5) // actuate
+	jb.Edge(3, 6)
+	jb.Edge(4, 6)
+	jb.Edge(5, 6)
+	return jb.MustBuild()
+}
+
+func navigationJob(name string, rng *rand.Rand) *rtds.DAG {
+	// A wider planning DAG: terrain tiles processed in parallel, then fused.
+	jb := rtds.NewJob(name)
+	jb.Task(1, 2) // load route
+	tiles := 4 + rng.Intn(4)
+	next := rtds.TaskID(2)
+	for i := 0; i < tiles; i++ {
+		jb.Task(next, 3+rng.Float64()*3)
+		jb.Edge(1, next)
+		next++
+	}
+	fuse := next
+	jb.Task(fuse, 2)
+	for id := rtds.TaskID(2); id < fuse; id++ {
+		jb.Edge(id, fuse)
+	}
+	return jb.MustBuild()
+}
+
+func main() {
+	// Federated topology: three 4-site segments in a line of routers.
+	topo := rtds.NewNetwork(12)
+	for seg := 0; seg < 3; seg++ {
+		base := rtds.NodeID(seg * 4)
+		for i := rtds.NodeID(1); i < 4; i++ {
+			topo.MustAddEdge(base, base+i, 0.05) // intra-segment bus
+		}
+	}
+	topo.MustAddEdge(0, 4, 0.2) // inter-segment trunks
+	topo.MustAddEdge(4, 8, 0.2)
+
+	cfg := rtds.DefaultConfig()
+	cfg.Radius = 2
+	// Mission computers (segment heads) are 2x the power of line-replaceable
+	// units.
+	cfg.Powers = []float64{2, 1, 1, 1, 2, 1, 1, 1, 2, 1, 1, 1}
+
+	cluster, err := rtds.NewCluster(topo, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	t := 0.0
+	control, nav := 0, 0
+	for i := 0; i < 80; i++ {
+		t += rng.ExpFloat64() * 2.5
+		origin := rtds.NodeID(rng.Intn(12))
+		if rng.Intn(3) > 0 {
+			g := controlLoop(fmt.Sprintf("ctl%d", i), rng)
+			control++
+			if _, err := cluster.Submit(t, origin, g, g.CriticalPathLength()*2); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			g := navigationJob(fmt.Sprintf("nav%d", i), rng)
+			nav++
+			if _, err := cluster.Submit(t, origin, g, g.CriticalPathLength()*2.5); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := cluster.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if v := cluster.Violations(); len(v) > 0 {
+		log.Fatalf("causality violations: %v", v)
+	}
+	sum := cluster.Summarize()
+	fmt.Printf("avionics workload: %d control loops + %d navigation jobs on 3 segments\n", control, nav)
+	fmt.Println(sum)
+	fmt.Printf("mean decision latency: %.3f time units; mean ACS: %.1f sites\n",
+		sum.MeanDecisionLatency, sum.MeanACSSize)
+	for stage, n := range sum.RejectedByStage {
+		fmt.Printf("  rejected at %-9s: %d\n", stage, n)
+	}
+}

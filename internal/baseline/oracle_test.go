@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/daggen"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func TestOracleAcceptsTrivially(t *testing.T) {
+	o := NewOracle(fastLine(3))
+	j := o.Submit(0, 0, chainJob(t, 2, 5), 50)
+	if j.Outcome != core.AcceptedDistributed || j.CompletedAt != 10 {
+		t.Fatalf("outcome %v completed %v", j.Outcome, j.CompletedAt)
+	}
+	if o.GuaranteeRatio() != 1 {
+		t.Fatalf("ratio %v", o.GuaranteeRatio())
+	}
+}
+
+func TestOracleSplitsParallelWork(t *testing.T) {
+	// The case focused-addressing cannot handle: two 10-unit independent
+	// tasks, deadline 16 — the oracle splits them across sites.
+	o := NewOracle(fastLine(3))
+	j := o.Submit(0, 0, parJob(t, 2, 10), 16)
+	if j.Outcome != core.AcceptedDistributed {
+		t.Fatalf("outcome %v", j.Outcome)
+	}
+}
+
+func TestOracleRespectsPrecedenceDelays(t *testing.T) {
+	// Chain of two 5-unit tasks on a 2-site topology with delay 3: if the
+	// only way to fit is to split the chain across sites, the transfer
+	// delay must be charged. Saturate site 0 after t=5 so task 2 must move.
+	topo := graph.New(2)
+	topo.MustAddEdge(0, 1, 3)
+	o := NewOracle(topo)
+	// Filler occupies site 0 [5, 100] and site 1 [0, 5].
+	f1 := o.Submit(0, 0, chainJob(t, 1, 95), 1000)
+	if !f1.Accepted() {
+		t.Fatal("filler rejected")
+	}
+	// Chain 2x5 with deadline 14: t1 in site0's gap [0,5]; t2 cannot start
+	// on site 1 before 5+3=8 → ends 13 <= 14: accepted. With deadline 12 it
+	// must be rejected (t2 nowhere before 12; site0 busy until 100).
+	ok := o.Submit(0, 0, chainJob(t, 2, 5), 14)
+	if !ok.Accepted() {
+		t.Fatalf("feasible chain rejected: %v", ok.Outcome)
+	}
+	bad := o.Submit(0, 0, chainJob(t, 2, 5), 12)
+	if bad.Accepted() {
+		t.Fatal("oracle ignored the transfer delay")
+	}
+}
+
+func TestOracleRejectsAtomically(t *testing.T) {
+	o := NewOracle(fastLine(2))
+	// Impossible job: leaves no residue behind.
+	j := o.Submit(0, 0, parJob(t, 5, 10), 12)
+	if j.Accepted() {
+		t.Fatal("impossible job accepted")
+	}
+	// Both sites must still be completely free.
+	ok := o.Submit(1, 0, parJob(t, 2, 10), 11)
+	if !ok.Accepted() {
+		t.Fatalf("free capacity lost after rejection: %v", ok.Outcome)
+	}
+}
+
+// TestOracleUpperBoundsRTDS: on the same workload the clairvoyant
+// centralized scheduler must accept at least as much as the distributed
+// protocol (it has strictly more information and zero overhead).
+func TestOracleUpperBoundsRTDS(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		topo := graph.RandomConnected(12, 3, graph.DelayRange{Min: 0.05, Max: 0.3}, seed)
+		spec := workload.Spec{
+			Sites:       12,
+			Horizon:     150,
+			RatePerSite: 0.03,
+			TaskSize:    8,
+			Params:      daggen.Params{MinComplexity: 0.5, MaxComplexity: 5},
+			Tightness:   2,
+			Seed:        seed,
+		}
+		arrivals, err := workload.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := core.NewCluster(topo, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := NewOracle(topo)
+		for _, a := range arrivals {
+			if _, err := cl.Submit(a.At, a.Origin, a.Graph, a.Deadline); err != nil {
+				t.Fatal(err)
+			}
+			o.Submit(a.At, a.Origin, a.Graph, a.Deadline)
+		}
+		if err := cl.Run(); err != nil {
+			t.Fatal(err)
+		}
+		rtds := cl.Summarize().GuaranteeRatio
+		oracle := o.GuaranteeRatio()
+		if oracle < rtds-0.02 {
+			t.Fatalf("seed %d: oracle %.3f below rtds %.3f", seed, oracle, rtds)
+		}
+	}
+}
+
+func TestOracleDeterministic(t *testing.T) {
+	run := func() float64 {
+		o := NewOracle(fastLine(4))
+		rng := rand.New(rand.NewSource(5))
+		at := 0.0
+		for i := 0; i < 30; i++ {
+			at += rng.Float64() * 5
+			o.Submit(at, graph.NodeID(rng.Intn(4)), parJob(t, 1+rng.Intn(3), 5), 12)
+		}
+		return o.GuaranteeRatio()
+	}
+	if run() != run() {
+		t.Fatal("oracle nondeterministic")
+	}
+}

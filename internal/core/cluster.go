@@ -1,0 +1,381 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dag"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Cluster is a network of RTDS sites on a deterministic discrete-event
+// transport. Construction runs the PCS bootstrap (§7) to completion; jobs
+// are then submitted at times relative to the post-bootstrap epoch.
+type Cluster struct {
+	cfg    Config
+	topo   *graph.Graph
+	engine *sim.Engine
+	tr     simnet.Transport
+	sites  []*Site
+
+	epoch             float64 // virtual time when bootstrap finished
+	bootstrapMessages int64
+	bootstrapBytes    int64
+
+	mu         sync.Mutex // guards records (needed on the live transport)
+	jobs       []*Job
+	jobIndex   map[string]*Job
+	violations []string
+	events     []Event
+	jobSeq     int
+}
+
+// NewCluster builds a DES-backed cluster and runs the PCS construction.
+func NewCluster(topo *graph.Graph, cfg Config) (*Cluster, error) {
+	if err := cfg.validate(topo.Len()); err != nil {
+		return nil, err
+	}
+	if !topo.Connected() {
+		return nil, fmt.Errorf("core: topology is not connected")
+	}
+	engine := sim.New()
+	engine.SetEventLimit(200_000_000)
+	c := &Cluster{
+		cfg:      cfg,
+		topo:     topo,
+		engine:   engine,
+		tr:       simnet.NewDES(engine, topo),
+		jobIndex: make(map[string]*Job),
+	}
+	c.sites = make([]*Site, topo.Len())
+	for id := graph.NodeID(0); int(id) < topo.Len(); id++ {
+		s := newSite(id, c)
+		c.sites[id] = s
+		c.tr.Attach(id, s.handle)
+	}
+	for _, s := range c.sites {
+		s.rnode.Start()
+	}
+	if err := engine.Run(); err != nil {
+		return nil, fmt.Errorf("core: PCS bootstrap: %w", err)
+	}
+	for _, s := range c.sites {
+		if s.table == nil {
+			return nil, fmt.Errorf("core: site %d never finished PCS construction", s.id)
+		}
+	}
+	c.epoch = engine.Now()
+	c.bootstrapMessages = c.tr.Stats().Messages()
+	c.bootstrapBytes = c.tr.Stats().Bytes()
+	c.tr.Stats().Reset()
+	return c, nil
+}
+
+// Submit schedules a job arrival `at` time units after the epoch. The
+// deadline is relative to arrival. Returns the job record, which is filled
+// in as the simulation runs.
+func (c *Cluster) Submit(at float64, origin graph.NodeID, g *dag.Graph, relDeadline float64) (*Job, error) {
+	if at < 0 {
+		return nil, fmt.Errorf("core: negative submission time %v", at)
+	}
+	if int(origin) < 0 || int(origin) >= len(c.sites) {
+		return nil, fmt.Errorf("core: origin site %d out of range", origin)
+	}
+	if relDeadline <= 0 {
+		return nil, fmt.Errorf("core: non-positive relative deadline %v", relDeadline)
+	}
+	c.mu.Lock()
+	c.jobSeq++
+	job := &Job{
+		ID:          fmt.Sprintf("j%d@%d", c.jobSeq, origin),
+		Graph:       g,
+		Origin:      origin,
+		Arrival:     c.epoch + at,
+		AbsDeadline: c.epoch + at + relDeadline,
+		remaining:   make(map[dag.TaskID]bool, g.Len()),
+	}
+	for _, id := range g.TaskIDs() {
+		job.remaining[id] = true
+	}
+	c.jobs = append(c.jobs, job)
+	c.jobIndex[job.ID] = job
+	c.mu.Unlock()
+	site := c.sites[origin]
+	c.engine.At(job.Arrival, func() { site.jobArrives(job) })
+	return job, nil
+}
+
+// Run processes all pending events (arrivals, protocol traffic, execution).
+func (c *Cluster) Run() error { return c.engine.Run() }
+
+// RunUntil advances the simulation to epoch-relative time t.
+func (c *Cluster) RunUntil(t float64) error { return c.engine.RunUntil(c.epoch + t) }
+
+// Now reports the current epoch-relative time.
+func (c *Cluster) Now() float64 { return c.engine.Now() - c.epoch }
+
+// Jobs returns all submitted job records in submission order.
+func (c *Cluster) Jobs() []*Job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Job(nil), c.jobs...)
+}
+
+// Stats exposes the post-bootstrap communication counters.
+func (c *Cluster) Stats() *simnet.Stats { return c.tr.Stats() }
+
+// BootstrapCost reports the messages and bytes spent constructing the PCS.
+func (c *Cluster) BootstrapCost() (messages, bytes int64) {
+	return c.bootstrapMessages, c.bootstrapBytes
+}
+
+// Violations lists causality violations detected during execution. A sound
+// run has none; tests assert emptiness.
+func (c *Cluster) Violations() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.violations...)
+}
+
+// AllIdle reports whether every site has released its lock, drained its
+// deferred queue and closed its transactions — the expected state once the
+// event queue is empty. Tests assert it.
+func (c *Cluster) AllIdle() bool {
+	for _, s := range c.sites {
+		if s.locked() || len(s.deferred) > 0 || len(s.txns) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SiteSphere exposes a site's PCS (for tests and experiments).
+func (c *Cluster) SiteSphere(id graph.NodeID) []graph.NodeID {
+	s := c.sites[id]
+	return append([]graph.NodeID(nil), s.pcs...)
+}
+
+// SitePlanReservations exposes a site's committed reservations (for tests).
+func (c *Cluster) SitePlanReservations(id graph.NodeID) []interface{} {
+	res := c.sites[id].plan.Reservations()
+	out := make([]interface{}, len(res))
+	for i, r := range res {
+		out[i] = r
+	}
+	return out
+}
+
+// TaskExecution describes one task's realized execution: which site ran it
+// and the bounds of its execution (a contiguous slot on the non-preemptive
+// plan, the first/last fragment on the preemptive plan).
+type TaskExecution struct {
+	Job   *Job
+	Task  dag.TaskID
+	Site  graph.NodeID
+	Start float64
+	End   float64
+}
+
+// Executions reports every realized task execution across all sites, in a
+// deterministic order. Used by the internal/verify oracle and tests.
+func (c *Cluster) Executions() []TaskExecution {
+	var out []TaskExecution
+	for _, s := range c.sites {
+		// Preemptive bounds come from the plan's fragments.
+		type bounds struct{ start, end float64 }
+		var fragBounds map[string]map[int]bounds
+		if s.plan.Preemptive() {
+			fragBounds = make(map[string]map[int]bounds)
+			for _, f := range s.plan.Reservations() {
+				byTask := fragBounds[f.Job]
+				if byTask == nil {
+					byTask = make(map[int]bounds)
+					fragBounds[f.Job] = byTask
+				}
+				b, ok := byTask[f.Task]
+				if !ok {
+					b = bounds{start: f.Start, end: f.End}
+				} else {
+					if f.Start < b.start {
+						b.start = f.Start
+					}
+					if f.End > b.end {
+						b.end = f.End
+					}
+				}
+				byTask[f.Task] = b
+			}
+		}
+		jobIDs := make([]string, 0, len(s.exec))
+		for id := range s.exec {
+			jobIDs = append(jobIDs, id)
+		}
+		sort.Strings(jobIDs)
+		for _, jobID := range jobIDs {
+			e := s.exec[jobID]
+			if e.cancelled {
+				continue
+			}
+			taskIDs := make([]int, 0, len(e.reservations))
+			for t := range e.reservations {
+				taskIDs = append(taskIDs, int(t))
+			}
+			sort.Ints(taskIDs)
+			for _, ti := range taskIDs {
+				id := dag.TaskID(ti)
+				te := TaskExecution{Job: e.job, Task: id, Site: s.id}
+				if s.plan.Preemptive() {
+					b := fragBounds[jobID][ti]
+					te.Start, te.End = b.start, b.end
+				} else {
+					r := e.reservations[id]
+					te.Start, te.End = r.Start, r.End
+				}
+				out = append(out, te)
+			}
+		}
+	}
+	return out
+}
+
+func (c *Cluster) jobByID(id string) *Job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jobIndex[id]
+}
+
+func (c *Cluster) recordDecision(job *Job, outcome Outcome, stage string, at float64) {
+	c.mu.Lock()
+	if job.Outcome != Pending {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("core: job %s decided twice (%v then %v)", job.ID, job.Outcome, outcome))
+	}
+	job.Outcome = outcome
+	job.RejectStage = stage
+	job.DecisionAt = at
+	c.mu.Unlock()
+	detail := outcome.String()
+	if stage != "" {
+		detail += "/" + stage
+	}
+	c.event(job.Origin, job.ID, EvDecided, detail)
+}
+
+func (c *Cluster) recordTaskDone(job *Job, task dag.TaskID, at float64) {
+	c.mu.Lock()
+	if !job.remaining[task] {
+		c.mu.Unlock()
+		return
+	}
+	delete(job.remaining, task)
+	if at > job.CompletedAt {
+		job.CompletedAt = at
+	}
+	done := len(job.remaining) == 0
+	if done {
+		job.Done = true
+	}
+	c.mu.Unlock()
+	c.event(job.Origin, job.ID, EvTaskDone, fmt.Sprintf("t%d at %.3f", task, at))
+	if done {
+		c.event(job.Origin, job.ID, EvJobDone, fmt.Sprintf("completed %.3f", job.CompletedAt))
+	}
+}
+
+func (c *Cluster) recordViolation(msg string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.violations = append(c.violations, msg)
+}
+
+// Summary aggregates a run's outcomes.
+type Summary struct {
+	Submitted            int
+	AcceptedLocal        int
+	AcceptedDistributed  int
+	Rejected             int
+	RejectedByStage      map[string]int
+	CompletedOnTime      int
+	CompletedLate        int
+	AcceptedNotCompleted int
+	GuaranteeRatio       float64 // accepted / submitted
+	MeanDecisionLatency  float64 // over decided jobs
+	MeanACSSize          float64 // over distributed attempts
+	Messages             int64
+	Bytes                int64
+	MessagesPerJob       float64
+}
+
+// Summarize computes the run summary. Call it after Run has drained.
+func (c *Cluster) Summarize() Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Summary{RejectedByStage: make(map[string]int)}
+	var latencySum float64
+	var latencyN int
+	var acsSum, acsN float64
+	for _, j := range c.jobs {
+		s.Submitted++
+		switch j.Outcome {
+		case AcceptedLocal:
+			s.AcceptedLocal++
+		case AcceptedDistributed:
+			s.AcceptedDistributed++
+		case Rejected:
+			s.Rejected++
+			s.RejectedByStage[j.RejectStage]++
+		}
+		if j.Outcome != Pending {
+			latencySum += j.DecisionAt - j.Arrival
+			latencyN++
+		}
+		if j.ACSSize > 0 {
+			acsSum += float64(j.ACSSize)
+			acsN++
+		}
+		if j.Accepted() {
+			switch {
+			case j.MetDeadline():
+				s.CompletedOnTime++
+			case j.Done:
+				s.CompletedLate++
+			default:
+				s.AcceptedNotCompleted++
+			}
+		}
+	}
+	if s.Submitted > 0 {
+		s.GuaranteeRatio = float64(s.AcceptedLocal+s.AcceptedDistributed) / float64(s.Submitted)
+		s.MessagesPerJob = float64(c.tr.Stats().Messages()) / float64(s.Submitted)
+	}
+	if latencyN > 0 {
+		s.MeanDecisionLatency = latencySum / float64(latencyN)
+	}
+	if acsN > 0 {
+		s.MeanACSSize = acsSum / acsN
+	}
+	s.Messages = c.tr.Stats().Messages()
+	s.Bytes = c.tr.Stats().Bytes()
+	return s
+}
+
+// String renders the summary as a compact report.
+func (s Summary) String() string {
+	stages := make([]string, 0, len(s.RejectedByStage))
+	for k := range s.RejectedByStage {
+		stages = append(stages, k)
+	}
+	sort.Strings(stages)
+	out := fmt.Sprintf(
+		"jobs=%d accepted=%d (local=%d dist=%d) rejected=%d ratio=%.3f ontime=%d late=%d msgs=%d bytes=%d msgs/job=%.1f",
+		s.Submitted, s.AcceptedLocal+s.AcceptedDistributed, s.AcceptedLocal,
+		s.AcceptedDistributed, s.Rejected, s.GuaranteeRatio,
+		s.CompletedOnTime, s.CompletedLate, s.Messages, s.Bytes, s.MessagesPerJob)
+	for _, st := range stages {
+		out += fmt.Sprintf(" reject[%s]=%d", st, s.RejectedByStage[st])
+	}
+	return out
+}

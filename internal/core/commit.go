@@ -1,0 +1,429 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/schedule"
+)
+
+// finishValidation computes the maximum coupling between ACS members and
+// logical processors (§10); a perfect matching on the processors yields the
+// permutation that executes the job (§11).
+func (s *Site) finishValidation(t *txn) {
+	members := append([]graph.NodeID{s.id}, t.acs...)
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+
+	b := matching.NewBipartite(len(members), t.tm.NumProcs())
+	for li, m := range members {
+		for _, proc := range t.endorse[m] {
+			if proc >= 0 && proc < t.tm.NumProcs() {
+				b.AddEdge(li, proc)
+			}
+		}
+	}
+	res := b.MaximumMatching()
+	s.cluster.event(s.id, t.job.ID, EvValidated,
+		fmt.Sprintf("coupling=%d/%d", res.Size, t.tm.NumProcs()))
+	if !res.PerfectOnRight() {
+		s.finishTxn(t, Rejected, StageMatching)
+		return
+	}
+
+	t.phase = phaseCommitting
+	t.assignment = make(map[int]graph.NodeID, t.tm.NumProcs())
+	procOf := make(map[graph.NodeID]int, len(members))
+	for _, m := range members {
+		procOf[m] = -1
+	}
+	for proc, li := range res.RightAssignment() {
+		t.assignment[proc] = members[li]
+		procOf[members[li]] = proc
+	}
+	taskSites := make(map[dag.TaskID]graph.NodeID, t.job.Graph.Len())
+	for _, id := range t.job.Graph.TaskIDs() {
+		taskSites[id] = t.assignment[t.tm.Assign[id].Proc]
+	}
+
+	// The initiator endorses its share first: if even the local insertion
+	// fails there is no point dispatching code.
+	t.selfOK = true
+	if myProc := procOf[s.id]; myProc >= 0 {
+		t.selfOK = s.commitShare(t.job, myProc, t.job.Graph, taskSites)
+	} else {
+		delete(s.memberTickets, t.job.ID)
+	}
+	if !t.selfOK {
+		s.finishTxn(t, Rejected, StageCommit)
+		return
+	}
+
+	t.commitWait = make(map[graph.NodeID]bool)
+	for _, m := range t.acs {
+		proc := procOf[m]
+		msg := commitMsg{Job: t.job.ID, Initiator: s.id, Proc: proc}
+		if proc >= 0 {
+			n := len(t.tm.Tasks(t.job.Graph, proc))
+			msg.Graph = t.job.Graph
+			msg.TaskSites = taskSites
+			msg.CodeBytes = n * s.cluster.cfg.CodeBytesPerTask
+			t.commitWait[m] = true
+		}
+		s.sendTo(m, msg)
+	}
+	t.commitsSent = true
+	s.cluster.event(s.id, t.job.ID, EvCommit, fmt.Sprintf("executing=%d", len(t.commitWait)+1))
+	if len(t.commitWait) == 0 {
+		s.commitResolved(t)
+	}
+}
+
+// commitShare commits this site's cached ticket for a logical processor and
+// starts execution. It reports false when the validated slots are no longer
+// honourable (time has passed them).
+func (s *Site) commitShare(job *Job, proc int, g *dag.Graph, taskSites map[dag.TaskID]graph.NodeID) bool {
+	tickets := s.memberTickets[job.ID]
+	delete(s.memberTickets, job.ID)
+	tk := tickets[proc]
+	if tk == nil {
+		return false
+	}
+	now := s.now()
+	for _, r := range tk.Requests {
+		// A slot that should already have started cannot be honoured; the
+		// release padding (§13) makes this rare, not impossible.
+		if r.Release < now-1e-9 && !s.plan.Preemptive() {
+			if pl := placementFor(tk, r.Task); pl != nil && pl.Start < now-1e-9 {
+				return false
+			}
+		}
+	}
+	if err := s.plan.Commit(tk); err != nil {
+		return false
+	}
+	s.beginExecution(job, taskSites, tk)
+	return true
+}
+
+func placementFor(tk *schedule.Ticket, task int) *schedule.Reservation {
+	for i := range tk.Placements {
+		if tk.Placements[i].Task == task {
+			return &tk.Placements[i]
+		}
+	}
+	return nil
+}
+
+// onCommit handles the permutation at an ACS member (§11): endorse the
+// assigned logical processor (or be released), then unlock — "the lock of j
+// is immediately released after the insertion of all tasks of Ti".
+func (s *Site) onCommit(m commitMsg) {
+	if s.lockedBy != m.Initiator || s.lockJob != m.Job {
+		// Defensive: refuse rather than stay silent so the initiator's
+		// commit phase always resolves.
+		if m.Proc >= 0 {
+			s.sendTo(m.Initiator, commitAck{Job: m.Job, Member: s.id, OK: false})
+		}
+		return
+	}
+	if m.Proc < 0 {
+		delete(s.memberTickets, m.Job)
+		s.unlock()
+		return
+	}
+	ok := s.commitShare(s.jobRef(m), m.Proc, m.Graph, m.TaskSites)
+	s.sendTo(m.Initiator, commitAck{Job: m.Job, Member: s.id, OK: ok})
+	s.unlock()
+}
+
+// jobRef resolves the cluster-level job record for a member-side commit.
+func (s *Site) jobRef(m commitMsg) *Job {
+	if j := s.cluster.jobByID(m.Job); j != nil {
+		return j
+	}
+	panic(fmt.Sprintf("core: site %d committing unknown job %s", s.id, m.Job))
+}
+
+// onCommitAck finalizes the transaction at the initiator once every
+// executing member confirmed (or refused) its insertion.
+func (s *Site) onCommitAck(m commitAck) {
+	t, ok := s.txns[m.Job]
+	if !ok || t.phase != phaseCommitting || !t.commitWait[m.Member] {
+		return
+	}
+	delete(t.commitWait, m.Member)
+	if !m.OK {
+		t.commitFail = true
+	}
+	if len(t.commitWait) == 0 {
+		s.commitResolved(t)
+	}
+}
+
+func (s *Site) commitResolved(t *txn) {
+	if t.commitFail {
+		// Abort everywhere: members cancel any reservations of the job.
+		for _, m := range t.acs {
+			s.sendTo(m, unlockMsg{Job: t.job.ID, Abort: true})
+		}
+		s.cancelExecution(t.job.ID)
+		s.plan.CancelJob(t.job.ID)
+		s.finishTxn(t, Rejected, StageCommit)
+		return
+	}
+	s.finishTxn(t, AcceptedDistributed, "")
+}
+
+// finishTxn records the decision, unlocks the ACS when the members have not
+// yet received their commit/release messages, unlocks the initiator, and
+// replays deferred work.
+func (s *Site) finishTxn(t *txn, outcome Outcome, stage string) {
+	if t.phase == phaseDone {
+		return
+	}
+	t.phase = phaseDone
+	delete(s.txns, t.job.ID)
+	if outcome == Rejected && !t.commitsSent {
+		// "the DAG is rejected and ACS members are unlocked" (§10). This
+		// also covers a commit that failed at the initiator itself before
+		// anything was dispatched.
+		for _, m := range t.acs {
+			s.sendTo(m, unlockMsg{Job: t.job.ID})
+		}
+		delete(s.memberTickets, t.job.ID)
+	}
+	s.cluster.recordDecision(t.job, outcome, stage, s.now())
+	s.unlock()
+}
+
+// onUnlock releases a member (rejection path) or aborts a committed share.
+func (s *Site) onUnlock(m unlockMsg) {
+	if m.Abort {
+		s.cancelExecution(m.Job)
+		s.plan.CancelJob(m.Job)
+	}
+	delete(s.memberTickets, m.Job)
+	if s.locked() && s.lockJob == m.Job {
+		s.unlock()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Distributed execution (§11) with the §13 communication-delay realism:
+// results travel between sites and tasks must not start before their inputs.
+
+// beginExecution registers this site's share of a job and schedules its
+// execution timers.
+func (s *Site) beginExecution(job *Job, taskSites map[dag.TaskID]graph.NodeID, tk *schedule.Ticket) {
+	e := s.exec[job.ID]
+	if e == nil {
+		e = &execJob{
+			job:          job,
+			g:            job.Graph,
+			taskSites:    taskSites,
+			reservations: make(map[dag.TaskID]schedule.Reservation),
+			arrived:      make(map[[2]dag.TaskID]bool),
+			completed:    make(map[dag.TaskID]bool),
+		}
+		s.exec[job.ID] = e
+	}
+	if s.plan.Preemptive() {
+		for _, r := range tk.Requests {
+			e.reservations[dag.TaskID(r.Task)] = schedule.Reservation{Job: job.ID, Task: r.Task}
+		}
+		s.rescheduleAllExec()
+		return
+	}
+	now := s.now()
+	for _, pl := range tk.Placements {
+		pl := pl
+		id := dag.TaskID(pl.Task)
+		e.reservations[id] = pl
+		startDelay := math.Max(0, pl.Start-now)
+		e.timers = append(e.timers,
+			s.cluster.tr.After(s.id, startDelay, func() { s.onTaskStart(e, id, false) }),
+			s.cluster.tr.After(s.id, math.Max(0, pl.End-now), func() { s.onTaskComplete(e, id, pl.End) }),
+		)
+	}
+}
+
+// rescheduleAllExec recomputes completion timers from the preemptive plan's
+// current EDF schedule. New admissions can only postpone completions, never
+// rewrite the executed past (releases are never earlier than commit time),
+// so cancelling and re-deriving all pending timers is safe.
+func (s *Site) rescheduleAllExec() {
+	for _, e := range s.exec {
+		for _, c := range e.timers {
+			c()
+		}
+		e.timers = nil
+	}
+	completion := make(map[string]map[int]float64)
+	for _, frag := range s.plan.Reservations() {
+		byTask := completion[frag.Job]
+		if byTask == nil {
+			byTask = make(map[int]float64)
+			completion[frag.Job] = byTask
+		}
+		if frag.End > byTask[frag.Task] {
+			byTask[frag.Task] = frag.End
+		}
+	}
+	now := s.now()
+	jobIDs := make([]string, 0, len(s.exec))
+	for id := range s.exec {
+		jobIDs = append(jobIDs, id)
+	}
+	sort.Strings(jobIDs)
+	for _, jobID := range jobIDs {
+		e := s.exec[jobID]
+		taskIDs := make([]int, 0, len(e.reservations))
+		for t := range e.reservations {
+			taskIDs = append(taskIDs, int(t))
+		}
+		sort.Ints(taskIDs)
+		for _, ti := range taskIDs {
+			id := dag.TaskID(ti)
+			if e.completed[id] {
+				continue
+			}
+			end, ok := completion[jobID][ti]
+			if !ok {
+				panic(fmt.Sprintf("core: site %d lost fragments of %s/t%d", s.id, jobID, ti))
+			}
+			e.timers = append(e.timers,
+				s.cluster.tr.After(s.id, math.Max(0, end-now), func() { s.onTaskComplete(e, id, end) }))
+		}
+	}
+}
+
+// onTaskStart asserts that every predecessor's data is available when a
+// reserved slot begins — the end-to-end check that ω over-estimation plus
+// the adjusted windows make distributed execution causally sound. A result
+// arriving at exactly the start instant is delivered first by re-checking
+// after a zero-delay hop.
+func (s *Site) onTaskStart(e *execJob, id dag.TaskID, rechecked bool) {
+	if e.cancelled || e.completed[id] {
+		return
+	}
+	missing := s.missingInputs(e, id)
+	if len(missing) == 0 {
+		return
+	}
+	if !rechecked {
+		e.timers = append(e.timers,
+			s.cluster.tr.After(s.id, 0, func() { s.onTaskStart(e, id, true) }))
+		return
+	}
+	s.cluster.recordViolation(fmt.Sprintf(
+		"site %d: job %s task %d started at %v without inputs from %v",
+		s.id, e.job.ID, id, s.now(), missing))
+}
+
+func (s *Site) missingInputs(e *execJob, id dag.TaskID) []dag.TaskID {
+	var missing []dag.TaskID
+	for _, p := range e.g.Predecessors(id) {
+		if e.taskSites[p] == s.id {
+			if !e.completed[p] {
+				missing = append(missing, p)
+			}
+		} else if !e.arrived[[2]dag.TaskID{p, id}] {
+			missing = append(missing, p)
+		}
+	}
+	return missing
+}
+
+// onTaskComplete fires when a task's reserved slot (or EDF completion) ends:
+// results are sent to the sites of successor tasks (§13) and completion is
+// reported to the initiator.
+func (s *Site) onTaskComplete(e *execJob, id dag.TaskID, at float64) {
+	if e.cancelled || e.completed[id] {
+		return
+	}
+	if s.plan.Preemptive() {
+		// In preemptive mode the start assertion runs here (slots move).
+		if missing := s.missingInputs(e, id); len(missing) > 0 {
+			s.cluster.recordViolation(fmt.Sprintf(
+				"site %d: job %s task %d completed at %v without inputs from %v",
+				s.id, e.job.ID, id, s.now(), missing))
+		}
+	}
+	e.completed[id] = true
+	sent := make(map[graph.NodeID]bool)
+	for _, succ := range e.g.Successors(id) {
+		succ := succ
+		dest := e.taskSites[succ]
+		if dest == s.id {
+			continue
+		}
+		vol := e.g.EdgeVolume(id, succ)
+		th := s.cluster.cfg.Throughput
+		if vol == 0 || th <= 0 {
+			// Pure control dependency (or volumes disabled): one result
+			// message serves every consumer on the destination site.
+			if !sent[dest] {
+				sent[dest] = true
+				s.sendTo(dest, resultMsg{Job: e.job.ID, Task: id, Bytes: s.cluster.cfg.ResultBytes})
+			}
+			continue
+		}
+		// §13 data volumes: each edge's transfer is serialized for
+		// volume/throughput before it travels, and is addressed to its
+		// consumer since volumes differ per edge.
+		msg := resultMsg{Job: e.job.ID, Task: id, For: succ,
+			Bytes: s.cluster.cfg.ResultBytes + int(vol)}
+		e.timers = append(e.timers, s.cluster.tr.After(s.id, vol/th, func() {
+			if !e.cancelled {
+				s.sendTo(dest, msg)
+			}
+		}))
+	}
+	if e.job.Origin == s.id {
+		s.cluster.recordTaskDone(e.job, id, at)
+	} else {
+		s.sendTo(e.job.Origin, doneMsg{Job: e.job.ID, Task: id, At: at})
+	}
+}
+
+// onResult records an incoming predecessor result (§13).
+func (s *Site) onResult(m resultMsg) {
+	e, ok := s.exec[m.Job]
+	if !ok || e.cancelled {
+		return
+	}
+	if m.For != 0 {
+		e.arrived[[2]dag.TaskID{m.Task, m.For}] = true
+		return
+	}
+	// Broadcast result: serves every successor hosted on this site.
+	for _, succ := range e.g.Successors(m.Task) {
+		if e.taskSites[succ] == s.id {
+			e.arrived[[2]dag.TaskID{m.Task, succ}] = true
+		}
+	}
+}
+
+// onDone records a remote task completion at the job's initiator.
+func (s *Site) onDone(m doneMsg) {
+	if j := s.cluster.jobByID(m.Job); j != nil {
+		s.cluster.recordTaskDone(j, m.Task, m.At)
+	}
+}
+
+// cancelExecution tears down a job's execution state after an abort.
+func (s *Site) cancelExecution(jobID string) {
+	e, ok := s.exec[jobID]
+	if !ok {
+		return
+	}
+	e.cancelled = true
+	for _, c := range e.timers {
+		c()
+	}
+	delete(s.exec, jobID)
+}

@@ -1,0 +1,104 @@
+// Package core implements the RTDS protocol itself (paper §4–§11): per-site
+// local scheduling, PCS bootstrap, ACS enrollment with locking, trial-mapping
+// construction and validation, maximum-coupling permutation selection, and
+// distributed execution with result messages.
+//
+// Every site runs the same state machine (there is no centralized control);
+// sites communicate only over topology links, forwarding multi-hop traffic
+// along their routing tables' next hops, so communication cost is accounted
+// per link traversal exactly as the paper argues.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mapper"
+)
+
+// Config controls a cluster of RTDS sites.
+type Config struct {
+	// Radius is h, the hop radius of the Potential Computing Sphere (§6).
+	Radius int
+	// SurplusWindow is the observational window over which a site's surplus
+	// is measured (§2).
+	SurplusWindow float64
+	// Preemptive selects the §13 preemptive local scheduler.
+	Preemptive bool
+	// LocalOnly disables distribution entirely: jobs that fail the local
+	// test are rejected (the baseline RTDS is compared against).
+	LocalOnly bool
+	// Heuristic and LaxityMode configure the mapper (§9, §12, §13).
+	Heuristic  mapper.Heuristic
+	LaxityMode mapper.LaxityMode
+	// EnrollSlack is added to the enrollment timeout beyond the round-trip
+	// bound 2·ω(PCS); it lets acks that tie with the timer win.
+	EnrollSlack float64
+	// ReleasePadFactor scales the protocol-latency padding of the job
+	// release used by the mapper (§13 "Communication Delays"): the effective
+	// release is now + ReleasePadFactor·ω(ACS). It covers the validation
+	// round trip plus the dispatch of task codes.
+	ReleasePadFactor float64
+	// CodeBytesPerTask is the accounted size of one task's code when
+	// dispatched to an executing site (§11).
+	CodeBytesPerTask int
+	// ResultBytes is the accounted size of one task-result message sent from
+	// a predecessor's site to a successor's site during execution.
+	ResultBytes int
+	// Throughput enables the §13 data-volume model: DAG edges decorated
+	// with data volumes add volume/Throughput to the cross-site
+	// communication estimate, and result transmission is delayed by the
+	// same amount. Zero ignores volumes (the base model).
+	Throughput float64
+	// Powers optionally assigns per-site computing powers (uniform machines,
+	// §13). Empty means identical machines (power 1).
+	Powers []float64
+	// TraceEvents records a protocol timeline (Cluster.Events); off by
+	// default to keep long experiment runs lean.
+	TraceEvents bool
+	// UseLocalKnowledge implements the §13 "local knowledge of k"
+	// refinement: the initiator estimates its own availability over the
+	// job's actual window instead of the fixed observational window, since
+	// it can inspect its own idle intervals exactly.
+	UseLocalKnowledge bool
+}
+
+// DefaultConfig returns the configuration used by the experiments unless a
+// sweep overrides a field.
+func DefaultConfig() Config {
+	return Config{
+		Radius:           3,
+		SurplusWindow:    200,
+		EnrollSlack:      1e-3,
+		ReleasePadFactor: 3,
+		CodeBytesPerTask: 256,
+		ResultBytes:      64,
+	}
+}
+
+func (c Config) validate(n int) error {
+	if c.Radius < 0 {
+		return fmt.Errorf("core: negative sphere radius %d", c.Radius)
+	}
+	if c.SurplusWindow <= 0 {
+		return fmt.Errorf("core: non-positive surplus window %v", c.SurplusWindow)
+	}
+	if c.ReleasePadFactor < 0 {
+		return fmt.Errorf("core: negative release pad factor %v", c.ReleasePadFactor)
+	}
+	if len(c.Powers) != 0 && len(c.Powers) != n {
+		return fmt.Errorf("core: %d powers for %d sites", len(c.Powers), n)
+	}
+	for i, p := range c.Powers {
+		if p <= 0 {
+			return fmt.Errorf("core: site %d has non-positive power %v", i, p)
+		}
+	}
+	return nil
+}
+
+func (c Config) power(site int) float64 {
+	if len(c.Powers) == 0 {
+		return 1
+	}
+	return c.Powers[site]
+}

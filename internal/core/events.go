@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// EventKind labels a protocol lifecycle event.
+type EventKind string
+
+// Protocol event kinds, in rough lifecycle order.
+const (
+	EvArrival   EventKind = "arrival"      // job arrived at its origin site
+	EvDeferred  EventKind = "deferred"     // processing deferred (site locked)
+	EvLocalOK   EventKind = "local-accept" // whole DAG guaranteed locally
+	EvEnroll    EventKind = "enroll"       // ACS enrollment started
+	EvACSFixed  EventKind = "acs-fixed"    // enrollment window closed
+	EvMapped    EventKind = "mapped"       // trial mapping built
+	EvValidated EventKind = "validated"    // all endorsements collected
+	EvCommit    EventKind = "commit"       // permutation dispatched
+	EvDecided   EventKind = "decided"      // final accept/reject decision
+	EvTaskDone  EventKind = "task-done"    // one task completed
+	EvJobDone   EventKind = "job-done"     // all tasks completed
+)
+
+// Event is one timeline entry. Events are recorded only when
+// Config.TraceEvents is set.
+type Event struct {
+	At     float64
+	Site   graph.NodeID
+	Job    string
+	Kind   EventKind
+	Detail string
+}
+
+// String renders one line of the timeline.
+func (e Event) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%10.3f site=%-3d %-12s %s", e.At, e.Site, e.Kind, e.Job)
+	}
+	return fmt.Sprintf("%10.3f site=%-3d %-12s %s (%s)", e.At, e.Site, e.Kind, e.Job, e.Detail)
+}
+
+func (c *Cluster) event(site graph.NodeID, job string, kind EventKind, detail string) {
+	if !c.cfg.TraceEvents {
+		return
+	}
+	c.mu.Lock()
+	c.events = append(c.events, Event{
+		At: c.tr.Now(), Site: site, Job: job, Kind: kind, Detail: detail,
+	})
+	c.mu.Unlock()
+}
+
+// Events returns the recorded timeline in chronological order (stable for
+// simultaneous events). Empty unless Config.TraceEvents is set.
+func (c *Cluster) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]Event(nil), c.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// JobEvents filters the timeline to one job.
+func (c *Cluster) JobEvents(jobID string) []Event {
+	var out []Event
+	for _, e := range c.Events() {
+		if e.Job == jobID {
+			out = append(out, e)
+		}
+	}
+	return out
+}

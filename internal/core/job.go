@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/graph"
+)
+
+// Outcome is the final fate of a submitted job.
+type Outcome int
+
+const (
+	// Pending: no decision yet.
+	Pending Outcome = iota
+	// AcceptedLocal: the whole DAG was guaranteed on the arrival site (§5).
+	AcceptedLocal
+	// AcceptedDistributed: guaranteed across the ACS via trial mapping,
+	// validation and the coupling permutation (§9–§11).
+	AcceptedDistributed
+	// Rejected: the system could not guarantee the deadline.
+	Rejected
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Pending:
+		return "pending"
+	case AcceptedLocal:
+		return "accepted-local"
+	case AcceptedDistributed:
+		return "accepted-distributed"
+	case Rejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Rejection stages, recorded for diagnosis and the experiment breakdowns.
+const (
+	StageLocalOnly = "local-only" // local test failed and distribution is off
+	StageNoSphere  = "no-sphere"  // PCS is empty (radius 0 or isolated site)
+	StageEmptyACS  = "empty-acs"  // nobody enrolled before the window closed
+	StageMapper    = "mapper"     // case (i) or inconsistent windows
+	StageMatching  = "matching"   // maximum coupling smaller than |U|
+	StageCommit    = "commit"     // a site could not honour its validated slots
+)
+
+// Job is one sporadic real-time job: a DAG with an arrival site, arrival
+// time and absolute deadline. The zero value is not valid; Cluster.Submit
+// creates jobs.
+type Job struct {
+	ID          string
+	Graph       *dag.Graph
+	Origin      graph.NodeID
+	Arrival     float64 // absolute virtual time
+	AbsDeadline float64
+
+	Outcome     Outcome
+	RejectStage string
+	DecisionAt  float64 // when the accept/reject decision was made
+	CompletedAt float64 // when the last task finished (accepted jobs)
+	Done        bool    // all tasks completed
+
+	ACSSize  int // members enrolled (initiator included), 0 if never distributed
+	NumProcs int // |U| of the accepted mapping
+
+	remaining map[dag.TaskID]bool // tasks not yet completed (initiator's view)
+}
+
+// Window is the job's relative deadline d − r.
+func (j *Job) Window() float64 { return j.AbsDeadline - j.Arrival }
+
+// Accepted reports whether the job was guaranteed.
+func (j *Job) Accepted() bool {
+	return j.Outcome == AcceptedLocal || j.Outcome == AcceptedDistributed
+}
+
+// MetDeadline reports whether the job completed within its deadline.
+func (j *Job) MetDeadline() bool {
+	return j.Done && j.CompletedAt <= j.AbsDeadline+1e-9
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/graph"
+	"repro/internal/simnet"
+)
+
+// LiveCluster runs the same Site state machines on the goroutine-backed
+// live transport: one goroutine per site, real (scaled) time, genuine
+// concurrency. It exists for demonstration and for the DES-equivalence
+// tests; experiments use the deterministic Cluster.
+type LiveCluster struct {
+	*Cluster
+	live *simnet.Live
+}
+
+// NewLiveCluster builds the cluster, starts the transport and runs the PCS
+// bootstrap, blocking until it quiesces. scale is the wall-clock duration of
+// one virtual time unit.
+func NewLiveCluster(topo *graph.Graph, cfg Config, scale time.Duration) (*LiveCluster, error) {
+	if err := cfg.validate(topo.Len()); err != nil {
+		return nil, err
+	}
+	if !topo.Connected() {
+		return nil, fmt.Errorf("core: topology is not connected")
+	}
+	live := simnet.NewLive(topo, scale)
+	c := &Cluster{
+		cfg:      cfg,
+		topo:     topo,
+		tr:       live,
+		jobIndex: make(map[string]*Job),
+	}
+	lc := &LiveCluster{Cluster: c, live: live}
+	c.sites = make([]*Site, topo.Len())
+	for id := graph.NodeID(0); int(id) < topo.Len(); id++ {
+		s := newSite(id, c)
+		c.sites[id] = s
+		live.Attach(id, s.handle)
+	}
+	live.Start()
+	// Kick the bootstrap from each site's own execution context.
+	for _, s := range c.sites {
+		s := s
+		live.After(s.id, 0, func() { s.rnode.Start() })
+	}
+	if !live.WaitIdle(30 * time.Second) {
+		live.Close()
+		return nil, fmt.Errorf("core: live PCS bootstrap did not quiesce")
+	}
+	for _, s := range c.sites {
+		if s.table == nil {
+			live.Close()
+			return nil, fmt.Errorf("core: site %d never finished live PCS construction", s.id)
+		}
+	}
+	c.epoch = live.Now()
+	c.bootstrapMessages = live.Stats().Messages()
+	c.bootstrapBytes = live.Stats().Bytes()
+	live.Stats().Reset()
+	return lc, nil
+}
+
+// Submit injects a job arrival `at` virtual time units after the epoch
+// (0 = as soon as possible) through the origin site's execution context.
+func (lc *LiveCluster) Submit(at float64, origin graph.NodeID, g *dag.Graph, relDeadline float64) (*Job, error) {
+	if int(origin) < 0 || int(origin) >= len(lc.sites) {
+		return nil, fmt.Errorf("core: origin site %d out of range", origin)
+	}
+	if relDeadline <= 0 {
+		return nil, fmt.Errorf("core: non-positive relative deadline %v", relDeadline)
+	}
+	lc.mu.Lock()
+	lc.jobSeq++
+	arrival := lc.epoch + at
+	if now := lc.live.Now(); arrival < now {
+		arrival = now
+	}
+	job := &Job{
+		ID:          fmt.Sprintf("j%d@%d", lc.jobSeq, origin),
+		Graph:       g,
+		Origin:      origin,
+		Arrival:     arrival,
+		AbsDeadline: arrival + relDeadline,
+		remaining:   make(map[dag.TaskID]bool, g.Len()),
+	}
+	for _, id := range g.TaskIDs() {
+		job.remaining[id] = true
+	}
+	lc.jobs = append(lc.jobs, job)
+	lc.jobIndex[job.ID] = job
+	lc.mu.Unlock()
+	site := lc.sites[origin]
+	delay := arrival - lc.live.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	lc.live.After(origin, delay, func() { site.jobArrives(job) })
+	return job, nil
+}
+
+// Wait blocks until the cluster quiesces (all decisions made, executions
+// scheduled) or the timeout elapses.
+func (lc *LiveCluster) Wait(timeout time.Duration) bool {
+	return lc.live.WaitIdle(timeout)
+}
+
+// Close shuts down the transport goroutines.
+func (lc *LiveCluster) Close() { lc.live.Close() }

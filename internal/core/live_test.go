@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// TestLiveMatchesDESDecisions runs the same single-job scenarios on the
+// deterministic DES transport and the goroutine-backed live transport and
+// requires identical admission decisions (experiment E10).
+func TestLiveMatchesDESDecisions(t *testing.T) {
+	type scenario struct {
+		name string
+		par  int     // independent tasks
+		dur  float64 // per-task duration
+		dl   float64 // relative deadline
+		want Outcome
+	}
+	scenarios := []scenario{
+		{"local", 1, 5, 50, AcceptedLocal},
+		// Deadline 19 < 20 (serial) forces distribution while leaving ~4
+		// virtual units of margin over protocol latency and real jitter.
+		{"distributed", 2, 10, 19, AcceptedDistributed},
+		{"impossible", 2, 10, 3, Rejected},
+	}
+	// On the live transport message handling takes real time that the
+	// DES models as zero, so the timeouts derived from link delays alone
+	// (enrollment window, release padding) need real slack. The same config
+	// drives both transports; the DES outcome is insensitive to the extra
+	// slack because every site answers immediately in virtual time.
+	cfg := DefaultConfig()
+	cfg.EnrollSlack = 2
+	cfg.ReleasePadFactor = 25
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			topo := fastLine(3)
+			des := mustCluster(t, topo, cfg)
+			dj, err := des.Submit(0, 0, parJob(t, sc.par, sc.dur), sc.dl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runAll(t, des)
+			if dj.Outcome != sc.want {
+				t.Fatalf("DES outcome %v, want %v", dj.Outcome, sc.want)
+			}
+
+			// The live clock is wall-clock-driven: the scale must dwarf Go
+			// scheduling jitter or real latency eats the virtual deadline.
+			live, err := NewLiveCluster(topo, cfg, 10*time.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer live.Close()
+			lj, err := live.Submit(0, 0, parJob(t, sc.par, sc.dur), sc.dl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !live.Wait(30 * time.Second) {
+				t.Fatal("live cluster did not quiesce")
+			}
+			if lj.Outcome != dj.Outcome {
+				t.Fatalf("live outcome %v != DES outcome %v", lj.Outcome, dj.Outcome)
+			}
+			if v := live.Violations(); len(v) != 0 {
+				t.Fatalf("live violations: %v", v)
+			}
+		})
+	}
+}
+
+func TestLiveClusterBootstrap(t *testing.T) {
+	topo := fastLine(4)
+	live, err := NewLiveCluster(topo, DefaultConfig(), 100*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	msgs, _ := live.BootstrapCost()
+	// Same bootstrap cost formula as the DES cluster.
+	want := int64((2*DefaultConfig().Radius - 1) * 2 * topo.NumEdges())
+	if msgs != want {
+		t.Fatalf("live bootstrap messages %d, want %d", msgs, want)
+	}
+	for id := 0; id < 4; id++ {
+		if len(live.SiteSphere(graph.NodeID(id))) == 0 {
+			t.Fatalf("site %d has empty sphere", id)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"repro/internal/dag"
+	"repro/internal/graph"
+	"repro/internal/mapper"
+	"repro/internal/simnet"
+)
+
+// msgHeader approximates the fixed wire overhead of every protocol message:
+// source, destination, job identifier, kind tag.
+const msgHeader = 24
+
+// Routed wraps a protocol payload for hop-by-hop forwarding: sites relay it
+// along their routing tables' next hops until it reaches Dest. Each link
+// traversal is a separate accounted message, which is exactly how the paper
+// counts communication ("a limited number of sites and communication
+// links").
+type Routed struct {
+	Src   graph.NodeID
+	Dest  graph.NodeID
+	TTL   int
+	Inner simnet.Payload
+}
+
+// Kind implements simnet.Payload.
+func (r Routed) Kind() string { return r.Inner.Kind() }
+
+// SizeBytes implements simnet.Payload: inner payload plus routing header.
+func (r Routed) SizeBytes() int { return 8 + r.Inner.SizeBytes() }
+
+// enrollReq asks a PCS member to join the ACS for a job (§8).
+type enrollReq struct {
+	Job       string
+	Initiator graph.NodeID
+}
+
+func (enrollReq) Kind() string     { return "rtds.enroll" }
+func (e enrollReq) SizeBytes() int { return msgHeader }
+
+// distEntry is one line of the distance vector an enrollee reports, letting
+// the initiator compute the exact ACS delay diameter (DESIGN.md §6.3).
+type distEntry struct {
+	Dest graph.NodeID
+	Dist float64
+}
+
+// enrollAck accepts enrollment: the member is now locked for the initiator
+// and reports its surplus (§8) plus its distance vector and computing power.
+type enrollAck struct {
+	Job     string
+	Member  graph.NodeID
+	Surplus float64
+	Power   float64
+	Dists   []distEntry
+}
+
+func (enrollAck) Kind() string     { return "rtds.enroll-ack" }
+func (a enrollAck) SizeBytes() int { return msgHeader + 16 + 12*len(a.Dists) }
+
+// validateReq broadcasts the trial mapping M in the ACS (§10). Every member
+// receives all logical processors' task windows and tries to endorse each.
+type validateReq struct {
+	Job       string
+	Initiator graph.NodeID
+	NumProcs  int
+	Windows   [][]mapper.TaskWindow // indexed by logical processor
+}
+
+func (validateReq) Kind() string { return "rtds.validate" }
+func (v validateReq) SizeBytes() int {
+	n := 0
+	for _, w := range v.Windows {
+		n += len(w)
+	}
+	// Per task window: id (4), complexity/release/deadline (24).
+	return msgHeader + 4 + 28*n
+}
+
+// validateAck reports the logical processors the sender could endorse.
+type validateAck struct {
+	Job        string
+	Member     graph.NodeID
+	Endorsable []int
+}
+
+func (validateAck) Kind() string     { return "rtds.validate-ack" }
+func (a validateAck) SizeBytes() int { return msgHeader + 4*len(a.Endorsable) }
+
+// commitMsg carries the §11 permutation outcome to one ACS member. Proc < 0
+// releases the member without work; otherwise the member endorses logical
+// processor Proc and receives the task codes, the precedence structure and
+// the task→site map it needs to send results during execution.
+type commitMsg struct {
+	Job       string
+	Initiator graph.NodeID
+	Proc      int
+	Graph     *dag.Graph                  // task codes + precedence (size accounted below)
+	TaskSites map[dag.TaskID]graph.NodeID // where every task of the job runs
+	CodeBytes int                         // accounted size of the shipped task codes
+}
+
+func (commitMsg) Kind() string { return "rtds.commit" }
+func (c commitMsg) SizeBytes() int {
+	if c.Proc < 0 {
+		return msgHeader
+	}
+	return msgHeader + c.CodeBytes + 8*len(c.TaskSites)
+}
+
+// commitAck confirms (or refuses) the insertion of Ti into the member's
+// scheduling plan.
+type commitAck struct {
+	Job    string
+	Member graph.NodeID
+	OK     bool
+}
+
+func (commitAck) Kind() string   { return "rtds.commit-ack" }
+func (commitAck) SizeBytes() int { return msgHeader + 1 }
+
+// unlockMsg releases an ACS member after a rejection (§10) or aborts an
+// already-committed job after a commit failure.
+type unlockMsg struct {
+	Job   string
+	Abort bool // also cancel any reservations of Job
+}
+
+func (unlockMsg) Kind() string   { return "rtds.unlock" }
+func (unlockMsg) SizeBytes() int { return msgHeader + 1 }
+
+// resultMsg models a predecessor task's result travelling to the site of a
+// successor task during distributed execution (§13 "Communication Delays").
+// For identifies the consuming task when edges carry distinct data volumes;
+// 0 means the result serves every local successor of Task.
+type resultMsg struct {
+	Job   string
+	Task  dag.TaskID
+	For   dag.TaskID
+	Bytes int
+}
+
+func (resultMsg) Kind() string     { return "rtds.result" }
+func (m resultMsg) SizeBytes() int { return msgHeader + m.Bytes }
+
+// doneMsg reports a completed task to the job's initiator so it can record
+// end-to-end completion.
+type doneMsg struct {
+	Job  string
+	Task dag.TaskID
+	At   float64
+}
+
+func (doneMsg) Kind() string   { return "rtds.done" }
+func (doneMsg) SizeBytes() int { return msgHeader + 12 }

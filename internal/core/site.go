@@ -1,0 +1,528 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/graph"
+	"repro/internal/mapper"
+	"repro/internal/routing"
+	"repro/internal/schedule"
+	"repro/internal/simnet"
+)
+
+const noLock = graph.NodeID(-1)
+
+// Site is one network node running the RTDS state machine. A site's methods
+// are only invoked from its transport execution context (the DES event loop
+// or the site's goroutine on the live transport), so no internal locking is
+// needed.
+type Site struct {
+	id      graph.NodeID
+	cluster *Cluster
+	plan    schedule.Plan
+	power   float64
+
+	// PCS bootstrap (§7)
+	rnode      *routing.Node
+	table      *routing.Table
+	pcs        []graph.NodeID // sphere members, self excluded
+	sphereDiam float64        // max known delay to a sphere member
+
+	// Lock (§8): while locked the site defers all other scheduling activity.
+	lockedBy graph.NodeID
+	lockJob  string
+	deferred []func()
+
+	// Member-side validation state: job -> logical proc -> admitted ticket.
+	memberTickets map[string]map[int]*schedule.Ticket
+
+	// Initiator-side transactions.
+	txns map[string]*txn
+
+	// Execution state for jobs with tasks on this site.
+	exec map[string]*execJob
+}
+
+// txn is the initiator's state for one distributed job (§4 steps 2–5).
+type txn struct {
+	job         *Job
+	phase       txnPhase
+	expected    []graph.NodeID // PCS members the enrollment was sent to
+	acks        map[graph.NodeID]enrollAck
+	cancelTimer simnet.CancelFunc
+
+	tm          *mapper.TrialMapping
+	acs         []graph.NodeID // enrolled members (self excluded), sorted
+	endorse     map[graph.NodeID][]int
+	awaitAcks   map[graph.NodeID]bool
+	assignment  map[int]graph.NodeID // logical proc -> executing site
+	commitWait  map[graph.NodeID]bool
+	commitFail  bool
+	commitsSent bool // commit/release messages have reached the ACS
+	selfOK      bool // initiator committed its own share successfully
+}
+
+type txnPhase int
+
+const (
+	phaseEnrolling txnPhase = iota
+	phaseValidating
+	phaseCommitting
+	phaseDone
+)
+
+// execJob tracks the execution of one job's tasks on this site (§11).
+type execJob struct {
+	job       *Job
+	g         *dag.Graph
+	taskSites map[dag.TaskID]graph.NodeID
+	// reservations holds this site's slots (non-preemptive) or the current
+	// completion estimates (preemptive).
+	reservations map[dag.TaskID]schedule.Reservation
+	// arrived marks received cross-site results per (predecessor, consumer)
+	// edge: with data volumes, each edge's transfer completes separately.
+	arrived   map[[2]dag.TaskID]bool
+	completed map[dag.TaskID]bool
+	timers    []simnet.CancelFunc
+	cancelled bool
+}
+
+func newSite(id graph.NodeID, c *Cluster) *Site {
+	var plan schedule.Plan
+	if c.cfg.Preemptive {
+		plan = schedule.NewPreemptive()
+	} else {
+		plan = schedule.NewNonPreemptive()
+	}
+	s := &Site{
+		id:            id,
+		cluster:       c,
+		plan:          plan,
+		power:         c.cfg.power(int(id)),
+		lockedBy:      noLock,
+		memberTickets: make(map[string]map[int]*schedule.Ticket),
+		txns:          make(map[string]*txn),
+		exec:          make(map[string]*execJob),
+	}
+	rounds := routing.RoundsForRadius(c.cfg.Radius)
+	s.rnode = routing.NewNode(id, c.topo.Neighbors(id), rounds,
+		func(to graph.NodeID, p simnet.Payload) {
+			if err := c.tr.Send(id, to, p); err != nil {
+				panic(err)
+			}
+		},
+		func(t *routing.Table) {
+			s.table = t
+			for _, m := range t.Sphere(c.cfg.Radius) {
+				if m != id {
+					s.pcs = append(s.pcs, m)
+				}
+			}
+			s.sphereDiam = t.SphereDelayDiameter(c.cfg.Radius)
+		},
+	)
+	return s
+}
+
+// handle is the single transport entry point.
+func (s *Site) handle(from graph.NodeID, p simnet.Payload) {
+	switch m := p.(type) {
+	case routing.TableMsg:
+		s.rnode.HandleTable(from, m)
+	case Routed:
+		if m.Dest != s.id {
+			s.forward(m)
+			return
+		}
+		s.dispatch(m.Src, m.Inner)
+	default:
+		panic(fmt.Sprintf("core: site %d got unwrapped payload %q", s.id, p.Kind()))
+	}
+}
+
+func (s *Site) dispatch(src graph.NodeID, p simnet.Payload) {
+	switch m := p.(type) {
+	case enrollReq:
+		s.onEnroll(src, m)
+	case enrollAck:
+		s.onEnrollAck(m)
+	case validateReq:
+		s.onValidate(m)
+	case validateAck:
+		s.onValidateAck(m)
+	case commitMsg:
+		s.onCommit(m)
+	case commitAck:
+		s.onCommitAck(m)
+	case unlockMsg:
+		s.onUnlock(m)
+	case resultMsg:
+		s.onResult(m)
+	case doneMsg:
+		s.onDone(m)
+	default:
+		panic(fmt.Sprintf("core: site %d got unknown payload %q", s.id, p.Kind()))
+	}
+}
+
+// sendTo routes a payload toward dest along next hops.
+func (s *Site) sendTo(dest graph.NodeID, p simnet.Payload) {
+	if dest == s.id {
+		s.dispatch(s.id, p)
+		return
+	}
+	s.forward(Routed{Src: s.id, Dest: dest, TTL: 4*s.cluster.cfg.Radius + 8, Inner: p})
+}
+
+func (s *Site) forward(m Routed) {
+	if m.TTL <= 0 {
+		panic(fmt.Sprintf("core: TTL exhausted forwarding %q from %d to %d at %d",
+			m.Inner.Kind(), m.Src, m.Dest, s.id))
+	}
+	m.TTL--
+	nh, ok := s.table.NextHop(m.Dest)
+	if !ok {
+		panic(fmt.Sprintf("core: site %d has no route to %d for %q", s.id, m.Dest, m.Inner.Kind()))
+	}
+	if err := s.cluster.tr.Send(s.id, nh, m); err != nil {
+		panic(err)
+	}
+}
+
+func (s *Site) now() float64 { return s.cluster.tr.Now() }
+
+// ---------------------------------------------------------------------------
+// Locking (§8)
+
+func (s *Site) locked() bool { return s.lockedBy != noLock }
+
+func (s *Site) lock(owner graph.NodeID, job string) {
+	if s.locked() {
+		panic(fmt.Sprintf("core: site %d double lock (%d then %d)", s.id, s.lockedBy, owner))
+	}
+	s.lockedBy = owner
+	s.lockJob = job
+}
+
+// unlock releases the lock and replays work deferred while locked. A single
+// pass over a snapshot avoids livelock when replayed items defer themselves
+// again.
+func (s *Site) unlock() {
+	s.lockedBy = noLock
+	s.lockJob = ""
+	pending := s.deferred
+	s.deferred = nil
+	for _, fn := range pending {
+		fn()
+	}
+}
+
+func (s *Site) deferWork(fn func()) { s.deferred = append(s.deferred, fn) }
+
+// ---------------------------------------------------------------------------
+// Job arrival and the local guarantee test (§5)
+
+// jobArrives is the entry point for a job submitted at this site.
+func (s *Site) jobArrives(job *Job) {
+	if s.locked() {
+		s.cluster.event(s.id, job.ID, EvDeferred, fmt.Sprintf("locked by %d", s.lockedBy))
+		s.deferWork(func() { s.jobArrives(job) })
+		return
+	}
+	s.cluster.event(s.id, job.ID, EvArrival, "")
+	if tk, ok := s.localTest(job); ok {
+		if err := s.plan.Commit(tk); err != nil {
+			panic(fmt.Sprintf("core: unlocked local commit failed: %v", err))
+		}
+		s.cluster.event(s.id, job.ID, EvLocalOK, "")
+		s.cluster.recordDecision(job, AcceptedLocal, "", s.now())
+		job.NumProcs = 1
+		allLocal := make(map[dag.TaskID]graph.NodeID, job.Graph.Len())
+		for _, id := range job.Graph.TaskIDs() {
+			allLocal[id] = s.id
+		}
+		s.beginExecution(job, allLocal, tk)
+		return
+	}
+	if s.cluster.cfg.LocalOnly {
+		s.cluster.recordDecision(job, Rejected, StageLocalOnly, s.now())
+		return
+	}
+	if len(s.pcs) == 0 {
+		s.cluster.recordDecision(job, Rejected, StageNoSphere, s.now())
+		return
+	}
+	s.startTxn(job)
+}
+
+// localTest tries to schedule the entire DAG in the gaps of this site's
+// plan before the job deadline, placing tasks in the §12 priority order and
+// deriving each release from its predecessors' completions.
+func (s *Site) localTest(job *Job) (*schedule.Ticket, bool) {
+	sess := s.plan.NewSession(s.now())
+	g := job.Graph
+	for _, id := range g.PriorityOrder() {
+		rel := job.Arrival
+		if n := s.now(); n > rel {
+			rel = n
+		}
+		for _, p := range g.Predecessors(id) {
+			c, ok := sess.Completion(int(p))
+			if !ok {
+				panic("core: predecessor not placed before successor")
+			}
+			if c > rel {
+				rel = c
+			}
+		}
+		req := schedule.Request{
+			Job:      job.ID,
+			Task:     int(id),
+			Release:  rel,
+			Deadline: job.AbsDeadline,
+			Duration: g.Complexity(id) / s.power,
+		}
+		if _, ok := sess.Place(req); !ok {
+			return nil, false
+		}
+	}
+	return sess.Ticket(), true
+}
+
+// ---------------------------------------------------------------------------
+// Initiator: enrollment (§8)
+
+func (s *Site) startTxn(job *Job) {
+	s.cluster.event(s.id, job.ID, EvEnroll, fmt.Sprintf("pcs=%d", len(s.pcs)))
+	s.lock(s.id, job.ID)
+	t := &txn{
+		job:      job,
+		phase:    phaseEnrolling,
+		expected: s.pcs,
+		acks:     make(map[graph.NodeID]enrollAck),
+	}
+	s.txns[job.ID] = t
+	for _, m := range s.pcs {
+		s.sendTo(m, enrollReq{Job: job.ID, Initiator: s.id})
+	}
+	timeout := 2*s.sphereDiam + s.cluster.cfg.EnrollSlack
+	t.cancelTimer = s.cluster.tr.After(s.id, timeout, func() { s.enrollDone(t) })
+}
+
+// onEnroll handles an enrollment request at a member (§8): lock for the
+// initiator and report surplus, power and the distance vector; defer if
+// already locked.
+func (s *Site) onEnroll(src graph.NodeID, m enrollReq) {
+	if s.locked() {
+		s.deferWork(func() { s.onEnroll(src, m) })
+		return
+	}
+	s.lock(m.Initiator, m.Job)
+	var dists []distEntry
+	for _, dest := range s.table.Destinations() {
+		if dest == s.id {
+			continue
+		}
+		dists = append(dists, distEntry{Dest: dest, Dist: s.table.Dist(dest)})
+	}
+	s.sendTo(m.Initiator, enrollAck{
+		Job:     m.Job,
+		Member:  s.id,
+		Surplus: s.plan.Surplus(s.now(), s.cluster.cfg.SurplusWindow),
+		Power:   s.power,
+		Dists:   dists,
+	})
+}
+
+// onEnrollAck collects members at the initiator. Acks for finished
+// transactions (stragglers that were deferred past the enrollment window)
+// get an immediate unlock so the member is not stranded.
+func (s *Site) onEnrollAck(m enrollAck) {
+	t, ok := s.txns[m.Job]
+	if !ok || t.phase != phaseEnrolling {
+		s.sendTo(m.Member, unlockMsg{Job: m.Job})
+		return
+	}
+	t.acks[m.Member] = m
+	if len(t.acks) == len(t.expected) {
+		if t.cancelTimer != nil {
+			t.cancelTimer()
+		}
+		s.enrollDone(t)
+	}
+}
+
+// enrollDone closes the enrollment window: the ACS is fixed (§8) and the
+// mapper runs (§9, §12).
+func (s *Site) enrollDone(t *txn) {
+	if t.phase != phaseEnrolling {
+		return
+	}
+	t.phase = phaseValidating
+	job := t.job
+
+	t.acs = make([]graph.NodeID, 0, len(t.acks))
+	for m := range t.acks {
+		t.acs = append(t.acs, m)
+	}
+	sort.Slice(t.acs, func(i, j int) bool { return t.acs[i] < t.acs[j] })
+	job.ACSSize = len(t.acs) + 1 // initiator included
+	s.cluster.event(s.id, job.ID, EvACSFixed, fmt.Sprintf("acs=%d", job.ACSSize))
+
+	omega := s.acsDiameter(t)
+	procs := s.acsProcs(t)
+	rEff := s.now() + s.cluster.cfg.ReleasePadFactor*omega
+	tm, err := mapper.Build(job.Graph, procs, omega, rEff, job.AbsDeadline, mapper.Options{
+		Heuristic:  s.cluster.cfg.Heuristic,
+		LaxityMode: s.cluster.cfg.LaxityMode,
+		Throughput: s.cluster.cfg.Throughput,
+	})
+	if err != nil {
+		s.finishTxn(t, Rejected, StageMapper)
+		return
+	}
+	t.tm = tm
+	job.NumProcs = tm.NumProcs()
+	s.cluster.event(s.id, job.ID, EvMapped,
+		fmt.Sprintf("procs=%d case=%s M=%.3g M*=%.3g", tm.NumProcs(), tm.Case, tm.Makespan, tm.IdealMakespan))
+
+	// Broadcast M in the ACS (§10); endorse locally in place.
+	windows := make([][]mapper.TaskWindow, tm.NumProcs())
+	for i := range windows {
+		windows[i] = tm.Tasks(job.Graph, i)
+	}
+	t.endorse = make(map[graph.NodeID][]int)
+	t.awaitAcks = make(map[graph.NodeID]bool)
+	for _, m := range t.acs {
+		t.awaitAcks[m] = true
+		s.sendTo(m, validateReq{Job: job.ID, Initiator: s.id, NumProcs: tm.NumProcs(), Windows: windows})
+	}
+	t.endorse[s.id] = s.endorsable(job.ID, windows)
+	if len(t.awaitAcks) == 0 {
+		s.finishValidation(t)
+	}
+}
+
+// acsDiameter computes ω: the largest pairwise known delay among ACS
+// members (initiator included), from the initiator's own table plus the
+// enrollees' distance vectors (DESIGN.md §6.3).
+func (s *Site) acsDiameter(t *txn) float64 {
+	members := append([]graph.NodeID{s.id}, t.acs...)
+	inACS := make(map[graph.NodeID]bool, len(members))
+	for _, m := range members {
+		inACS[m] = true
+	}
+	var omega float64
+	consider := func(d float64) {
+		if !math.IsInf(d, 1) && d > omega {
+			omega = d
+		}
+	}
+	for _, m := range t.acs {
+		consider(s.table.Dist(m))
+		for _, e := range t.acks[m].Dists {
+			if inACS[e.Dest] {
+				consider(e.Dist)
+			}
+		}
+	}
+	return omega
+}
+
+// acsProcs builds the mapper input: ACS members with surpluses in
+// descending order (§9). The initiator contributes its own current surplus;
+// with UseLocalKnowledge it measures itself over the job's actual window
+// (§13), which its own plan lets it do exactly.
+func (s *Site) acsProcs(t *txn) []mapper.ProcInfo {
+	selfWindow := s.cluster.cfg.SurplusWindow
+	if s.cluster.cfg.UseLocalKnowledge {
+		if w := t.job.AbsDeadline - s.now(); w > 1e-6 {
+			selfWindow = w
+		}
+	}
+	procs := make([]mapper.ProcInfo, 0, len(t.acs)+1)
+	procs = append(procs, mapper.ProcInfo{
+		Site:    s.id,
+		Surplus: clampSurplus(s.plan.Surplus(s.now(), selfWindow)),
+		Power:   s.power,
+	})
+	for _, m := range t.acs {
+		a := t.acks[m]
+		procs = append(procs, mapper.ProcInfo{Site: m, Surplus: clampSurplus(a.Surplus), Power: a.Power})
+	}
+	sort.SliceStable(procs, func(i, j int) bool {
+		if procs[i].Surplus != procs[j].Surplus {
+			return procs[i].Surplus > procs[j].Surplus
+		}
+		return procs[i].Site < procs[j].Site
+	})
+	return procs
+}
+
+// clampSurplus keeps a measured surplus inside the mapper's (0, 1] domain:
+// a fully booked site still has an arbitrarily small surplus, not zero.
+func clampSurplus(v float64) float64 {
+	const floor = 1e-3
+	if v < floor {
+		return floor
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// endorsable computes which logical processors this site can endorse (§10)
+// and caches the admission tickets for a later commit.
+func (s *Site) endorsable(jobID string, windows [][]mapper.TaskWindow) []int {
+	tickets := make(map[int]*schedule.Ticket)
+	var ok []int
+	for i, wins := range windows {
+		reqs := make([]schedule.Request, len(wins))
+		for k, w := range wins {
+			reqs[k] = schedule.Request{
+				Job:      jobID,
+				Task:     int(w.Task),
+				Release:  w.Release,
+				Deadline: w.Deadline,
+				Duration: w.Complexity / s.power,
+			}
+		}
+		if tk, admitted := s.plan.Admit(s.now(), reqs); admitted {
+			tickets[i] = tk
+			ok = append(ok, i)
+		}
+	}
+	s.memberTickets[jobID] = tickets
+	return ok
+}
+
+// onValidate handles the mapping broadcast at a member (§10).
+func (s *Site) onValidate(m validateReq) {
+	if s.lockedBy != m.Initiator || s.lockJob != m.Job {
+		// Defensive: the lock should always match (validation is only sent
+		// to enrolled members), but an empty endorsement keeps the initiator
+		// from waiting forever if it ever does not.
+		s.sendTo(m.Initiator, validateAck{Job: m.Job, Member: s.id})
+		return
+	}
+	end := s.endorsable(m.Job, m.Windows)
+	s.sendTo(m.Initiator, validateAck{Job: m.Job, Member: s.id, Endorsable: end})
+}
+
+// onValidateAck collects endorsements at the initiator; when all ACS members
+// have answered it computes the maximum coupling (§10).
+func (s *Site) onValidateAck(m validateAck) {
+	t, ok := s.txns[m.Job]
+	if !ok || t.phase != phaseValidating || !t.awaitAcks[m.Member] {
+		return
+	}
+	delete(t.awaitAcks, m.Member)
+	t.endorse[m.Member] = m.Endorsable
+	if len(t.awaitAcks) == 0 {
+		s.finishValidation(t)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+)
+
+// volumeJob: two parallel producers feeding a consumer over heavy edges.
+func volumeJob(t testing.TB, vol float64) *dag.Graph {
+	t.Helper()
+	g, err := dag.NewBuilder("vol").
+		AddTask(1, 8).AddTask(2, 8).AddTask(3, 4).
+		AddDataEdge(1, 3, vol).
+		AddDataEdge(2, 3, vol).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestDataVolumesEndToEnd runs the §13 data-volume model through the whole
+// protocol: distribution must still be causally sound (results now take
+// volume/throughput longer) and accepted jobs must meet their deadlines.
+func TestDataVolumesEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Throughput = 2 // volume 4 => 2 extra time units per transfer
+	c := mustCluster(t, fastLine(3), cfg)
+	// Serial work 20 > deadline 18 forces distribution; with transfers the
+	// consumer needs pred finish + vol/th + path, all inside the window.
+	job, err := c.Submit(0, 0, volumeJob(t, 4), 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, c)
+	if job.Outcome != AcceptedDistributed {
+		t.Fatalf("outcome %v/%s, want accepted-distributed", job.Outcome, job.RejectStage)
+	}
+	if !job.MetDeadline() {
+		t.Fatalf("job missed deadline: done=%v at %v (d=%v)", job.Done, job.CompletedAt, job.AbsDeadline)
+	}
+	// Result messages carry the volume in their size accounting.
+	kinds := c.Stats().ByKind()
+	if kinds["rtds.result"] == 0 {
+		t.Fatal("no result messages despite cross-site edges")
+	}
+}
+
+// TestDataVolumesTightenAdmission: the same job that fits with fast links
+// must be rejected when transfers are slow enough to blow the window —
+// the mapper's ω + vol/throughput over-estimate at work.
+func TestDataVolumesTightenAdmission(t *testing.T) {
+	fast := DefaultConfig()
+	fast.Throughput = 100 // transfers nearly free
+	cFast := mustCluster(t, fastLine(3), fast)
+	jFast, _ := cFast.Submit(0, 0, volumeJob(t, 40), 18)
+	runAll(t, cFast)
+	if jFast.Outcome != AcceptedDistributed {
+		t.Fatalf("fast-transfer job: %v/%s", jFast.Outcome, jFast.RejectStage)
+	}
+
+	slow := DefaultConfig()
+	slow.Throughput = 0.5 // volume 40 => 80 extra units per transfer
+	cSlow := mustCluster(t, fastLine(3), slow)
+	jSlow, _ := cSlow.Submit(0, 0, volumeJob(t, 40), 18)
+	runAll(t, cSlow)
+	if jSlow.Outcome != Rejected {
+		t.Fatalf("slow-transfer job: %v, want rejected", jSlow.Outcome)
+	}
+}
+
+// TestVolumesIgnoredWithoutThroughput: with Throughput 0 the decorated DAG
+// behaves exactly like the base model.
+func TestVolumesIgnoredWithoutThroughput(t *testing.T) {
+	c := mustCluster(t, fastLine(3), DefaultConfig())
+	job, _ := c.Submit(0, 0, volumeJob(t, 1e9), 18)
+	runAll(t, c)
+	if job.Outcome != AcceptedDistributed {
+		t.Fatalf("outcome %v/%s, want accepted (volumes off)", job.Outcome, job.RejectStage)
+	}
+}

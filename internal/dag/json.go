@@ -1,0 +1,66 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonGraph is the interchange form of a job graph.
+type jsonGraph struct {
+	Name     string     `json:"name"`
+	Release  float64    `json:"release,omitempty"`
+	Deadline float64    `json:"deadline,omitempty"`
+	Tasks    []jsonTask `json:"tasks"`
+	Edges    []jsonEdge `json:"edges"`
+}
+
+type jsonTask struct {
+	ID         TaskID  `json:"id"`
+	Complexity float64 `json:"complexity"`
+	Label      string  `json:"label,omitempty"`
+}
+
+type jsonEdge struct {
+	From   TaskID  `json:"from"`
+	To     TaskID  `json:"to"`
+	Volume float64 `json:"volume,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with a stable, human-editable
+// schema: tasks and edges in increasing ID order.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	out := jsonGraph{
+		Name:     g.Name,
+		Release:  g.Release,
+		Deadline: g.Deadline,
+	}
+	for _, t := range g.tasks {
+		out.Tasks = append(out.Tasks, jsonTask{ID: t.ID, Complexity: t.Complexity, Label: t.Label})
+	}
+	for _, t := range g.tasks {
+		for _, s := range g.Successors(t.ID) {
+			out.Edges = append(out.Edges, jsonEdge{
+				From: t.ID, To: s, Volume: g.EdgeVolume(t.ID, s),
+			})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalGraph parses the JSON form produced by MarshalJSON, running the
+// full builder validation (acyclicity, duplicate detection, positive
+// complexities).
+func UnmarshalGraph(data []byte) (*Graph, error) {
+	var in jsonGraph
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("dag: %w", err)
+	}
+	b := NewBuilder(in.Name).SetWindow(in.Release, in.Deadline)
+	for _, t := range in.Tasks {
+		b.AddLabeledTask(t.ID, t.Complexity, t.Label)
+	}
+	for _, e := range in.Edges {
+		b.AddDataEdge(e.From, e.To, e.Volume)
+	}
+	return b.Build()
+}

@@ -1,0 +1,89 @@
+package dag
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := NewBuilder("rt").
+		SetWindow(5, 99).
+		AddLabeledTask(1, 6, "src").
+		AddTask(2, 4).
+		AddTask(3, 2.5).
+		AddEdge(1, 2).
+		AddDataEdge(2, 3, 7.5).
+		MustBuild()
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalGraph(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "rt" || back.Release != 5 || back.Deadline != 99 {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	if back.Len() != 3 || back.NumEdges() != 2 {
+		t.Fatalf("shape lost: %d tasks, %d edges", back.Len(), back.NumEdges())
+	}
+	if tk, _ := back.Task(1); tk.Label != "src" || tk.Complexity != 6 {
+		t.Fatalf("task 1 lost: %+v", tk)
+	}
+	if v := back.EdgeVolume(2, 3); v != 7.5 {
+		t.Fatalf("volume lost: %v", v)
+	}
+	if v := back.EdgeVolume(1, 2); v != 0 {
+		t.Fatalf("phantom volume: %v", v)
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{not json`,
+		`{"name":"x","tasks":[],"edges":[]}`, // empty job
+		`{"name":"x","tasks":[{"id":1,"complexity":1}],"edges":[{"from":1,"to":1}]}`,                                           // self-loop
+		`{"name":"x","tasks":[{"id":1,"complexity":-2}],"edges":[]}`,                                                           // bad complexity
+		`{"name":"x","tasks":[{"id":1,"complexity":1},{"id":2,"complexity":1}],"edges":[{"from":1,"to":2},{"from":2,"to":1}]}`, // cycle
+	}
+	for i, c := range cases {
+		if _, err := UnmarshalGraph([]byte(c)); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+// Property: marshal→unmarshal preserves structure and priorities for random
+// DAGs.
+func TestPropertyJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 2+rng.Intn(15))
+		data, err := json.Marshal(g)
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalGraph(data)
+		if err != nil {
+			return false
+		}
+		if back.Len() != g.Len() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for _, id := range g.TaskIDs() {
+			if back.Complexity(id) != g.Complexity(id) {
+				return false
+			}
+			if back.BottomLevel(id) != g.BottomLevel(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,413 @@
+// Package daggen generates task graphs of the shapes conventionally used to
+// evaluate DAG schedulers: random layered graphs, fork-join, in/out-trees,
+// diamonds (stencils), series-parallel graphs, and the classic structured
+// kernels (Gaussian elimination, FFT butterflies, LU decomposition).
+//
+// All generators are deterministic given their seed, so experiments are
+// reproducible bit-for-bit.
+package daggen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+)
+
+// Params controls task complexities.
+type Params struct {
+	MinComplexity float64 // default 1
+	MaxComplexity float64 // default 10
+}
+
+func (p Params) normalized() Params {
+	if p.MinComplexity <= 0 {
+		p.MinComplexity = 1
+	}
+	if p.MaxComplexity < p.MinComplexity {
+		p.MaxComplexity = p.MinComplexity
+	}
+	return p
+}
+
+func (p Params) draw(rng *rand.Rand) float64 {
+	p = p.normalized()
+	if p.MaxComplexity == p.MinComplexity {
+		return p.MinComplexity
+	}
+	return p.MinComplexity + rng.Float64()*(p.MaxComplexity-p.MinComplexity)
+}
+
+// Layered generates the standard random layered DAG: `layers` layers with
+// 1..maxWidth tasks each; every task has at least one predecessor in the
+// previous layer (so depth is exactly `layers`), plus random extra edges to
+// earlier layers with probability edgeProb.
+func Layered(layers, maxWidth int, edgeProb float64, p Params, seed int64) *dag.Graph {
+	if layers < 1 || maxWidth < 1 {
+		panic("daggen: Layered needs layers, maxWidth >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder(fmt.Sprintf("layered-L%d-W%d-s%d", layers, maxWidth, seed))
+	var layerTasks [][]dag.TaskID
+	next := dag.TaskID(1)
+	for l := 0; l < layers; l++ {
+		width := 1 + rng.Intn(maxWidth)
+		var ids []dag.TaskID
+		for w := 0; w < width; w++ {
+			b.AddTask(next, p.draw(rng))
+			ids = append(ids, next)
+			next++
+		}
+		layerTasks = append(layerTasks, ids)
+	}
+	for l := 1; l < layers; l++ {
+		prev := layerTasks[l-1]
+		for _, id := range layerTasks[l] {
+			// Guaranteed predecessor keeps the depth tight.
+			anchor := prev[rng.Intn(len(prev))]
+			b.AddEdge(anchor, id)
+			// Extra edges from any earlier layer.
+			for e := 0; e < l; e++ {
+				for _, from := range layerTasks[e] {
+					if from == anchor {
+						continue
+					}
+					if rng.Float64() < edgeProb {
+						b.AddEdge(from, id)
+					}
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// ForkJoin generates fanout parallel branches of `depth` chained tasks
+// between a fork task and a join task.
+func ForkJoin(fanout, depth int, p Params, seed int64) *dag.Graph {
+	if fanout < 1 || depth < 1 {
+		panic("daggen: ForkJoin needs fanout, depth >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder(fmt.Sprintf("forkjoin-F%d-D%d-s%d", fanout, depth, seed))
+	fork := dag.TaskID(1)
+	b.AddLabeledTask(fork, p.draw(rng), "fork")
+	next := dag.TaskID(2)
+	var lasts []dag.TaskID
+	for f := 0; f < fanout; f++ {
+		prev := fork
+		for d := 0; d < depth; d++ {
+			b.AddTask(next, p.draw(rng))
+			b.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+		lasts = append(lasts, prev)
+	}
+	join := next
+	b.AddLabeledTask(join, p.draw(rng), "join")
+	for _, l := range lasts {
+		b.AddEdge(l, join)
+	}
+	return b.MustBuild()
+}
+
+// OutTree generates a complete `arity`-ary tree of the given depth with
+// edges pointing away from the root (task 1). depth 0 is a single task.
+func OutTree(arity, depth int, p Params, seed int64) *dag.Graph {
+	return tree(arity, depth, p, seed, false)
+}
+
+// InTree is OutTree with all edges reversed: leaves feed a single sink.
+// Typical of reductions.
+func InTree(arity, depth int, p Params, seed int64) *dag.Graph {
+	return tree(arity, depth, p, seed, true)
+}
+
+func tree(arity, depth int, p Params, seed int64, reversed bool) *dag.Graph {
+	if arity < 2 || depth < 0 {
+		panic("daggen: tree needs arity >= 2, depth >= 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	kind := "outtree"
+	if reversed {
+		kind = "intree"
+	}
+	b := dag.NewBuilder(fmt.Sprintf("%s-A%d-D%d-s%d", kind, arity, depth, seed))
+	// Count nodes: (arity^(depth+1)-1)/(arity-1)
+	total := 1
+	pow := 1
+	for d := 0; d < depth; d++ {
+		pow *= arity
+		total += pow
+	}
+	for i := 1; i <= total; i++ {
+		b.AddTask(dag.TaskID(i), p.draw(rng))
+	}
+	// Heap-style indexing: children of node i are arity*(i-1)+2 .. arity*(i-1)+1+arity.
+	for i := 1; i <= total; i++ {
+		for c := 0; c < arity; c++ {
+			child := arity*(i-1) + 2 + c
+			if child > total {
+				break
+			}
+			if reversed {
+				b.AddEdge(dag.TaskID(child), dag.TaskID(i))
+			} else {
+				b.AddEdge(dag.TaskID(i), dag.TaskID(child))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Diamond generates an n x n diamond (wavefront/stencil) DAG: task (i,j)
+// precedes (i+1,j) and (i,j+1).
+func Diamond(n int, p Params, seed int64) *dag.Graph {
+	if n < 1 {
+		panic("daggen: Diamond needs n >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder(fmt.Sprintf("diamond-%dx%d-s%d", n, n, seed))
+	id := func(i, j int) dag.TaskID { return dag.TaskID(i*n + j + 1) }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.AddTask(id(i, j), p.draw(rng))
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i+1 < n {
+				b.AddEdge(id(i, j), id(i+1, j))
+			}
+			if j+1 < n {
+				b.AddEdge(id(i, j), id(i, j+1))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// GaussianElimination generates the task graph of Gaussian elimination on an
+// n x n matrix: for each pivot k, a pivot task followed by update tasks for
+// columns k+1..n-1, each feeding the next pivot round. This is the shape
+// used throughout the DAG-scheduling literature (e.g. Sih & Lee).
+func GaussianElimination(n int, p Params, seed int64) *dag.Graph {
+	if n < 2 {
+		panic("daggen: GaussianElimination needs n >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder(fmt.Sprintf("gauss-%d-s%d", n, seed))
+	next := dag.TaskID(1)
+	// pivot[k] task then updates u(k, j) for j in k+1..n-1.
+	pivots := make([]dag.TaskID, n-1)
+	updates := make([][]dag.TaskID, n-1)
+	for k := 0; k < n-1; k++ {
+		pivots[k] = next
+		b.AddLabeledTask(next, p.draw(rng), fmt.Sprintf("piv%d", k))
+		next++
+		for j := k + 1; j < n; j++ {
+			b.AddLabeledTask(next, p.draw(rng), fmt.Sprintf("upd%d_%d", k, j))
+			updates[k] = append(updates[k], next)
+			next++
+		}
+	}
+	for k := 0; k < n-1; k++ {
+		for _, u := range updates[k] {
+			b.AddEdge(pivots[k], u)
+		}
+		if k+1 < n-1 {
+			// Column k+1's update feeds the next pivot; all of round k's
+			// updates feed the matching update of round k+1.
+			b.AddEdge(updates[k][0], pivots[k+1])
+			for idx := 1; idx < len(updates[k]); idx++ {
+				b.AddEdge(updates[k][idx], updates[k+1][idx-1])
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// FFT generates the m-point FFT butterfly graph (m must be a power of two):
+// log2(m) ranks of m tasks, where task (r+1, i) depends on (r, i) and
+// (r, i XOR 2^r), preceded by an input rank.
+func FFT(m int, p Params, seed int64) *dag.Graph {
+	if m < 2 || m&(m-1) != 0 {
+		panic("daggen: FFT needs a power-of-two size >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder(fmt.Sprintf("fft-%d-s%d", m, seed))
+	ranks := 0
+	for s := m; s > 1; s >>= 1 {
+		ranks++
+	}
+	id := func(r, i int) dag.TaskID { return dag.TaskID(r*m + i + 1) }
+	for r := 0; r <= ranks; r++ {
+		for i := 0; i < m; i++ {
+			b.AddTask(id(r, i), p.draw(rng))
+		}
+	}
+	for r := 0; r < ranks; r++ {
+		for i := 0; i < m; i++ {
+			b.AddEdge(id(r, i), id(r+1, i))
+			b.AddEdge(id(r, i), id(r+1, i^(1<<r)))
+		}
+	}
+	return b.MustBuild()
+}
+
+// SeriesParallel generates a random series-parallel DAG by recursive
+// composition down to single tasks.
+func SeriesParallel(size int, p Params, seed int64) *dag.Graph {
+	if size < 1 {
+		panic("daggen: SeriesParallel needs size >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder(fmt.Sprintf("sp-%d-s%d", size, seed))
+	next := dag.TaskID(1)
+	newTask := func() dag.TaskID {
+		id := next
+		b.AddTask(id, p.draw(rng))
+		next++
+		return id
+	}
+	// build returns (entry tasks, exit tasks) of a component of ~n tasks.
+	var build func(n int) ([]dag.TaskID, []dag.TaskID)
+	build = func(n int) ([]dag.TaskID, []dag.TaskID) {
+		if n <= 1 {
+			id := newTask()
+			return []dag.TaskID{id}, []dag.TaskID{id}
+		}
+		left := 1 + rng.Intn(n-1)
+		if rng.Intn(2) == 0 { // series
+			e1, x1 := build(left)
+			e2, x2 := build(n - left)
+			for _, x := range x1 {
+				for _, e := range e2 {
+					b.AddEdge(x, e)
+				}
+			}
+			return e1, x2
+		}
+		// parallel
+		e1, x1 := build(left)
+		e2, x2 := build(n - left)
+		return append(e1, e2...), append(x1, x2...)
+	}
+	build(size)
+	return b.MustBuild()
+}
+
+// Chain generates a linear chain of n tasks — the degenerate DAG with zero
+// parallelism, useful as a boundary case.
+func Chain(n int, p Params, seed int64) *dag.Graph {
+	if n < 1 {
+		panic("daggen: Chain needs n >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder(fmt.Sprintf("chain-%d-s%d", n, seed))
+	for i := 1; i <= n; i++ {
+		b.AddTask(dag.TaskID(i), p.draw(rng))
+		if i > 1 {
+			b.AddEdge(dag.TaskID(i-1), dag.TaskID(i))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Independent generates n tasks with no precedence at all — the workload of
+// the earlier independent-task literature ([10], [5]); boundary case for the
+// mapper.
+func Independent(n int, p Params, seed int64) *dag.Graph {
+	if n < 1 {
+		panic("daggen: Independent needs n >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder(fmt.Sprintf("indep-%d-s%d", n, seed))
+	for i := 1; i <= n; i++ {
+		b.AddTask(dag.TaskID(i), p.draw(rng))
+	}
+	return b.MustBuild()
+}
+
+// Kind names a generator family for config-driven workloads.
+type Kind string
+
+const (
+	KindLayered  Kind = "layered"
+	KindForkJoin Kind = "forkjoin"
+	KindOutTree  Kind = "outtree"
+	KindInTree   Kind = "intree"
+	KindDiamond  Kind = "diamond"
+	KindGauss    Kind = "gauss"
+	KindFFT      Kind = "fft"
+	KindSP       Kind = "seriesparallel"
+	KindChain    Kind = "chain"
+	KindIndep    Kind = "independent"
+)
+
+// AllKinds lists every generator family, in a fixed order.
+var AllKinds = []Kind{KindLayered, KindForkJoin, KindOutTree, KindInTree,
+	KindDiamond, KindGauss, KindFFT, KindSP, KindChain, KindIndep}
+
+// Generate builds a DAG of the given kind with roughly `size` tasks.
+func Generate(kind Kind, size int, p Params, seed int64) (*dag.Graph, error) {
+	if size < 1 {
+		size = 1
+	}
+	switch kind {
+	case KindLayered:
+		layers := max(2, size/3)
+		return Layered(layers, 3, 0.2, p, seed), nil
+	case KindForkJoin:
+		fan := max(2, (size-2)/2)
+		return ForkJoin(fan, 2, p, seed), nil
+	case KindOutTree:
+		depth := 1
+		for nodes := 3; nodes < size; nodes = nodes*2 + 1 {
+			depth++
+		}
+		return OutTree(2, depth, p, seed), nil
+	case KindInTree:
+		depth := 1
+		for nodes := 3; nodes < size; nodes = nodes*2 + 1 {
+			depth++
+		}
+		return InTree(2, depth, p, seed), nil
+	case KindDiamond:
+		side := 2
+		for side*side < size {
+			side++
+		}
+		return Diamond(side, p, seed), nil
+	case KindGauss:
+		n := 2
+		for n*n/2 < size {
+			n++
+		}
+		return GaussianElimination(n, p, seed), nil
+	case KindFFT:
+		m := 2
+		for (m*(log2(m)+1)) < size && m < 1<<16 {
+			m *= 2
+		}
+		return FFT(m, p, seed), nil
+	case KindSP:
+		return SeriesParallel(size, p, seed), nil
+	case KindChain:
+		return Chain(size, p, seed), nil
+	case KindIndep:
+		return Independent(size, p, seed), nil
+	default:
+		return nil, fmt.Errorf("daggen: unknown kind %q", kind)
+	}
+}
+
+func log2(m int) int {
+	r := 0
+	for m > 1 {
+		m >>= 1
+		r++
+	}
+	return r
+}

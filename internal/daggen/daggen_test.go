@@ -1,0 +1,198 @@
+package daggen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+)
+
+func TestLayeredDepth(t *testing.T) {
+	g := Layered(6, 4, 0.3, Params{}, 1)
+	// Depth (longest chain in tasks) must be exactly the layer count because
+	// every task in layer l has a predecessor in layer l-1.
+	longest := make(map[dag.TaskID]int)
+	depth := 0
+	for _, id := range g.TopologicalOrder() {
+		best := 0
+		for _, p := range g.Predecessors(id) {
+			if longest[p] > best {
+				best = longest[p]
+			}
+		}
+		longest[id] = best + 1
+		if longest[id] > depth {
+			depth = longest[id]
+		}
+	}
+	if depth != 6 {
+		t.Fatalf("layered depth %d, want 6", depth)
+	}
+}
+
+func TestForkJoinShape(t *testing.T) {
+	g := ForkJoin(4, 3, Params{}, 1)
+	if g.Len() != 4*3+2 {
+		t.Fatalf("size %d, want 14", g.Len())
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatalf("fork-join must have one source and one sink: %v %v", g.Sources(), g.Sinks())
+	}
+	if got := len(g.Successors(g.Sources()[0])); got != 4 {
+		t.Fatalf("fork fanout %d, want 4", got)
+	}
+	if got := len(g.Predecessors(g.Sinks()[0])); got != 4 {
+		t.Fatalf("join fanin %d, want 4", got)
+	}
+	if w := g.Width(); w != 4 {
+		t.Fatalf("width %d, want 4", w)
+	}
+}
+
+func TestTreeShapes(t *testing.T) {
+	out := OutTree(2, 3, Params{}, 1)
+	if out.Len() != 15 {
+		t.Fatalf("binary out-tree depth 3: %d nodes, want 15", out.Len())
+	}
+	if len(out.Sources()) != 1 || len(out.Sinks()) != 8 {
+		t.Fatalf("out-tree sources/sinks = %d/%d, want 1/8", len(out.Sources()), len(out.Sinks()))
+	}
+	in := InTree(2, 3, Params{}, 1)
+	if len(in.Sources()) != 8 || len(in.Sinks()) != 1 {
+		t.Fatalf("in-tree sources/sinks = %d/%d, want 8/1", len(in.Sources()), len(in.Sinks()))
+	}
+}
+
+func TestDiamondShape(t *testing.T) {
+	g := Diamond(4, Params{}, 1)
+	if g.Len() != 16 {
+		t.Fatalf("size %d, want 16", g.Len())
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatal("diamond must have single source and sink")
+	}
+	// Longest chain has 2n-1 tasks.
+	path := g.CriticalPath()
+	if len(path) != 7 {
+		t.Fatalf("diamond critical path %d tasks, want 7", len(path))
+	}
+}
+
+func TestGaussianEliminationShape(t *testing.T) {
+	g := GaussianElimination(4, Params{}, 1)
+	// pivots: 3; updates: 3+2+1 = 6 → 9 tasks.
+	if g.Len() != 9 {
+		t.Fatalf("size %d, want 9", g.Len())
+	}
+	// Sequential depth: piv0, upd0_1, piv1, upd1_2, piv2, upd2_3 → 6 tasks.
+	if len(g.CriticalPath()) != 6 {
+		t.Fatalf("critical path %d tasks, want 6", len(g.CriticalPath()))
+	}
+}
+
+func TestFFTShape(t *testing.T) {
+	g := FFT(8, Params{}, 1)
+	// (log2(8)+1) ranks of 8 = 32 tasks; each non-final rank task has 2 succ.
+	if g.Len() != 32 {
+		t.Fatalf("size %d, want 32", g.Len())
+	}
+	if g.NumEdges() != 3*8*2 {
+		t.Fatalf("edges %d, want 48", g.NumEdges())
+	}
+	if len(g.Sources()) != 8 || len(g.Sinks()) != 8 {
+		t.Fatal("FFT must have m sources and m sinks")
+	}
+}
+
+func TestChainAndIndependent(t *testing.T) {
+	c := Chain(5, Params{}, 1)
+	if c.Width() != 1 || len(c.CriticalPath()) != 5 {
+		t.Fatalf("chain: width %d, cp %d", c.Width(), len(c.CriticalPath()))
+	}
+	ind := Independent(5, Params{}, 1)
+	if ind.NumEdges() != 0 || ind.Width() != 5 {
+		t.Fatalf("independent: edges %d, width %d", ind.NumEdges(), ind.Width())
+	}
+}
+
+func TestSeriesParallel(t *testing.T) {
+	g := SeriesParallel(20, Params{}, 3)
+	if g.Len() != 20 {
+		t.Fatalf("size %d, want 20", g.Len())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, k := range AllKinds {
+		a, err := Generate(k, 25, Params{MinComplexity: 1, MaxComplexity: 9}, 11)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		b, err := Generate(k, 25, Params{MinComplexity: 1, MaxComplexity: 9}, 11)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if a.Len() != b.Len() || a.NumEdges() != b.NumEdges() {
+			t.Fatalf("%s: same seed, different shape", k)
+		}
+		for _, id := range a.TaskIDs() {
+			if a.Complexity(id) != b.Complexity(id) {
+				t.Fatalf("%s: same seed, different complexity at %d", k, id)
+			}
+		}
+	}
+	if _, err := Generate("bogus", 10, Params{}, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// Property: every generator yields a valid DAG (builder enforces acyclicity)
+// with complexities inside the configured range and roughly requested size.
+func TestPropertyGeneratorsWellFormed(t *testing.T) {
+	f := func(seed int64, pick uint8, rawSize uint8) bool {
+		k := AllKinds[int(pick)%len(AllKinds)]
+		size := 1 + int(rawSize)%40
+		p := Params{MinComplexity: 2, MaxComplexity: 5}
+		g, err := Generate(k, size, p, seed)
+		if err != nil {
+			return false
+		}
+		if g.Len() < 1 {
+			return false
+		}
+		for _, task := range g.Tasks() {
+			if task.Complexity < 2 || task.Complexity > 5 {
+				return false
+			}
+		}
+		// A valid topological order exists and covers all tasks.
+		return len(g.TopologicalOrder()) == g.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: generated sizes are within a reasonable factor of the request
+// for the size-controllable kinds.
+func TestPropertySizesReasonable(t *testing.T) {
+	for _, k := range []Kind{KindSP, KindChain, KindIndep} {
+		for size := 1; size <= 64; size *= 2 {
+			g, err := Generate(k, size, Params{}, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Len() != size {
+				t.Fatalf("%s size %d: got %d tasks", k, size, g.Len())
+			}
+		}
+	}
+}
+
+var sinkGraph *dag.Graph
+
+func BenchmarkGenerateLayered100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkGraph = Layered(33, 3, 0.2, Params{}, int64(i))
+	}
+}

@@ -1,0 +1,123 @@
+// Package experiments contains one driver per artifact the repository
+// reproduces: the paper's worked example (Fig. 2–4 and Table 1, the only
+// quantitative artifacts in the paper) and the synthetic evaluation suite
+// E1–E10 catalogued in DESIGN.md §4.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dag"
+	"repro/internal/mapper"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// PaperExampleDAG builds the Fig. 2 task graph as reverse-engineered in
+// DESIGN.md §3: tasks 1..5 with c = (6, 4, 4, 2, 5) and edges
+// {1→3, 2→3, 1→4, 3→5, 4→5}.
+func PaperExampleDAG() *dag.Graph {
+	return dag.NewBuilder("paper-fig2").
+		SetWindow(0, 66).
+		AddTask(1, 6).AddTask(2, 4).AddTask(3, 4).AddTask(4, 2).AddTask(5, 5).
+		AddEdge(1, 3).AddEdge(2, 3).AddEdge(1, 4).AddEdge(3, 5).AddEdge(4, 5).
+		MustBuild()
+}
+
+// PaperResult bundles the reproduction of the paper's §12 example.
+type PaperResult struct {
+	Graph      *dag.Graph
+	Mapping    *mapper.TrialMapping
+	GanttS     string // Fig. 3 rendering
+	GanttSStar string // Fig. 4 rendering
+	Table1     *metrics.Table
+}
+
+// PaperExample reproduces §12.1–12.2: the mapper runs on the Fig. 2 DAG
+// with surpluses I1 = 0.5, I2 = 0.4, ACS delay diameter ω = 3, release 0
+// and deadline 66.
+func PaperExample() (*PaperResult, error) {
+	g := PaperExampleDAG()
+	procs := []mapper.ProcInfo{{Site: 1, Surplus: 0.5}, {Site: 2, Surplus: 0.4}}
+	m, err := mapper.Build(g, procs, 3, 0, 66, mapper.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: paper example mapping failed: %w", err)
+	}
+	res := &PaperResult{Graph: g, Mapping: m}
+
+	var spansS, spansStar []trace.Span
+	for _, id := range g.TaskIDs() {
+		a := m.Assign[id]
+		row := fmt.Sprintf("p%d", a.Proc+1)
+		label := fmt.Sprintf("t%d", id)
+		spansS = append(spansS, trace.Span{Row: row, Label: label, Start: a.Start, End: a.Finish})
+		spansStar = append(spansStar, trace.Span{Row: row, Label: label, Start: a.IdealStart, End: a.IdealFinish})
+	}
+	res.GanttS = trace.Gantt(fmt.Sprintf("Fig. 3 — schedule S computed by the Mapper (M = %g)", m.Makespan), spansS, 66)
+	res.GanttSStar = trace.Gantt(fmt.Sprintf("Fig. 4 — schedule S* at 100%% surplus (M* = %g)", m.IdealMakespan), spansStar, 66)
+
+	tbl := metrics.NewTable("Table 1 — adjusted r(ti) and d(ti)", "ti", "ri", "di", "r(ti)", "d(ti)")
+	for _, id := range g.TaskIDs() {
+		a := m.Assign[id]
+		tbl.AddRow(int(id), a.Start, a.Finish, m.Release[id], m.Deadline[id])
+	}
+	res.Table1 = tbl
+	return res, nil
+}
+
+// paperExpectations pins every number the paper reports for the example.
+var paperExpectations = struct {
+	s, sStar map[dag.TaskID][2]float64
+	rd       map[dag.TaskID][2]float64
+	m, mStar float64
+}{
+	s: map[dag.TaskID][2]float64{
+		1: {0, 12}, 2: {0, 10}, 3: {13, 21}, 4: {15, 20}, 5: {23, 33},
+	},
+	sStar: map[dag.TaskID][2]float64{
+		1: {0, 6}, 2: {0, 4}, 3: {7, 11}, 4: {9, 11}, 5: {14, 19},
+	},
+	rd: map[dag.TaskID][2]float64{
+		1: {0, 24}, 2: {0, 20}, 3: {24, 42}, 4: {27, 40}, 5: {43, 66},
+	},
+	m: 33, mStar: 19,
+}
+
+// VerifyPaperExample checks the reproduction against the paper's published
+// numbers (Figs. 3–4, Table 1, M = 33, M* = 19, scaling factor 2). It
+// returns nil when every value matches exactly.
+func VerifyPaperExample(r *PaperResult) error {
+	const eps = 1e-9
+	m := r.Mapping
+	if math.Abs(m.Makespan-paperExpectations.m) > eps {
+		return fmt.Errorf("M = %v, paper reports 33", m.Makespan)
+	}
+	if math.Abs(m.IdealMakespan-paperExpectations.mStar) > eps {
+		return fmt.Errorf("M* = %v, paper reports 19", m.IdealMakespan)
+	}
+	if m.Case != mapper.CaseScale {
+		return fmt.Errorf("adjustment case %v, paper's example is case (ii)", m.Case)
+	}
+	for id, w := range paperExpectations.s {
+		a := m.Assign[id]
+		if math.Abs(a.Start-w[0]) > eps || math.Abs(a.Finish-w[1]) > eps {
+			return fmt.Errorf("S(t%d) = [%v,%v], paper reports [%v,%v]", id, a.Start, a.Finish, w[0], w[1])
+		}
+	}
+	for id, w := range paperExpectations.sStar {
+		a := m.Assign[id]
+		if math.Abs(a.IdealStart-w[0]) > eps || math.Abs(a.IdealFinish-w[1]) > eps {
+			return fmt.Errorf("S*(t%d) = [%v,%v], paper reports [%v,%v]", id, a.IdealStart, a.IdealFinish, w[0], w[1])
+		}
+	}
+	for id, w := range paperExpectations.rd {
+		if math.Abs(m.Release[id]-w[0]) > eps {
+			return fmt.Errorf("r(t%d) = %v, Table 1 reports %v", id, m.Release[id], w[0])
+		}
+		if math.Abs(m.Deadline[id]-w[1]) > eps {
+			return fmt.Errorf("d(t%d) = %v, Table 1 reports %v", id, m.Deadline[id], w[1])
+		}
+	}
+	return nil
+}

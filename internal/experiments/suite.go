@@ -1,0 +1,547 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/daggen"
+	"repro/internal/graph"
+	"repro/internal/mapper"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Size selects experiment scale: quick sizes for tests, full sizes for the
+// benchmark harness and cmd/rtds-bench.
+type Size int
+
+const (
+	// Quick shrinks networks and horizons so the whole suite runs in
+	// seconds; trends remain visible but noisier.
+	Quick Size = iota
+	// Full is the EXPERIMENTS.md configuration.
+	Full
+)
+
+func (s Size) sites() int {
+	if s == Quick {
+		return 16
+	}
+	return 32
+}
+
+func (s Size) horizon() float64 {
+	if s == Quick {
+		return 150
+	}
+	return 400
+}
+
+// stdDelays are the link delays used throughout the suite: small relative
+// to task durations (0.5–5), as in a loosely coupled LAN/WAN where protocol
+// latency matters but does not dominate execution.
+var stdDelays = graph.DelayRange{Min: 0.05, Max: 0.3}
+
+// stdSpec is the common workload shape; callers override rate/tightness.
+func stdSpec(sites int, horizon float64, seed int64) workload.Spec {
+	return workload.Spec{
+		Sites:       sites,
+		Horizon:     horizon,
+		RatePerSite: 0.02,
+		TaskSize:    8,
+		Params:      daggen.Params{MinComplexity: 0.5, MaxComplexity: 5},
+		Tightness:   2.5,
+		Seed:        seed,
+	}
+}
+
+// runRTDS drives a full cluster run over an arrival sequence.
+func runRTDS(topo *graph.Graph, cfg core.Config, arrivals []workload.Arrival) (core.Summary, error) {
+	c, err := core.NewCluster(topo, cfg)
+	if err != nil {
+		return core.Summary{}, err
+	}
+	for _, a := range arrivals {
+		if _, err := c.Submit(a.At, a.Origin, a.Graph, a.Deadline); err != nil {
+			return core.Summary{}, err
+		}
+	}
+	if err := c.Run(); err != nil {
+		return core.Summary{}, err
+	}
+	if v := c.Violations(); len(v) > 0 {
+		return core.Summary{}, fmt.Errorf("experiments: causality violations: %v", v[0])
+	}
+	return c.Summarize(), nil
+}
+
+// runFAB drives the focused addressing + bidding baseline.
+func runFAB(topo *graph.Graph, horizon float64, arrivals []workload.Arrival) (ratio, msgsPerJob float64, err error) {
+	c, err := baseline.NewCluster(topo, baseline.DefaultConfig(horizon))
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, a := range arrivals {
+		if _, err := c.Submit(a.At, a.Origin, a.Graph, a.Deadline); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := c.Run(); err != nil {
+		return 0, 0, err
+	}
+	n := len(c.Jobs())
+	if n == 0 {
+		return 0, 0, nil
+	}
+	return c.GuaranteeRatio(), float64(c.Stats().Messages()) / float64(n), nil
+}
+
+// spreadCfg is the standard RTDS configuration of the suite.
+func spreadCfg() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Radius = 3
+	return cfg
+}
+
+// broadcastCfg makes the sphere cover the whole network: the
+// BroadcastSphere baseline (no locality limit).
+func broadcastCfg(topo *graph.Graph) core.Config {
+	cfg := core.DefaultConfig()
+	// Hop diameter bound: any connected graph's diameter < N.
+	cfg.Radius = topo.Len()
+	return cfg
+}
+
+// arrivalsForLoad draws a workload whose offered load approximates `load`.
+func arrivalsForLoad(spec workload.Spec, load float64) ([]workload.Arrival, error) {
+	work := workload.ExpectedWorkPerJob(spec, 200)
+	spec.RatePerSite = workload.RateForLoad(load, work)
+	return workload.Generate(spec)
+}
+
+// E1GuaranteeVsLoad: guarantee ratio as offered load grows, RTDS vs
+// LocalOnly vs BroadcastSphere vs Focused-Addressing/Bidding.
+func E1GuaranteeVsLoad(size Size, seed int64) (*metrics.Table, error) {
+	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
+	tbl := metrics.NewTable(
+		fmt.Sprintf("E1 — guarantee ratio vs offered load (%d sites, h=3, tightness 2.5)", size.sites()),
+		"load", "oracle", "rtds", "local-only", "broadcast", "fa-bidding")
+	for _, load := range []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2} {
+		spec := stdSpec(size.sites(), size.horizon(), seed+int64(load*100))
+		arrivals, err := arrivalsForLoad(spec, load)
+		if err != nil {
+			return nil, err
+		}
+		rtds, err := runRTDS(topo, spreadCfg(), arrivals)
+		if err != nil {
+			return nil, err
+		}
+		localCfg := core.DefaultConfig()
+		localCfg.LocalOnly = true
+		local, err := runRTDS(topo, localCfg, arrivals)
+		if err != nil {
+			return nil, err
+		}
+		bcast, err := runRTDS(topo, broadcastCfg(topo), arrivals)
+		if err != nil {
+			return nil, err
+		}
+		fabRatio, _, err := runFAB(topo, size.horizon(), arrivals)
+		if err != nil {
+			return nil, err
+		}
+		// Clairvoyant centralized upper bound: exact global knowledge, zero
+		// protocol latency and message cost.
+		oracle := baseline.NewOracle(topo)
+		for _, a := range arrivals {
+			oracle.Submit(a.At, a.Origin, a.Graph, a.Deadline)
+		}
+		tbl.AddRow(load, oracle.GuaranteeRatio(), rtds.GuaranteeRatio,
+			local.GuaranteeRatio, bcast.GuaranteeRatio, fabRatio)
+	}
+	return tbl, nil
+}
+
+// E2MessagesVsNetworkSize: communication cost per job as the network grows —
+// the paper's central claim: spheres keep traffic bounded while broadcast
+// schemes scale with N.
+func E2MessagesVsNetworkSize(size Size, seed int64) (*metrics.Table, error) {
+	sizes := []int{8, 16, 32}
+	if size == Full {
+		sizes = []int{8, 16, 32, 64, 128}
+	}
+	tbl := metrics.NewTable(
+		"E2 — messages per job vs network size (load 0.6, h=2)",
+		"sites", "rtds msgs/job", "broadcast msgs/job", "fa-bidding msgs/job", "rtds ratio", "broadcast ratio")
+	for _, n := range sizes {
+		topo := graph.RandomConnected(n, 3, stdDelays, seed+int64(n))
+		spec := stdSpec(n, size.horizon(), seed+int64(n))
+		arrivals, err := arrivalsForLoad(spec, 0.6)
+		if err != nil {
+			return nil, err
+		}
+		// h=2 keeps the sphere well below the network size at every point
+		// of the sweep, which is the regime the paper's locality argument
+		// addresses.
+		localityCfg := spreadCfg()
+		localityCfg.Radius = 2
+		rtds, err := runRTDS(topo, localityCfg, arrivals)
+		if err != nil {
+			return nil, err
+		}
+		bcast, err := runRTDS(topo, broadcastCfg(topo), arrivals)
+		if err != nil {
+			return nil, err
+		}
+		_, fabMsgs, err := runFAB(topo, size.horizon(), arrivals)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(n, rtds.MessagesPerJob, bcast.MessagesPerJob, fabMsgs,
+			rtds.GuaranteeRatio, bcast.GuaranteeRatio)
+	}
+	return tbl, nil
+}
+
+// E3SphereRadius: the locality trade-off of the Computing Sphere concept.
+func E3SphereRadius(size Size, seed int64) (*metrics.Table, error) {
+	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
+	spec := stdSpec(size.sites(), size.horizon(), seed)
+	arrivals, err := arrivalsForLoad(spec, 0.8)
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable(
+		fmt.Sprintf("E3 — sphere radius trade-off (%d sites, load 0.8)", size.sites()),
+		"h", "ratio", "msgs/job", "mean ACS", "bootstrap msgs")
+	for h := 1; h <= 5; h++ {
+		cfg := core.DefaultConfig()
+		cfg.Radius = h
+		c, err := core.NewCluster(topo, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range arrivals {
+			if _, err := c.Submit(a.At, a.Origin, a.Graph, a.Deadline); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.Run(); err != nil {
+			return nil, err
+		}
+		if v := c.Violations(); len(v) > 0 {
+			return nil, fmt.Errorf("violations at h=%d: %v", h, v[0])
+		}
+		sum := c.Summarize()
+		bootMsgs, _ := c.BootstrapCost()
+		tbl.AddRow(h, sum.GuaranteeRatio, sum.MessagesPerJob, sum.MeanACSSize, bootMsgs)
+	}
+	return tbl, nil
+}
+
+// E4DeadlineTightness: admission quality of the window adjustment
+// (eqs. 3–5) as deadlines tighten.
+func E4DeadlineTightness(size Size, seed int64) (*metrics.Table, error) {
+	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
+	tbl := metrics.NewTable(
+		fmt.Sprintf("E4 — guarantee ratio vs deadline tightness (%d sites, load 0.6)", size.sites()),
+		"tightness", "rtds", "local-only")
+	for _, tight := range []float64{1.2, 1.5, 2, 3, 4, 6} {
+		spec := stdSpec(size.sites(), size.horizon(), seed+int64(tight*10))
+		spec.Tightness = tight
+		arrivals, err := arrivalsForLoad(spec, 0.6)
+		if err != nil {
+			return nil, err
+		}
+		rtds, err := runRTDS(topo, spreadCfg(), arrivals)
+		if err != nil {
+			return nil, err
+		}
+		localCfg := core.DefaultConfig()
+		localCfg.LocalOnly = true
+		local, err := runRTDS(topo, localCfg, arrivals)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(tight, rtds.GuaranteeRatio, local.GuaranteeRatio)
+	}
+	return tbl, nil
+}
+
+// E5LaxityDispatch: §13's busyness-weighted laxity scattering vs the
+// uniform ℓ of §12.2. The policy only acts in case (iii), so this
+// experiment drives the mapper directly on windows forced between M* and M
+// and measures (a) how often the adjusted windows stay self-consistent and
+// (b) how much slack tasks on the busiest processor receive — the quantity
+// the weighted variant is designed to increase.
+func E5LaxityDispatch(size Size, seed int64) (*metrics.Table, error) {
+	trials := 300
+	if size == Full {
+		trials = 2000
+	}
+	procs := []mapper.ProcInfo{
+		{Site: 0, Surplus: 0.9},
+		{Site: 1, Surplus: 0.6},
+		{Site: 2, Surplus: 0.25},
+	}
+	busiest := 2 // index of the lowest-surplus processor
+	tbl := metrics.NewTable(
+		fmt.Sprintf("E5 — laxity dispatching in case (iii), %d random DAGs", trials),
+		"mode", "case-iii", "consistent", "busy-proc slack", "idle-proc slack")
+	for _, mode := range []mapper.LaxityMode{mapper.LaxityUniform, mapper.LaxityBusynessWeighted} {
+		caseIII, consistent := 0, 0
+		var busySlack, idleSlack metrics.Sample
+		for trial := 0; trial < trials; trial++ {
+			g := daggen.Layered(4+trial%4, 3, 0.25,
+				daggen.Params{MinComplexity: 1, MaxComplexity: 6}, seed+int64(trial))
+			// Probe with a loose window to learn M and M*.
+			probe, err := mapper.Build(g, procs, 1, 0, 1e9, mapper.Options{LaxityMode: mode})
+			if err != nil {
+				continue
+			}
+			if probe.Makespan <= probe.IdealMakespan+1e-9 {
+				continue // cases (ii) and (iii) coincide, nothing to measure
+			}
+			// Force case (iii): window strictly between M* and M.
+			d := probe.IdealMakespan + 0.6*(probe.Makespan-probe.IdealMakespan)
+			m, err := mapper.Build(g, procs, 1, 0, d, mapper.Options{LaxityMode: mode})
+			if err != nil {
+				if err == mapper.ErrInconsistentWindows {
+					caseIII++
+				}
+				continue
+			}
+			if m.Case != mapper.CaseLaxity {
+				continue
+			}
+			caseIII++
+			consistent++
+			for _, id := range g.TaskIDs() {
+				a := m.Assign[id]
+				slack := (m.Deadline[id] - m.Release[id]) - (a.IdealFinish - a.IdealStart)
+				if m.Procs[a.Proc].Site == procs[busiest].Site {
+					busySlack.Add(slack)
+				} else {
+					idleSlack.Add(slack)
+				}
+			}
+		}
+		rate := 0.0
+		if caseIII > 0 {
+			rate = float64(consistent) / float64(caseIII)
+		}
+		tbl.AddRow(mode.String(), caseIII, rate, busySlack.Mean(), idleSlack.Mean())
+	}
+	return tbl, nil
+}
+
+// E6UniformMachines: the §13 related-machines extension — heterogeneous
+// computing powers with the same aggregate capacity.
+func E6UniformMachines(size Size, seed int64) (*metrics.Table, error) {
+	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
+	spec := stdSpec(size.sites(), size.horizon(), seed)
+	arrivals, err := arrivalsForLoad(spec, 0.7)
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable(
+		"E6 — identical vs uniform (related) machines, equal aggregate capacity",
+		"machines", "ratio", "accepted-dist")
+
+	identical, err := runRTDS(topo, spreadCfg(), arrivals)
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddRow("identical", identical.GuaranteeRatio, identical.AcceptedDistributed)
+
+	// Heterogeneous powers in [0.5, 1.5], normalized to mean 1.
+	rng := rand.New(rand.NewSource(seed + 7))
+	powers := make([]float64, size.sites())
+	var sum float64
+	for i := range powers {
+		powers[i] = 0.5 + rng.Float64()
+		sum += powers[i]
+	}
+	for i := range powers {
+		powers[i] *= float64(len(powers)) / sum
+	}
+	cfg := spreadCfg()
+	cfg.Powers = powers
+	hetero, err := runRTDS(topo, cfg, arrivals)
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddRow("uniform(0.5-1.5x)", hetero.GuaranteeRatio, hetero.AcceptedDistributed)
+	return tbl, nil
+}
+
+// E7Preemption: the §13 preemptive case against the non-preemptive default.
+func E7Preemption(size Size, seed int64) (*metrics.Table, error) {
+	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
+	spec := stdSpec(size.sites(), size.horizon(), seed)
+	spec.Tightness = 1.8
+	arrivals, err := arrivalsForLoad(spec, 0.8)
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable(
+		"E7 — preemptive vs non-preemptive local scheduler (tightness 1.8, load 0.8)",
+		"scheduler", "ratio", "accepted-local", "accepted-dist")
+	for _, pre := range []bool{false, true} {
+		cfg := spreadCfg()
+		cfg.Preemptive = pre
+		sum, err := runRTDS(topo, cfg, arrivals)
+		if err != nil {
+			return nil, err
+		}
+		name := "non-preemptive"
+		if pre {
+			name = "preemptive-EDF"
+		}
+		tbl.AddRow(name, sum.GuaranteeRatio, sum.AcceptedLocal, sum.AcceptedDistributed)
+	}
+	return tbl, nil
+}
+
+// E8MapperHeuristics: §9 says "almost any heuristic can be adapted"; this
+// ablation compares the paper's CP-EFT instance with two naive selectors.
+func E8MapperHeuristics(size Size, seed int64) (*metrics.Table, error) {
+	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
+	spec := stdSpec(size.sites(), size.horizon(), seed)
+	arrivals, err := arrivalsForLoad(spec, 0.8)
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable(
+		"E8 — mapper heuristic ablation (load 0.8)",
+		"heuristic", "ratio", "accepted-dist", "msgs/job")
+	for _, h := range []mapper.Heuristic{mapper.HeuristicCPEFT, mapper.HeuristicMinMin,
+		mapper.HeuristicBestSurplus, mapper.HeuristicRoundRobin} {
+		cfg := spreadCfg()
+		cfg.Heuristic = h
+		sum, err := runRTDS(topo, cfg, arrivals)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(h.String(), sum.GuaranteeRatio, sum.AcceptedDistributed, sum.MessagesPerJob)
+	}
+	return tbl, nil
+}
+
+// E11DataVolumes: the §13 data-volume extension — guarantee ratio as
+// transfers become more expensive relative to computation. Every DAG edge
+// carries a volume; the x axis is the mean transfer time vol/throughput in
+// units of mean task duration.
+func E11DataVolumes(size Size, seed int64) (*metrics.Table, error) {
+	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
+	tbl := metrics.NewTable(
+		fmt.Sprintf("E11 — data volumes (%d sites, load 0.6): transfer cost vs guarantee ratio", size.sites()),
+		"transfer/compute", "ratio", "accepted-dist", "bytes/job")
+	for _, ccr := range []float64{0, 0.25, 0.5, 1, 2} {
+		spec := stdSpec(size.sites(), size.horizon(), seed+int64(ccr*100))
+		arrivals, err := arrivalsForLoad(spec, 0.6)
+		if err != nil {
+			return nil, err
+		}
+		// Decorate every job's edges with volumes so that, at throughput 1,
+		// the mean transfer time is ccr x the mean task complexity.
+		meanC := (spec.Params.MinComplexity + spec.Params.MaxComplexity) / 2
+		decorated := make([]workload.Arrival, len(arrivals))
+		for i, a := range arrivals {
+			decorated[i] = a
+			decorated[i].Graph = withVolumes(a.Graph, ccr*meanC, seed+int64(i))
+		}
+		cfg := spreadCfg()
+		if ccr > 0 {
+			cfg.Throughput = 1
+		}
+		sum, err := runRTDS(topo, cfg, decorated)
+		if err != nil {
+			return nil, err
+		}
+		bytesPerJob := 0.0
+		if sum.Submitted > 0 {
+			bytesPerJob = float64(sum.Bytes) / float64(sum.Submitted)
+		}
+		tbl.AddRow(ccr, sum.GuaranteeRatio, sum.AcceptedDistributed, bytesPerJob)
+	}
+	return tbl, nil
+}
+
+// withVolumes rebuilds a DAG with every edge carrying a volume drawn
+// uniformly from [0.5, 1.5] x meanVol.
+func withVolumes(g *dag.Graph, meanVol float64, seed int64) *dag.Graph {
+	if meanVol <= 0 {
+		return g
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder(g.Name + "+vol")
+	for _, t := range g.Tasks() {
+		b.AddLabeledTask(t.ID, t.Complexity, t.Label)
+	}
+	for _, id := range g.TaskIDs() {
+		for _, s := range g.Successors(id) {
+			b.AddDataEdge(id, s, meanVol*(0.5+rng.Float64()))
+		}
+	}
+	return b.MustBuild()
+}
+
+// E9PCSConstruction: the one-time cost of the interrupted distance-vector
+// bootstrap (§7) as a function of radius and network size.
+func E9PCSConstruction(size Size, seed int64) (*metrics.Table, error) {
+	sizes := []int{16, 32}
+	if size == Full {
+		sizes = []int{16, 32, 64, 128}
+	}
+	tbl := metrics.NewTable(
+		"E9 — PCS construction cost (messages = rounds × 2|E|)",
+		"sites", "h", "rounds", "messages", "bytes", "mean sphere")
+	for _, n := range sizes {
+		topo := graph.RandomConnected(n, 3, stdDelays, seed+int64(n))
+		for _, h := range []int{1, 2, 3, 4} {
+			cfg := core.DefaultConfig()
+			cfg.Radius = h
+			c, err := core.NewCluster(topo, cfg)
+			if err != nil {
+				return nil, err
+			}
+			msgs, bytes := c.BootstrapCost()
+			var sphereSum float64
+			for id := 0; id < n; id++ {
+				sphereSum += float64(len(c.SiteSphere(graph.NodeID(id))))
+			}
+			tbl.AddRow(n, h, 2*h-1, msgs, bytes, sphereSum/float64(n))
+		}
+	}
+	return tbl, nil
+}
+
+// All runs the entire suite (paper example first) and returns the tables in
+// a stable order.
+func All(size Size, seed int64) ([]*metrics.Table, error) {
+	var tables []*metrics.Table
+	paper, err := PaperExample()
+	if err != nil {
+		return nil, err
+	}
+	if err := VerifyPaperExample(paper); err != nil {
+		return nil, fmt.Errorf("paper example mismatch: %w", err)
+	}
+	tables = append(tables, paper.Table1)
+	for _, run := range []func(Size, int64) (*metrics.Table, error){
+		E1GuaranteeVsLoad, E2MessagesVsNetworkSize, E3SphereRadius,
+		E4DeadlineTightness, E5LaxityDispatch, E6UniformMachines,
+		E7Preemption, E8MapperHeuristics, E9PCSConstruction, E11DataVolumes,
+	} {
+		t, err := run(size, seed)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

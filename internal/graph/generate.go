@@ -1,0 +1,326 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DelayRange describes how link delays are drawn by the generators.
+type DelayRange struct {
+	Min, Max float64
+}
+
+// Uniform draws a delay uniformly from [Min, Max].
+func (r DelayRange) draw(rng *rand.Rand) float64 {
+	if r.Min <= 0 {
+		r.Min = 1
+	}
+	if r.Max < r.Min {
+		r.Max = r.Min
+	}
+	if r.Max == r.Min {
+		return r.Min
+	}
+	return r.Min + rng.Float64()*(r.Max-r.Min)
+}
+
+// UnitDelay assigns delay 1 to every link.
+var UnitDelay = DelayRange{Min: 1, Max: 1}
+
+// Ring returns a cycle of n >= 3 nodes.
+func Ring(n int, delays DelayRange, seed int64) *Graph {
+	if n < 3 {
+		panic("graph: Ring needs n >= 3")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(NodeID(i), NodeID((i+1)%n), delays.draw(rng))
+	}
+	return g
+}
+
+// Line returns a path of n >= 2 nodes.
+func Line(n int, delays DelayRange, seed int64) *Graph {
+	if n < 2 {
+		panic("graph: Line needs n >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.MustAddEdge(NodeID(i), NodeID(i+1), delays.draw(rng))
+	}
+	return g
+}
+
+// Star returns a star with node 0 at the center.
+func Star(n int, delays DelayRange, seed int64) *Graph {
+	if n < 2 {
+		panic("graph: Star needs n >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, NodeID(i), delays.draw(rng))
+	}
+	return g
+}
+
+// Clique returns the complete graph on n nodes.
+func Clique(n int, delays DelayRange, seed int64) *Graph {
+	if n < 2 {
+		panic("graph: Clique needs n >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(NodeID(i), NodeID(j), delays.draw(rng))
+		}
+	}
+	return g
+}
+
+// Grid returns a rows x cols mesh.
+func Grid(rows, cols int, delays DelayRange, seed int64) *Graph {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		panic("graph: Grid needs at least 2 nodes")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1), delays.draw(rng))
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c), delays.draw(rng))
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns a rows x cols mesh with wraparound links. Needs rows,
+// cols >= 3 so wrap edges do not duplicate mesh edges.
+func Torus(rows, cols int, delays DelayRange, seed int64) *Graph {
+	if rows < 3 || cols < 3 {
+		panic("graph: Torus needs rows, cols >= 3")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.MustAddEdge(id(r, c), id(r, (c+1)%cols), delays.draw(rng))
+			g.MustAddEdge(id(r, c), id((r+1)%rows, c), delays.draw(rng))
+		}
+	}
+	return g
+}
+
+// Hypercube returns the dim-dimensional hypercube (2^dim nodes).
+func Hypercube(dim int, delays DelayRange, seed int64) *Graph {
+	if dim < 1 || dim > 20 {
+		panic("graph: Hypercube dimension out of range [1,20]")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << dim
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < dim; b++ {
+			v := u ^ (1 << b)
+			if u < v {
+				g.MustAddEdge(NodeID(u), NodeID(v), delays.draw(rng))
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labelled tree (random attachment).
+func RandomTree(n int, delays DelayRange, seed int64) *Graph {
+	if n < 2 {
+		panic("graph: RandomTree needs n >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 1; i < n; i++ {
+		parent := NodeID(rng.Intn(i))
+		g.MustAddEdge(parent, NodeID(i), delays.draw(rng))
+	}
+	return g
+}
+
+// RandomConnected returns a connected random graph: a random spanning tree
+// plus extra random edges until the requested average degree is reached.
+// avgDegree must be >= 2*(n-1)/n (the tree's average degree).
+func RandomConnected(n int, avgDegree float64, delays DelayRange, seed int64) *Graph {
+	if n < 2 {
+		panic("graph: RandomConnected needs n >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	// Spanning tree by random attachment over a random permutation, so node 0
+	// is not biased toward the center.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u := NodeID(perm[i])
+		v := NodeID(perm[rng.Intn(i)])
+		g.MustAddEdge(u, v, delays.draw(rng))
+	}
+	wantEdges := int(math.Round(avgDegree * float64(n) / 2))
+	maxEdges := n * (n - 1) / 2
+	if wantEdges > maxEdges {
+		wantEdges = maxEdges
+	}
+	for g.NumEdges() < wantEdges {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, delays.draw(rng))
+	}
+	return g
+}
+
+// RandomGeometric places n nodes uniformly in the unit square and links
+// pairs closer than radius; delay is Euclidean distance scaled into the
+// delay range. If the result is disconnected, nearest components are joined,
+// so the graph is always connected.
+func RandomGeometric(n int, radius float64, delays DelayRange, seed int64) *Graph {
+	if n < 2 {
+		panic("graph: RandomGeometric needs n >= 2")
+	}
+	if radius <= 0 {
+		panic("graph: RandomGeometric needs radius > 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	dist := func(i, j int) float64 {
+		dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+		return math.Hypot(dx, dy)
+	}
+	scale := func(d float64) float64 {
+		// map [0, sqrt2] distance into [Min, Max] delay
+		lo, hi := delays.Min, delays.Max
+		if lo <= 0 {
+			lo = 1
+		}
+		if hi < lo {
+			hi = lo
+		}
+		return lo + d/math.Sqrt2*(hi-lo)
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := dist(i, j); d <= radius {
+				g.MustAddEdge(NodeID(i), NodeID(j), scale(d))
+			}
+		}
+	}
+	// Join components through their closest pair of nodes.
+	for !g.Connected() {
+		comp := components(g)
+		bestD := math.Inf(1)
+		var bi, bj int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if comp[i] != comp[j] {
+					if d := dist(i, j); d < bestD {
+						bestD, bi, bj = d, i, j
+					}
+				}
+			}
+		}
+		g.MustAddEdge(NodeID(bi), NodeID(bj), scale(bestD))
+	}
+	return g
+}
+
+func components(g *Graph) []int {
+	comp := make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	c := 0
+	for s := 0; s < g.n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		stack := []NodeID{NodeID(s)}
+		comp[s] = c
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range g.adj[u] {
+				if comp[e.To] < 0 {
+					comp[e.To] = c
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		c++
+	}
+	return comp
+}
+
+// TopologyKind names a generator for config-driven experiment setup.
+type TopologyKind string
+
+const (
+	TopoRing      TopologyKind = "ring"
+	TopoLine      TopologyKind = "line"
+	TopoStar      TopologyKind = "star"
+	TopoClique    TopologyKind = "clique"
+	TopoGrid      TopologyKind = "grid"
+	TopoTorus     TopologyKind = "torus"
+	TopoHypercube TopologyKind = "hypercube"
+	TopoTree      TopologyKind = "tree"
+	TopoRandom    TopologyKind = "random"
+	TopoGeometric TopologyKind = "geometric"
+)
+
+// Generate builds a topology of the given kind with ~n nodes. Grid/torus use
+// the nearest square; hypercube rounds n down to a power of two.
+func Generate(kind TopologyKind, n int, delays DelayRange, seed int64) (*Graph, error) {
+	switch kind {
+	case TopoRing:
+		return Ring(max(n, 3), delays, seed), nil
+	case TopoLine:
+		return Line(max(n, 2), delays, seed), nil
+	case TopoStar:
+		return Star(max(n, 2), delays, seed), nil
+	case TopoClique:
+		return Clique(max(n, 2), delays, seed), nil
+	case TopoGrid:
+		side := int(math.Max(2, math.Round(math.Sqrt(float64(n)))))
+		return Grid(side, side, delays, seed), nil
+	case TopoTorus:
+		side := int(math.Max(3, math.Round(math.Sqrt(float64(n)))))
+		return Torus(side, side, delays, seed), nil
+	case TopoHypercube:
+		dim := 1
+		for (1 << (dim + 1)) <= n {
+			dim++
+		}
+		return Hypercube(dim, delays, seed), nil
+	case TopoTree:
+		return RandomTree(max(n, 2), delays, seed), nil
+	case TopoRandom:
+		return RandomConnected(max(n, 2), 4, delays, seed), nil
+	case TopoGeometric:
+		return RandomGeometric(max(n, 2), 0.3, delays, seed), nil
+	default:
+		return nil, fmt.Errorf("graph: unknown topology kind %q", kind)
+	}
+}

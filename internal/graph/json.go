@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonTopology is the interchange form of a network topology.
+type jsonTopology struct {
+	Nodes int        `json:"nodes"`
+	Links []jsonLink `json:"links"`
+}
+
+type jsonLink struct {
+	A     NodeID  `json:"a"`
+	B     NodeID  `json:"b"`
+	Delay float64 `json:"delay"`
+}
+
+// MarshalJSON implements json.Marshaler: each undirected link appears once
+// (a < b), sorted.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	out := jsonTopology{Nodes: g.n}
+	for u := NodeID(0); int(u) < g.n; u++ {
+		for _, e := range g.adj[u] {
+			if e.To > u {
+				out.Links = append(out.Links, jsonLink{A: u, B: e.To, Delay: e.Delay})
+			}
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalTopology parses the JSON form produced by MarshalJSON with full
+// validation (no self-loops, duplicates or non-positive delays).
+func UnmarshalTopology(data []byte) (*Graph, error) {
+	var in jsonTopology
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	if in.Nodes < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", in.Nodes)
+	}
+	g := New(in.Nodes)
+	for _, l := range in.Links {
+		if int(l.A) < 0 || int(l.A) >= in.Nodes || int(l.B) < 0 || int(l.B) >= in.Nodes {
+			return nil, fmt.Errorf("graph: link %d—%d out of range", l.A, l.B)
+		}
+		if err := g.AddEdge(l.A, l.B, l.Delay); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

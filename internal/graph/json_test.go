@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologyJSONRoundTrip(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1.5)
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(0, 3, 0.25)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalTopology(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 4 || back.NumEdges() != 3 {
+		t.Fatalf("shape lost: %d nodes %d edges", back.Len(), back.NumEdges())
+	}
+	if d, _ := back.EdgeDelay(3, 0); d != 0.25 {
+		t.Fatalf("delay lost: %v", d)
+	}
+}
+
+func TestUnmarshalTopologyRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{oops`,
+		`{"nodes":-1,"links":[]}`,
+		`{"nodes":2,"links":[{"a":0,"b":5,"delay":1}]}`,
+		`{"nodes":2,"links":[{"a":0,"b":1,"delay":0}]}`,
+		`{"nodes":2,"links":[{"a":0,"b":0,"delay":1}]}`,
+		`{"nodes":2,"links":[{"a":0,"b":1,"delay":1},{"a":1,"b":0,"delay":2}]}`,
+	}
+	for i, c := range cases {
+		if _, err := UnmarshalTopology([]byte(c)); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestPropertyTopologyJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		g := RandomConnected(5+int(seed%10+10)%10, 3, DelayRange{Min: 1, Max: 9}, seed)
+		data, err := json.Marshal(g)
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalTopology(data)
+		if err != nil {
+			return false
+		}
+		if back.Len() != g.Len() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for u := NodeID(0); int(u) < g.Len(); u++ {
+			na, nb := g.Neighbors(u), back.Neighbors(u)
+			if len(na) != len(nb) {
+				return false
+			}
+			for i := range na {
+				if na[i] != nb[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteMaximum computes the maximum matching size by exhaustive search over
+// left-node assignments (exponential; fine for small graphs).
+func bruteMaximum(b *Bipartite) int {
+	usedR := make([]bool, b.right)
+	var rec func(l int) int
+	rec = func(l int) int {
+		if l == b.left {
+			return 0
+		}
+		best := rec(l + 1) // skip l
+		for _, r := range b.adj[l] {
+			if !usedR[r] {
+				usedR[r] = true
+				if v := 1 + rec(l+1); v > best {
+					best = v
+				}
+				usedR[r] = false
+			}
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestEmptyGraph(t *testing.T) {
+	b := NewBipartite(3, 3)
+	res := b.MaximumMatching()
+	if res.Size != 0 {
+		t.Fatalf("size %d, want 0", res.Size)
+	}
+	if res.PerfectOnRight() {
+		t.Fatal("empty matching reported perfect")
+	}
+	res0 := NewBipartite(0, 0).MaximumMatching()
+	if res0.Size != 0 || !res0.PerfectOnRight() {
+		t.Fatal("trivial 0x0 matching should be perfect with size 0")
+	}
+}
+
+func TestSimplePerfect(t *testing.T) {
+	b := NewBipartite(3, 3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(2, 2)
+	res := b.MaximumMatching()
+	if res.Size != 3 || !res.PerfectOnRight() {
+		t.Fatalf("size %d perfect=%v, want 3 true", res.Size, res.PerfectOnRight())
+	}
+	asg := res.RightAssignment()
+	if asg[0] != 1 || asg[1] != 0 || asg[2] != 2 {
+		t.Fatalf("assignment %v", asg)
+	}
+}
+
+func TestAugmentingPathNeeded(t *testing.T) {
+	// Greedy would match 0-0 and leave 1 unmatched; HK must find the
+	// augmenting path 1-0-0-1.
+	b := NewBipartite(2, 2)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	res := b.MaximumMatching()
+	if res.Size != 2 {
+		t.Fatalf("size %d, want 2", res.Size)
+	}
+}
+
+func TestMoreSitesThanProcs(t *testing.T) {
+	// Typical RTDS validation shape: 5 sites, 3 logical processors.
+	b := NewBipartite(5, 3)
+	b.AddEdge(0, 0)
+	b.AddEdge(1, 0)
+	b.AddEdge(2, 1)
+	b.AddEdge(4, 2)
+	res := b.MaximumMatching()
+	if res.Size != 3 || !res.PerfectOnRight() {
+		t.Fatalf("size %d perfect=%v, want 3 true", res.Size, res.PerfectOnRight())
+	}
+	asg := res.RightAssignment()
+	for r, l := range asg {
+		found := false
+		for _, x := range b.adj[l] {
+			if x == r {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("assignment uses non-edge (%d,%d)", l, r)
+		}
+	}
+}
+
+func TestImperfect(t *testing.T) {
+	// Two processors both endorsable only by the same single site.
+	b := NewBipartite(1, 2)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	res := b.MaximumMatching()
+	if res.Size != 1 || res.PerfectOnRight() {
+		t.Fatalf("size %d perfect=%v, want 1 false", res.Size, res.PerfectOnRight())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RightAssignment on imperfect matching did not panic")
+		}
+	}()
+	res.RightAssignment()
+}
+
+func TestDuplicateEdgeIgnored(t *testing.T) {
+	b := NewBipartite(1, 1)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 0)
+	if len(b.adj[0]) != 1 {
+		t.Fatalf("duplicate edge stored: %v", b.adj[0])
+	}
+}
+
+// Property: Hopcroft–Karp matches the exhaustive oracle on random graphs.
+func TestPropertyMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := 1 + rng.Intn(7)
+		r := 1 + rng.Intn(7)
+		b := NewBipartite(l, r)
+		for i := 0; i < l; i++ {
+			for j := 0; j < r; j++ {
+				if rng.Float64() < 0.35 {
+					b.AddEdge(i, j)
+				}
+			}
+		}
+		return b.MaximumMatching().Size == bruteMaximum(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the returned matching is a valid matching (edges exist, no node
+// reused) and MatchL/MatchR are mutually consistent.
+func TestPropertyMatchingValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := 1 + rng.Intn(15)
+		r := 1 + rng.Intn(15)
+		b := NewBipartite(l, r)
+		for i := 0; i < l; i++ {
+			for j := 0; j < r; j++ {
+				if rng.Float64() < 0.25 {
+					b.AddEdge(i, j)
+				}
+			}
+		}
+		res := b.MaximumMatching()
+		count := 0
+		for li, ri := range res.MatchL {
+			if ri == -1 {
+				continue
+			}
+			count++
+			if res.MatchR[ri] != li {
+				return false
+			}
+			found := false
+			for _, x := range b.adj[li] {
+				if x == ri {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return count == res.Size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHopcroftKarp100x100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewBipartite(100, 100)
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 100; j++ {
+			if rng.Float64() < 0.05 {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MaximumMatching()
+	}
+}

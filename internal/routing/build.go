@@ -1,0 +1,94 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Build runs the full distributed PCS construction over a private
+// discrete-event network and returns every site's routing table plus the
+// communication statistics of the construction. rounds is typically
+// RoundsForRadius(h).
+func Build(topo *graph.Graph, rounds int) (map[graph.NodeID]*Table, *simnet.Stats, error) {
+	engine := sim.New()
+	tr := simnet.NewDES(engine, topo)
+	nodes := make(map[graph.NodeID]*Node, topo.Len())
+	tables := make(map[graph.NodeID]*Table, topo.Len())
+	for id := graph.NodeID(0); int(id) < topo.Len(); id++ {
+		id := id
+		nodes[id] = NewNode(id, topo.Neighbors(id), rounds,
+			func(to graph.NodeID, p simnet.Payload) {
+				if err := tr.Send(id, to, p); err != nil {
+					panic(err) // routing only sends to direct neighbors
+				}
+			},
+			func(t *Table) { tables[id] = t },
+		)
+		tr.Attach(id, func(from graph.NodeID, p simnet.Payload) {
+			msg, ok := p.(TableMsg)
+			if !ok {
+				panic(fmt.Sprintf("routing: unexpected payload %q", p.Kind()))
+			}
+			nodes[id].HandleTable(from, msg)
+		})
+	}
+	for id := graph.NodeID(0); int(id) < topo.Len(); id++ {
+		nodes[id].Start()
+	}
+	if err := engine.Run(); err != nil {
+		return nil, nil, fmt.Errorf("routing: construction did not converge: %w", err)
+	}
+	for id := graph.NodeID(0); int(id) < topo.Len(); id++ {
+		if tables[id] == nil {
+			return nil, nil, fmt.Errorf("routing: node %d did not finish after %d rounds", id, rounds)
+		}
+	}
+	return tables, tr.Stats(), nil
+}
+
+// CentralTable is the centralized oracle: it computes, without any message
+// exchange, exactly the table the distributed protocol produces at node k
+// after the given number of rounds — minimum delay over paths of at most
+// rounds+1 edges, minimum hop counts capped the same way, and the
+// deterministic next-hop tie-breaking of Table.merge.
+func CentralTable(topo *graph.Graph, k graph.NodeID, rounds int) *Table {
+	maxEdges := rounds + 1 // start condition covers 1-edge paths
+	// Simulate the synchronous information flow: state[v] after r rounds is
+	// v's table; k's final table is what we want, but computing all nodes'
+	// tables is the straightforward faithful mirror.
+	n := topo.Len()
+	state := make([]*Table, n)
+	for v := 0; v < n; v++ {
+		state[v] = NewTable(graph.NodeID(v), topo.Neighbors(graph.NodeID(v)))
+	}
+	for r := 0; r < rounds; r++ {
+		snaps := make([][]WireRoute, n)
+		for v := 0; v < n; v++ {
+			snaps[v] = state[v].snapshot()
+		}
+		for v := 0; v < n; v++ {
+			for _, e := range topo.Neighbors(graph.NodeID(v)) {
+				state[v].merge(e.To, e.Delay, snaps[e.To])
+			}
+		}
+	}
+	_ = maxEdges
+	return state[k]
+}
+
+// OracleSphere computes the PCS of k (radius h) straight from the topology:
+// all nodes whose BFS hop distance is at most h. Used by tests to validate
+// Table.Sphere.
+func OracleSphere(topo *graph.Graph, k graph.NodeID, h int) []graph.NodeID {
+	hops := topo.HopDistances(k)
+	var out []graph.NodeID
+	for v, d := range hops {
+		if d >= 0 && d <= h {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}

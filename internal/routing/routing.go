@@ -1,0 +1,359 @@
+// Package routing implements the paper's §7: construction of the Potential
+// Computing Sphere (PCS) by a distributed all-pairs shortest-paths algorithm
+// (the distance-vector scheme of Bertsekas–Gallager [2]) organized into
+// synchronous logical phases and *interrupted* after a fixed number of
+// phases to limit network flooding.
+//
+// Counting: a node starts knowing itself and its immediate neighbors — the
+// paper's start condition, equivalent to one completed phase — and each
+// message round extends the set of discovered paths by one edge. After
+// RoundsForRadius(h) = 2h-1 rounds every table holds the minimum delay over
+// paths of at most 2h edges, which is the paper's "algorithm is stopped
+// after 2h phases": every node of the PCS of k (hop-radius h) discovers a
+// path to every other node of that PCS.
+//
+// Each route tracks two metrics: the minimum *delay* (with the first hop of
+// that path, used for forwarding) and the minimum *hop count* over any
+// discovered path (used for sphere membership: "sites up to h hops away").
+// The two differ when edge weights violate the triangle inequality, which
+// the paper explicitly allows.
+package routing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/simnet"
+)
+
+// Route is one routing-table line: <destination, distance, next hop> plus
+// the hop metrics described in the package comment.
+type Route struct {
+	Dest     graph.NodeID
+	Dist     float64      // minimum discovered delay to Dest
+	NextHop  graph.NodeID // first hop of the minimum-delay path
+	PathHops int          // edges on the minimum-delay path
+	MinHops  int          // fewest edges on any discovered path
+}
+
+const distEps = 1e-9
+
+// better reports whether candidate c should replace current r as the
+// min-delay route (deterministic tie-breaking: delay, then path hops, then
+// next-hop ID).
+func (r Route) better(c Route) bool {
+	if c.Dist < r.Dist-distEps {
+		return true
+	}
+	if c.Dist > r.Dist+distEps {
+		return false
+	}
+	if c.PathHops != r.PathHops {
+		return c.PathHops < r.PathHops
+	}
+	return c.NextHop < r.NextHop
+}
+
+// Table is one site's routing table.
+type Table struct {
+	Self   graph.NodeID
+	routes map[graph.NodeID]Route
+}
+
+// NewTable builds a table holding only the start condition: self plus the
+// given immediate neighbors.
+func NewTable(self graph.NodeID, neighbors []graph.Edge) *Table {
+	t := &Table{Self: self, routes: make(map[graph.NodeID]Route, len(neighbors)+1)}
+	t.routes[self] = Route{Dest: self, Dist: 0, NextHop: self, PathHops: 0, MinHops: 0}
+	for _, e := range neighbors {
+		t.routes[e.To] = Route{Dest: e.To, Dist: e.Delay, NextHop: e.To, PathHops: 1, MinHops: 1}
+	}
+	return t
+}
+
+// Route returns the table line for dest.
+func (t *Table) Route(dest graph.NodeID) (Route, bool) {
+	r, ok := t.routes[dest]
+	return r, ok
+}
+
+// Dist returns the known minimum delay to dest, or +Inf.
+func (t *Table) Dist(dest graph.NodeID) float64 {
+	if r, ok := t.routes[dest]; ok {
+		return r.Dist
+	}
+	return math.Inf(1)
+}
+
+// NextHop returns the neighbor to forward to for dest.
+func (t *Table) NextHop(dest graph.NodeID) (graph.NodeID, bool) {
+	r, ok := t.routes[dest]
+	if !ok || dest == t.Self {
+		return 0, false
+	}
+	return r.NextHop, true
+}
+
+// Len reports the number of known destinations (including self).
+func (t *Table) Len() int { return len(t.routes) }
+
+// Destinations lists known destinations in increasing ID order.
+func (t *Table) Destinations() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(t.routes))
+	for d := range t.routes {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Sphere returns the PCS of radius h rooted at this table's node: all known
+// destinations within h hops (self included), sorted by ID.
+func (t *Table) Sphere(h int) []graph.NodeID {
+	var out []graph.NodeID
+	for d, r := range t.routes {
+		if r.MinHops <= h {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SphereDelayDiameter returns the largest known delay from this node to any
+// member of its radius-h sphere — the initiator's over-estimate ω before it
+// has collected the members' own vectors.
+func (t *Table) SphereDelayDiameter(h int) float64 {
+	var diam float64
+	for _, r := range t.routes {
+		if r.MinHops <= h && r.Dist > diam {
+			diam = r.Dist
+		}
+	}
+	return diam
+}
+
+// merge integrates a neighbor's table snapshot received over a link of the
+// given delay. It reports whether anything changed.
+func (t *Table) merge(from graph.NodeID, linkDelay float64, entries []WireRoute) bool {
+	changed := false
+	for _, e := range entries {
+		if e.Dest == t.Self {
+			continue
+		}
+		cand := Route{
+			Dest:     e.Dest,
+			Dist:     linkDelay + e.Dist,
+			NextHop:  from,
+			PathHops: 1 + e.PathHops,
+			MinHops:  1 + e.MinHops,
+		}
+		cur, ok := t.routes[e.Dest]
+		if !ok {
+			t.routes[e.Dest] = cand
+			changed = true
+			continue
+		}
+		upd := cur
+		if cur.better(cand) {
+			upd.Dist = cand.Dist
+			upd.NextHop = cand.NextHop
+			upd.PathHops = cand.PathHops
+		}
+		if cand.MinHops < upd.MinHops {
+			upd.MinHops = cand.MinHops
+		}
+		if upd != cur {
+			t.routes[e.Dest] = upd
+			changed = true
+		}
+	}
+	return changed
+}
+
+// snapshot copies the table for transmission, sorted by destination.
+func (t *Table) snapshot() []WireRoute {
+	out := make([]WireRoute, 0, len(t.routes))
+	for _, d := range t.Destinations() {
+		r := t.routes[d]
+		out = append(out, WireRoute{Dest: r.Dest, Dist: r.Dist, PathHops: r.PathHops, MinHops: r.MinHops})
+	}
+	return out
+}
+
+// Clone deep-copies the table.
+func (t *Table) Clone() *Table {
+	c := &Table{Self: t.Self, routes: make(map[graph.NodeID]Route, len(t.routes))}
+	for k, v := range t.routes {
+		c.routes[k] = v
+	}
+	return c
+}
+
+// WireRoute is the on-the-wire form of a table line. NextHop is not sent:
+// the receiver's next hop toward the entry is the sender itself.
+type WireRoute struct {
+	Dest     graph.NodeID
+	Dist     float64
+	PathHops int
+	MinHops  int
+}
+
+// wireRouteBytes approximates the encoded size of one table line:
+// destination (4), distance (8), two hop counters (2+2).
+const wireRouteBytes = 16
+
+// TableMsg is the payload exchanged in each phase of PCS construction.
+type TableMsg struct {
+	Round   int
+	Entries []WireRoute
+}
+
+// Kind implements simnet.Payload.
+func (TableMsg) Kind() string { return "pcs.table" }
+
+// SizeBytes implements simnet.Payload: header plus the table lines.
+func (m TableMsg) SizeBytes() int { return 8 + wireRouteBytes*len(m.Entries) }
+
+// RoundsForRadius converts the paper's "stop after 2h phases" into message
+// rounds under our counting (start condition == first phase).
+func RoundsForRadius(h int) int {
+	if h < 1 {
+		return 0
+	}
+	return 2*h - 1
+}
+
+// ---------------------------------------------------------------------------
+// Per-node protocol state machine
+
+// Node runs one site's part of the interrupted distance-vector protocol.
+// It is driven by its owner: the owner must deliver incoming TableMsg
+// payloads to HandleTable and provide a send function.
+type Node struct {
+	table     *Table
+	neighbors []graph.NodeID
+	direct    map[graph.NodeID]float64             // raw link delays, immutable
+	rounds    int                                  // total rounds to run
+	round     int                                  // current round (0-based)
+	started   bool                                 // Start has broadcast round 0
+	received  map[int]map[graph.NodeID][]WireRoute // round -> sender -> entries
+	done      bool
+	send      func(to graph.NodeID, p simnet.Payload)
+	onDone    func(*Table)
+}
+
+// NewNode creates the state machine for one site. onDone fires once, when
+// the configured number of rounds has completed (immediately if rounds==0).
+func NewNode(self graph.NodeID, neighbors []graph.Edge, rounds int,
+	send func(to graph.NodeID, p simnet.Payload), onDone func(*Table)) *Node {
+	nbrIDs := make([]graph.NodeID, len(neighbors))
+	direct := make(map[graph.NodeID]float64, len(neighbors))
+	for i, e := range neighbors {
+		nbrIDs[i] = e.To
+		direct[e.To] = e.Delay
+	}
+	return &Node{
+		table:     NewTable(self, neighbors),
+		neighbors: nbrIDs,
+		direct:    direct,
+		rounds:    rounds,
+		received:  make(map[int]map[graph.NodeID][]WireRoute),
+		send:      send,
+		onDone:    onDone,
+	}
+}
+
+// Start begins round 0 by broadcasting the start-condition table. Tables
+// received before Start (possible under real concurrency when a neighbor
+// starts earlier) are buffered by HandleTable and processed here.
+func (n *Node) Start() {
+	if n.rounds <= 0 || len(n.neighbors) == 0 {
+		n.finish()
+		return
+	}
+	n.started = true
+	n.broadcast()
+	n.advance()
+}
+
+func (n *Node) broadcast() {
+	msg := TableMsg{Round: n.round, Entries: n.table.snapshot()}
+	for _, nbr := range n.neighbors {
+		n.send(nbr, msg)
+	}
+}
+
+// HandleTable processes one neighbor's table message. Messages from future
+// rounds (a faster neighbor) are buffered.
+func (n *Node) HandleTable(from graph.NodeID, msg TableMsg) {
+	if n.done {
+		return // stragglers after interruption are dropped by design
+	}
+	bucket := n.received[msg.Round]
+	if bucket == nil {
+		bucket = make(map[graph.NodeID][]WireRoute)
+		n.received[msg.Round] = bucket
+	}
+	bucket[from] = msg.Entries
+	n.advance()
+}
+
+// advance completes as many rounds as fully received input allows. It is a
+// no-op until Start has broadcast this node's own round-0 table: advancing
+// earlier would skip that broadcast and stall every neighbor.
+func (n *Node) advance() {
+	for n.started && !n.done {
+		bucket := n.received[n.round]
+		if len(bucket) < len(n.neighbors) {
+			return
+		}
+		// Merge deterministically: neighbors in increasing ID order.
+		order := make([]graph.NodeID, 0, len(bucket))
+		for nbr := range bucket {
+			order = append(order, nbr)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, nbr := range order {
+			delay := n.linkDelay(nbr)
+			n.table.merge(nbr, delay, bucket[nbr])
+		}
+		delete(n.received, n.round)
+		n.round++
+		if n.round >= n.rounds {
+			n.finish()
+			return
+		}
+		n.broadcast()
+	}
+}
+
+// linkDelay returns the raw (immutable) delay of the direct link to nbr.
+// The table entry cannot be used: a multi-edge path may have replaced it
+// when weights violate the triangle inequality.
+func (n *Node) linkDelay(nbr graph.NodeID) float64 {
+	d, ok := n.direct[nbr]
+	if !ok {
+		panic(fmt.Sprintf("routing: node %d has no direct link to %d", n.table.Self, nbr))
+	}
+	return d
+}
+
+// Table returns the node's current table (live; owners must not mutate).
+func (n *Node) Table() *Table { return n.table }
+
+// Done reports whether the protocol has terminated at this node.
+func (n *Node) Done() bool { return n.done }
+
+func (n *Node) finish() {
+	if n.done {
+		return
+	}
+	n.done = true
+	n.received = nil
+	if n.onDone != nil {
+		n.onDone(n.table)
+	}
+}

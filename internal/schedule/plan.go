@@ -1,0 +1,288 @@
+// Package schedule implements the per-site local scheduler of the paper:
+// a reservation plan for the site's computation processor.
+//
+// The plan answers the two questions RTDS asks of a site:
+//
+//   - local satisfiability (paper §5, §10): can a set of tasks, each with a
+//     release, a deadline and an execution duration, be inserted in-between
+//     the reservations already accepted, meeting every deadline?
+//   - surplus (paper §2): the ratio of idle time to the length of an
+//     observational window.
+//
+// Two plan implementations are provided. NonPreemptivePlan places each task
+// in one contiguous slot using earliest-fit in EDF order — a conservative
+// (sound-accept) heuristic, since exact non-preemptive feasibility is
+// NP-hard. PreemptivePlan implements the paper's §13 extension with an exact
+// preemptive-EDF feasibility test.
+//
+// Admission is two-phase to match the protocol: Admit computes a Ticket
+// (tentative placements) without changing the plan; Commit applies a ticket.
+// A version counter detects plans mutated between Admit and Commit — which
+// the RTDS locking discipline prevents, but the plan verifies anyway.
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Request asks for one task's execution: Duration time units somewhere
+// inside [Release, Deadline].
+type Request struct {
+	Job      string  // opaque job identifier, used for cancellation
+	Task     int     // task identifier within the job
+	Release  float64 // earliest start r(t)
+	Deadline float64 // latest completion d(t)
+	Duration float64 // execution time on this site
+}
+
+// Valid reports whether the request window can possibly hold the duration.
+func (r Request) Valid() bool {
+	return r.Duration > 0 && !math.IsNaN(r.Release) && !math.IsNaN(r.Deadline) &&
+		r.Release+r.Duration <= r.Deadline+timeEps
+}
+
+// Reservation is a committed (or tentatively placed) execution slot.
+type Reservation struct {
+	Job   string
+	Task  int
+	Start float64
+	End   float64
+}
+
+// timeEps absorbs float drift in feasibility comparisons.
+const timeEps = 1e-9
+
+// Plan is the interface the RTDS site logic programs against.
+type Plan interface {
+	// Admit tests whether reqs can all be scheduled alongside the current
+	// commitments, no earlier than now. On success it returns a ticket that
+	// can later be committed. Admit does not modify the plan.
+	Admit(now float64, reqs []Request) (*Ticket, bool)
+	// Commit applies a previously admitted ticket. It fails if the plan
+	// changed since Admit in a way that invalidates the ticket.
+	Commit(t *Ticket) error
+	// CancelJob removes every reservation of the given job (used on aborts).
+	// It reports how many reservations were removed.
+	CancelJob(job string) int
+	// Surplus is the idle fraction of [now, now+window] (paper §2).
+	Surplus(now, window float64) float64
+	// Reservations lists current commitments sorted by start time.
+	Reservations() []Reservation
+	// NewSession starts an incremental placement session (one job at a
+	// time) used by the whole-DAG local guarantee test.
+	NewSession(now float64) PlacementSession
+	// Preemptive reports which admission semantics the plan uses.
+	Preemptive() bool
+}
+
+// Ticket is the result of a successful Admit: the tentative placements plus
+// the plan version they were computed against.
+type Ticket struct {
+	Placements []Reservation
+	Requests   []Request
+	now        float64 // the Admit-time clock, used when revalidating
+	version    uint64
+	owner      Plan
+}
+
+// ---------------------------------------------------------------------------
+// Non-preemptive plan
+
+// NonPreemptivePlan keeps committed reservations as a sorted list of
+// non-overlapping intervals. The zero value is not usable; call
+// NewNonPreemptive.
+type NonPreemptivePlan struct {
+	res     []Reservation // sorted by Start, pairwise disjoint
+	version uint64
+}
+
+// NewNonPreemptive returns an empty non-preemptive plan.
+func NewNonPreemptive() *NonPreemptivePlan {
+	return &NonPreemptivePlan{}
+}
+
+// Preemptive implements Plan.
+func (p *NonPreemptivePlan) Preemptive() bool { return false }
+
+// Reservations implements Plan.
+func (p *NonPreemptivePlan) Reservations() []Reservation {
+	return append([]Reservation(nil), p.res...)
+}
+
+// Admit implements Plan: earliest-fit insertion in EDF (deadline) order.
+// Placements of earlier requests constrain later ones within the same call.
+func (p *NonPreemptivePlan) Admit(now float64, reqs []Request) (*Ticket, bool) {
+	for _, r := range reqs {
+		if !r.Valid() {
+			return nil, false
+		}
+	}
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := reqs[order[a]], reqs[order[b]]
+		if ra.Deadline != rb.Deadline {
+			return ra.Deadline < rb.Deadline
+		}
+		if ra.Release != rb.Release {
+			return ra.Release < rb.Release
+		}
+		return ra.Task < rb.Task
+	})
+	occupied := append([]Reservation(nil), p.res...)
+	placements := make([]Reservation, len(reqs))
+	for _, idx := range order {
+		r := reqs[idx]
+		start, ok := earliestFit(occupied, math.Max(now, r.Release), r.Deadline, r.Duration)
+		if !ok {
+			return nil, false
+		}
+		pl := Reservation{Job: r.Job, Task: r.Task, Start: start, End: start + r.Duration}
+		occupied = insertSorted(occupied, pl)
+		placements[idx] = pl
+	}
+	return &Ticket{
+		Placements: placements,
+		Requests:   append([]Request(nil), reqs...),
+		now:        now,
+		version:    p.version,
+		owner:      p,
+	}, true
+}
+
+// earliestFit finds the earliest start >= from with [start, start+dur]
+// disjoint from occupied and start+dur <= deadline.
+func earliestFit(occupied []Reservation, from, deadline, dur float64) (float64, bool) {
+	start := from
+	for _, res := range occupied {
+		if res.End <= start+timeEps {
+			continue // entirely before the candidate slot
+		}
+		if res.Start >= start+dur-timeEps {
+			break // gap before this reservation fits; list is sorted
+		}
+		start = res.End // collide: jump past it
+	}
+	if start+dur <= deadline+timeEps {
+		return start, true
+	}
+	return 0, false
+}
+
+func insertSorted(res []Reservation, r Reservation) []Reservation {
+	i := sort.Search(len(res), func(i int) bool { return res[i].Start >= r.Start })
+	res = append(res, Reservation{})
+	copy(res[i+1:], res[i:])
+	res[i] = r
+	return res
+}
+
+// ErrStaleTicket is returned by Commit when the plan changed since Admit and
+// the ticket's placements are no longer valid.
+var ErrStaleTicket = errors.New("schedule: ticket is stale and placements now conflict")
+
+// Commit implements Plan.
+func (p *NonPreemptivePlan) Commit(t *Ticket) error {
+	if t == nil || t.owner != Plan(p) {
+		return errors.New("schedule: ticket does not belong to this plan")
+	}
+	if t.version != p.version {
+		// Plan changed since Admit: re-verify every placement still fits.
+		for _, pl := range t.Placements {
+			for _, res := range p.res {
+				if overlap(pl, res) {
+					return ErrStaleTicket
+				}
+			}
+		}
+	}
+	for _, pl := range t.Placements {
+		p.res = insertSorted(p.res, pl)
+	}
+	p.version++
+	return nil
+}
+
+func overlap(a, b Reservation) bool {
+	return a.Start < b.End-timeEps && b.Start < a.End-timeEps
+}
+
+// CancelJob implements Plan.
+func (p *NonPreemptivePlan) CancelJob(job string) int {
+	kept := p.res[:0]
+	removed := 0
+	for _, r := range p.res {
+		if r.Job == job {
+			removed++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	p.res = kept
+	if removed > 0 {
+		p.version++
+	}
+	return removed
+}
+
+// Surplus implements Plan: fraction of [now, now+window] not covered by
+// reservations.
+func (p *NonPreemptivePlan) Surplus(now, window float64) float64 {
+	if window <= 0 {
+		return 0
+	}
+	end := now + window
+	busy := 0.0
+	for _, r := range p.res {
+		lo := math.Max(r.Start, now)
+		hi := math.Min(r.End, end)
+		if hi > lo {
+			busy += hi - lo
+		}
+	}
+	s := (window - busy) / window
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// IdleIntervals lists the gaps of [from, to] not covered by reservations —
+// the "idle intervals" the paper's mapper could use for the initiator's
+// local-knowledge refinement (§13).
+func (p *NonPreemptivePlan) IdleIntervals(from, to float64) []Reservation {
+	var out []Reservation
+	cursor := from
+	for _, r := range p.res {
+		if r.End <= from || r.Start >= to {
+			continue
+		}
+		if r.Start > cursor {
+			out = append(out, Reservation{Start: cursor, End: math.Min(r.Start, to)})
+		}
+		if r.End > cursor {
+			cursor = r.End
+		}
+	}
+	if cursor < to {
+		out = append(out, Reservation{Start: cursor, End: to})
+	}
+	return out
+}
+
+// String renders the plan compactly for debugging.
+func (p *NonPreemptivePlan) String() string {
+	s := "plan["
+	for i, r := range p.res {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s/t%d:[%.6g,%.6g]", r.Job, r.Task, r.Start, r.End)
+	}
+	return s + "]"
+}

@@ -1,0 +1,264 @@
+package schedule
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// PreemptivePlan implements the paper's §13 preemptive extension. Admitted
+// requests are not pinned to contiguous slots; feasibility is decided by an
+// exact preemptive-EDF simulation (EDF is optimal on one processor for
+// independent jobs with releases and deadlines, so the test accepts exactly
+// the feasible sets).
+type PreemptivePlan struct {
+	admitted []Request
+	version  uint64
+}
+
+// NewPreemptive returns an empty preemptive plan.
+func NewPreemptive() *PreemptivePlan {
+	return &PreemptivePlan{}
+}
+
+// Preemptive implements Plan.
+func (p *PreemptivePlan) Preemptive() bool { return true }
+
+// residualAt reduces the admitted set to its state at time `now`: work that
+// EDF has already executed before now is subtracted, completed tasks are
+// dropped, and released tasks have their releases moved up to now. EDF is
+// memoryless given remaining work and deadlines, so simulating the residual
+// from now is exactly the continuation of the plan's history. (The history
+// itself is deterministic: every admission carries releases at or after its
+// admission instant, so later admissions never rewrite fragments in the
+// past.)
+func (p *PreemptivePlan) residualAt(now float64) []Request {
+	if len(p.admitted) == 0 {
+		return nil
+	}
+	frags, _ := edfSimulate(0, p.admitted)
+	type key struct {
+		job  string
+		task int
+	}
+	executed := make(map[key]float64)
+	for _, f := range frags {
+		if f.Start >= now {
+			continue
+		}
+		end := f.End
+		if end > now {
+			end = now
+		}
+		executed[key{f.Job, f.Task}] += end - f.Start
+	}
+	var out []Request
+	for _, r := range p.admitted {
+		rem := r.Duration - executed[key{r.Job, r.Task}]
+		if rem <= timeEps {
+			continue // already completed
+		}
+		rr := r
+		rr.Duration = rem
+		if rr.Release < now {
+			rr.Release = now
+		}
+		out = append(out, rr)
+	}
+	return out
+}
+
+// Admit implements Plan: EDF-simulate the residual admitted work plus the
+// new requests; accept iff no deadline is missed. The returned ticket
+// carries the EDF execution fragments as placements (informational: they
+// show where the work would run if nothing else arrives).
+func (p *PreemptivePlan) Admit(now float64, reqs []Request) (*Ticket, bool) {
+	for _, r := range reqs {
+		if !r.Valid() {
+			return nil, false
+		}
+	}
+	resid := p.residualAt(now)
+	all := make([]Request, 0, len(resid)+len(reqs))
+	all = append(all, resid...)
+	all = append(all, reqs...)
+	frags, ok := edfSimulate(now, all)
+	if !ok {
+		return nil, false
+	}
+	// Report only fragments belonging to the new requests.
+	isNew := make(map[[2]any]bool, len(reqs))
+	for _, r := range reqs {
+		isNew[[2]any{r.Job, r.Task}] = true
+	}
+	var placements []Reservation
+	for _, f := range frags {
+		if isNew[[2]any{f.Job, f.Task}] {
+			placements = append(placements, f)
+		}
+	}
+	return &Ticket{
+		Placements: placements,
+		Requests:   append([]Request(nil), reqs...),
+		now:        now,
+		version:    p.version,
+		owner:      p,
+	}, true
+}
+
+// Commit implements Plan.
+func (p *PreemptivePlan) Commit(t *Ticket) error {
+	if t == nil || t.owner != Plan(p) {
+		return errors.New("schedule: ticket does not belong to this plan")
+	}
+	if t.version != p.version {
+		// Plan changed: redo the exact feasibility test.
+		all := append(p.residualAt(t.now), t.Requests...)
+		if _, ok := edfSimulate(t.now, all); !ok {
+			return ErrStaleTicket
+		}
+	}
+	p.admitted = append(p.admitted, t.Requests...)
+	p.version++
+	return nil
+}
+
+// CancelJob implements Plan.
+func (p *PreemptivePlan) CancelJob(job string) int {
+	kept := p.admitted[:0]
+	removed := 0
+	for _, r := range p.admitted {
+		if r.Job == job {
+			removed++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	p.admitted = kept
+	if removed > 0 {
+		p.version++
+	}
+	return removed
+}
+
+// Surplus implements Plan: EDF-simulate the residual admitted work and
+// measure the idle fraction of [now, now+window].
+func (p *PreemptivePlan) Surplus(now, window float64) float64 {
+	if window <= 0 {
+		return 0
+	}
+	frags, _ := edfSimulate(now, p.residualAt(now))
+	end := now + window
+	busy := 0.0
+	for _, f := range frags {
+		lo := math.Max(f.Start, now)
+		hi := math.Min(f.End, end)
+		if hi > lo {
+			busy += hi - lo
+		}
+	}
+	s := (window - busy) / window
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Reservations implements Plan: the current EDF execution fragments.
+func (p *PreemptivePlan) Reservations() []Reservation {
+	frags, _ := edfSimulate(0, p.admitted)
+	return frags
+}
+
+// edfSimulate runs preemptive EDF from time `from` over the requests and
+// returns the execution fragments. ok is false as soon as a deadline would
+// be missed. Work scheduled strictly before `from` is not allowed: every
+// request effectively has release max(Release, from).
+func edfSimulate(from float64, reqs []Request) (frags []Reservation, ok bool) {
+	type job struct {
+		Request
+		remaining float64
+	}
+	jobs := make([]job, len(reqs))
+	for i, r := range reqs {
+		jobs[i] = job{Request: r, remaining: r.Duration}
+		if jobs[i].Release < from {
+			jobs[i].Release = from
+		}
+	}
+	// Process releases in time order.
+	sort.SliceStable(jobs, func(a, b int) bool {
+		if jobs[a].Release != jobs[b].Release {
+			return jobs[a].Release < jobs[b].Release
+		}
+		if jobs[a].Deadline != jobs[b].Deadline {
+			return jobs[a].Deadline < jobs[b].Deadline
+		}
+		return jobs[a].Task < jobs[b].Task
+	})
+	t := from
+	next := 0 // next un-released job index
+	active := make([]int, 0, len(jobs))
+	for {
+		// Release everything due.
+		for next < len(jobs) && jobs[next].Release <= t+timeEps {
+			active = append(active, next)
+			next++
+		}
+		if len(active) == 0 {
+			if next >= len(jobs) {
+				return frags, true
+			}
+			t = jobs[next].Release
+			continue
+		}
+		// Earliest deadline first. Ties prefer the earlier release: within a
+		// job whose tasks share the job deadline, a successor (whose release
+		// is its predecessor's completion) then never preempts its
+		// predecessor, preserving precedence. Final tie-break: task ID.
+		best := active[0]
+		bi := 0
+		for i, idx := range active {
+			j := jobs[idx]
+			bj := jobs[best]
+			switch {
+			case j.Deadline < bj.Deadline-timeEps:
+				best, bi = idx, i
+			case j.Deadline > bj.Deadline+timeEps:
+			case j.Release < bj.Release-timeEps:
+				best, bi = idx, i
+			case j.Release > bj.Release+timeEps:
+			case j.Task < bj.Task:
+				best, bi = idx, i
+			}
+		}
+		// Run until completion or the next release, whichever first.
+		runUntil := t + jobs[best].remaining
+		if next < len(jobs) && jobs[next].Release < runUntil {
+			runUntil = jobs[next].Release
+		}
+		ran := runUntil - t
+		if ran > 0 {
+			// Coalesce with previous fragment of the same task if contiguous.
+			n := len(frags)
+			if n > 0 && frags[n-1].Job == jobs[best].Job && frags[n-1].Task == jobs[best].Task &&
+				math.Abs(frags[n-1].End-t) <= timeEps {
+				frags[n-1].End = runUntil
+			} else {
+				frags = append(frags, Reservation{
+					Job: jobs[best].Job, Task: jobs[best].Task, Start: t, End: runUntil,
+				})
+			}
+			jobs[best].remaining -= ran
+		}
+		t = runUntil
+		if jobs[best].remaining <= timeEps {
+			if t > jobs[best].Deadline+timeEps {
+				return nil, false
+			}
+			active = append(active[:bi], active[bi+1:]...)
+		} else if t > jobs[best].Deadline+timeEps {
+			return nil, false // still unfinished past its deadline
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package schedule
+
+import "math"
+
+// PlacementSession places requests one at a time against a tentative overlay
+// of a plan, so callers can thread precedence through placements: the local
+// whole-DAG guarantee test (paper §5) places tasks in topological order,
+// deriving each task's release from its predecessors' completions.
+type PlacementSession interface {
+	// Place tentatively schedules one request. The returned reservation's
+	// End is an upper bound on the task's completion usable as a successor's
+	// release.
+	Place(r Request) (Reservation, bool)
+	// Completion returns the current completion bound of a previously placed
+	// task (it can move later in preemptive plans as more work is placed).
+	Completion(task int) (float64, bool)
+	// Ticket freezes the session into a committable ticket.
+	Ticket() *Ticket
+}
+
+// NewSession starts a placement session against the non-preemptive plan.
+func (p *NonPreemptivePlan) NewSession(now float64) PlacementSession {
+	return &npSession{
+		p:        p,
+		now:      now,
+		occupied: append([]Reservation(nil), p.res...),
+		version:  p.version,
+	}
+}
+
+type npSession struct {
+	p          *NonPreemptivePlan
+	now        float64
+	occupied   []Reservation
+	placements []Reservation
+	requests   []Request
+	version    uint64
+}
+
+func (s *npSession) Place(r Request) (Reservation, bool) {
+	if !r.Valid() {
+		return Reservation{}, false
+	}
+	start, ok := earliestFit(s.occupied, math.Max(s.now, r.Release), r.Deadline, r.Duration)
+	if !ok {
+		return Reservation{}, false
+	}
+	pl := Reservation{Job: r.Job, Task: r.Task, Start: start, End: start + r.Duration}
+	s.occupied = insertSorted(s.occupied, pl)
+	s.placements = append(s.placements, pl)
+	s.requests = append(s.requests, r)
+	return pl, true
+}
+
+func (s *npSession) Completion(task int) (float64, bool) {
+	for _, pl := range s.placements {
+		if pl.Task == task {
+			return pl.End, true
+		}
+	}
+	return 0, false
+}
+
+func (s *npSession) Ticket() *Ticket {
+	return &Ticket{
+		Placements: append([]Reservation(nil), s.placements...),
+		Requests:   append([]Request(nil), s.requests...),
+		now:        s.now,
+		version:    s.version,
+		owner:      s.p,
+	}
+}
+
+// NewSession starts a placement session against the preemptive plan.
+func (p *PreemptivePlan) NewSession(now float64) PlacementSession {
+	return &ppSession{p: p, now: now, resid: p.residualAt(now)}
+}
+
+type ppSession struct {
+	p        *PreemptivePlan
+	now      float64
+	resid    []Request // residual admitted work at session start
+	requests []Request
+	// completions is refreshed on every Place from a full EDF simulation.
+	completions map[int]float64
+}
+
+func (s *ppSession) Place(r Request) (Reservation, bool) {
+	if !r.Valid() {
+		return Reservation{}, false
+	}
+	all := make([]Request, 0, len(s.resid)+len(s.requests)+1)
+	all = append(all, s.resid...)
+	all = append(all, s.requests...)
+	all = append(all, r)
+	frags, ok := edfSimulate(s.now, all)
+	if !ok {
+		return Reservation{}, false
+	}
+	s.requests = append(s.requests, r)
+	s.completions = make(map[int]float64, len(s.requests))
+	var first, last float64 = math.Inf(1), 0
+	for _, f := range frags {
+		if f.Job == r.Job {
+			if c, exists := s.completions[f.Task]; !exists || f.End > c {
+				s.completions[f.Task] = f.End
+			}
+			if f.Task == r.Task {
+				first = math.Min(first, f.Start)
+				last = math.Max(last, f.End)
+			}
+		}
+	}
+	return Reservation{Job: r.Job, Task: r.Task, Start: first, End: last}, true
+}
+
+func (s *ppSession) Completion(task int) (float64, bool) {
+	c, ok := s.completions[task]
+	return c, ok
+}
+
+func (s *ppSession) Ticket() *Ticket {
+	return &Ticket{
+		Requests: append([]Request(nil), s.requests...),
+		now:      s.now,
+		version:  s.p.version,
+		owner:    s.p,
+	}
+}

@@ -1,0 +1,205 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock (float64, arbitrary time units) and a
+// priority queue of scheduled events. Events scheduled for the same instant
+// fire in scheduling order (a monotone sequence number breaks ties), so a
+// simulation driven from a single goroutine is fully deterministic.
+//
+// The kernel is intentionally minimal: an event is just a closure. Higher
+// layers (internal/simnet, internal/core) build message passing and protocol
+// state machines on top of it.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time. Units are abstract; the rest of the
+// repository treats them as the same unit the paper uses for communication
+// delays and computational complexities.
+type Time = float64
+
+// EventID identifies a scheduled event so it can be cancelled.
+// The zero EventID is never issued.
+type EventID int64
+
+type event struct {
+	at    Time
+	seq   int64 // tie-breaker: FIFO among simultaneous events
+	id    EventID
+	fn    func()
+	index int // heap index, -1 when popped/cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// ErrEventLimit is returned by Run/RunUntil when the engine processed more
+// events than the configured limit, which almost always indicates a protocol
+// livelock in the layers above.
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// Engine is a discrete-event simulation engine. The zero value is not ready
+// to use; call New.
+type Engine struct {
+	now       Time
+	pq        eventHeap
+	seq       int64
+	nextID    EventID
+	live      map[EventID]*event
+	processed int64
+	limit     int64 // 0 = unlimited
+	running   bool
+}
+
+// New returns an engine with the virtual clock at 0.
+func New() *Engine {
+	return &Engine{live: make(map[EventID]*event)}
+}
+
+// SetEventLimit bounds the total number of events the engine will process
+// across all Run calls. limit <= 0 removes the bound.
+func (e *Engine) SetEventLimit(limit int64) {
+	if limit < 0 {
+		limit = 0
+	}
+	e.limit = limit
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports how many events have fired so far.
+func (e *Engine) Processed() int64 { return e.processed }
+
+// Pending reports how many events are scheduled but not yet fired.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it is always a logic error in the layers above, and silently
+// clamping would mask causality bugs.
+func (e *Engine) At(t Time, fn func()) EventID {
+	if math.IsNaN(t) {
+		panic("sim: NaN event time")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past: t=%v now=%v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e.seq++
+	e.nextID++
+	ev := &event{at: t, seq: e.seq, id: e.nextID, fn: fn}
+	heap.Push(&e.pq, ev)
+	e.live[ev.id] = ev
+	return ev.id
+}
+
+// After schedules fn to run d time units from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. It reports whether the event was still
+// pending (false if it already fired or was cancelled).
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.live[id]
+	if !ok {
+		return false
+	}
+	delete(e.live, id)
+	heap.Remove(&e.pq, ev.index)
+	return true
+}
+
+// step fires the earliest pending event. It reports false when the queue is
+// empty.
+func (e *Engine) step() (bool, error) {
+	if len(e.pq) == 0 {
+		return false, nil
+	}
+	if e.limit > 0 && e.processed >= e.limit {
+		return false, ErrEventLimit
+	}
+	ev := heap.Pop(&e.pq).(*event)
+	delete(e.live, ev.id)
+	if ev.at < e.now {
+		panic("sim: time went backwards") // unreachable by construction
+	}
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true, nil
+}
+
+// Run processes events until the queue drains or the event limit trips.
+func (e *Engine) Run() error {
+	if e.running {
+		return errors.New("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for {
+		ok, err := e.step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// RunUntil processes events with timestamps <= t, then advances the clock to
+// t (even if no event fired exactly there). Events scheduled during the run
+// are honoured if they fall within the horizon.
+func (e *Engine) RunUntil(t Time) error {
+	if t < e.now {
+		return fmt.Errorf("sim: RunUntil(%v) is in the past (now=%v)", t, e.now)
+	}
+	if e.running {
+		return errors.New("sim: RunUntil called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.pq) > 0 && e.pq[0].at <= t {
+		if _, err := e.step(); err != nil {
+			return err
+		}
+	}
+	e.now = t
+	return nil
+}

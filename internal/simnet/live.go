@@ -1,0 +1,286 @@
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Live is a transport backed by real goroutines and channels: one goroutine
+// per site serializes that site's message handling, and one goroutine per
+// directed link models propagation delay while preserving per-link FIFO
+// order. Virtual-time unit 1.0 maps to Scale of wall-clock time.
+//
+// Live exists to run the protocol under genuine concurrency; experiments use
+// the deterministic DES transport.
+type Live struct {
+	topo  *graph.Graph
+	scale time.Duration
+	start time.Time
+	stats *Stats
+
+	mu       sync.Mutex
+	handlers map[graph.NodeID]Handler
+	links    map[[2]graph.NodeID]*liveLink
+	nodes    map[graph.NodeID]*liveNode
+	started  bool
+	closed   bool
+
+	pending atomic.Int64 // in-flight messages + handlers + pending timers
+	wg      sync.WaitGroup
+}
+
+type liveNode struct {
+	inbox *fifo[func()]
+}
+
+type liveLink struct {
+	delay time.Duration
+	queue *fifo[linkItem]
+}
+
+type linkItem struct {
+	deliverAt time.Time
+	deliver   func()
+}
+
+// NewLive builds a live transport. scale is the wall-clock duration of one
+// virtual time unit (e.g. time.Millisecond). Call Attach for every node,
+// then Start; finish with Close.
+func NewLive(topo *graph.Graph, scale time.Duration) *Live {
+	if scale <= 0 {
+		scale = time.Millisecond
+	}
+	return &Live{
+		topo:     topo,
+		scale:    scale,
+		stats:    NewStats(),
+		handlers: make(map[graph.NodeID]Handler),
+		links:    make(map[[2]graph.NodeID]*liveLink),
+		nodes:    make(map[graph.NodeID]*liveNode),
+	}
+}
+
+// Attach implements Transport. All Attach calls must precede Start.
+func (l *Live) Attach(id graph.NodeID, h Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.started {
+		panic("simnet: Attach after Start")
+	}
+	if _, dup := l.handlers[id]; dup {
+		panic(fmt.Sprintf("simnet: handler for node %d attached twice", id))
+	}
+	l.handlers[id] = h
+}
+
+// Start launches the per-node and per-link goroutines and starts the clock.
+func (l *Live) Start() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.started {
+		panic("simnet: Start called twice")
+	}
+	l.started = true
+	l.start = time.Now()
+	for id := graph.NodeID(0); int(id) < l.topo.Len(); id++ {
+		n := &liveNode{inbox: newFIFO[func()]()}
+		l.nodes[id] = n
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			for {
+				fn, ok := n.inbox.pop()
+				if !ok {
+					return
+				}
+				fn()
+				l.pending.Add(-1)
+			}
+		}()
+		for _, e := range l.topo.Neighbors(id) {
+			lk := &liveLink{
+				delay: time.Duration(e.Delay * float64(l.scale)),
+				queue: newFIFO[linkItem](),
+			}
+			l.links[[2]graph.NodeID{id, e.To}] = lk
+			l.wg.Add(1)
+			go func() {
+				defer l.wg.Done()
+				for {
+					it, ok := lk.queue.pop()
+					if !ok {
+						return
+					}
+					if d := time.Until(it.deliverAt); d > 0 {
+						time.Sleep(d)
+					}
+					it.deliver()
+				}
+			}()
+		}
+	}
+}
+
+// Send implements Transport.
+func (l *Live) Send(from, to graph.NodeID, p Payload) error {
+	l.mu.Lock()
+	if !l.started || l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("simnet: live transport not running")
+	}
+	lk, ok := l.links[[2]graph.NodeID{from, to}]
+	node := l.nodes[to]
+	h := l.handlers[to]
+	l.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("simnet: send %s from %d to non-neighbor %d", p.Kind(), from, to)
+	}
+	if h == nil {
+		return fmt.Errorf("simnet: no handler attached at node %d", to)
+	}
+	l.stats.record(p)
+	l.pending.Add(1)
+	lk.queue.push(linkItem{
+		deliverAt: time.Now().Add(lk.delay),
+		deliver: func() {
+			node.inbox.push(func() { h(from, p) })
+		},
+	})
+	return nil
+}
+
+// After implements Transport: fn runs on node id's goroutine after delay.
+func (l *Live) After(id graph.NodeID, delay float64, fn func()) CancelFunc {
+	l.mu.Lock()
+	node := l.nodes[id]
+	l.mu.Unlock()
+	if node == nil {
+		panic(fmt.Sprintf("simnet: After on unknown node %d", id))
+	}
+	var cancelled atomic.Bool
+	l.pending.Add(1)
+	timer := time.AfterFunc(time.Duration(delay*float64(l.scale)), func() {
+		if cancelled.Load() {
+			l.pending.Add(-1)
+			return
+		}
+		node.inbox.push(func() {
+			if !cancelled.Load() {
+				fn()
+			}
+		})
+	})
+	return func() bool {
+		was := cancelled.Swap(true)
+		if !was && timer.Stop() {
+			// The callback will never run; release its pending slot here.
+			l.pending.Add(-1)
+		}
+		return !was
+	}
+}
+
+// Now implements Transport: elapsed wall time in virtual units.
+func (l *Live) Now() float64 {
+	return float64(time.Since(l.start)) / float64(l.scale)
+}
+
+// Topology implements Transport.
+func (l *Live) Topology() *graph.Graph { return l.topo }
+
+// Stats implements Transport.
+func (l *Live) Stats() *Stats { return l.stats }
+
+// WaitIdle blocks until no messages, handlers or timers are pending (the
+// distributed computation has quiesced), or the timeout elapses. It reports
+// whether quiescence was reached.
+func (l *Live) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	stable := 0
+	for time.Now().Before(deadline) {
+		if l.pending.Load() == 0 {
+			stable++
+			if stable >= 3 {
+				return true
+			}
+		} else {
+			stable = 0
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+// Close shuts the transport down and waits for all goroutines to exit.
+// In-flight messages may be dropped; call WaitIdle first if delivery
+// matters.
+func (l *Live) Close() {
+	l.mu.Lock()
+	if l.closed || !l.started {
+		l.closed = true
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	for _, n := range l.nodes {
+		n.inbox.close()
+	}
+	for _, lk := range l.links {
+		lk.queue.close()
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+}
+
+var _ Transport = (*Live)(nil)
+
+// fifo is an unbounded FIFO queue with blocking pop, so producers never
+// deadlock on full buffers whatever the traffic pattern.
+type fifo[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	closed bool
+}
+
+func newFIFO[T any]() *fifo[T] {
+	f := &fifo[T]{}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+func (f *fifo[T]) push(v T) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.items = append(f.items, v)
+	f.cond.Signal()
+}
+
+func (f *fifo[T]) pop() (T, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.items) == 0 && !f.closed {
+		f.cond.Wait()
+	}
+	var zero T
+	if len(f.items) == 0 {
+		return zero, false
+	}
+	v := f.items[0]
+	f.items = f.items[1:]
+	return v, true
+}
+
+func (f *fifo[T]) close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	f.cond.Broadcast()
+}

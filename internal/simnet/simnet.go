@@ -1,0 +1,200 @@
+// Package simnet provides the message transport the RTDS protocol runs on:
+// sites exchange payloads over the links of an internal/graph topology, with
+// per-link propagation delay. Links are faithful, loss-less and
+// order-preserving, and sites are faultless (paper §2).
+//
+// Two implementations are provided:
+//
+//   - DES: built on internal/sim — fully deterministic, used by all
+//     experiments and benchmarks;
+//   - Live: one goroutine per site and real (scaled) time — demonstrates the
+//     protocol under genuine concurrency (examples/livenet) and backs the
+//     transport-equivalence tests.
+//
+// Only adjacent sites can exchange messages directly; multi-hop delivery is
+// the protocol layer's job (it forwards along routing-table next hops), so
+// relay traffic is accounted like any other message, matching how the paper
+// counts communication.
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Payload is anything a site sends to another site. Kind routes the message
+// to protocol handlers and labels the statistics; SizeBytes estimates the
+// wire size for communication accounting.
+type Payload interface {
+	Kind() string
+	SizeBytes() int
+}
+
+// Handler receives payloads addressed to a node. A transport invokes the
+// handler serially per node.
+type Handler func(from graph.NodeID, p Payload)
+
+// CancelFunc cancels a pending timer; it reports whether the timer was still
+// pending.
+type CancelFunc func() bool
+
+// Transport is the interface protocol layers program against.
+type Transport interface {
+	// Attach registers the message handler for a node. Must be called for
+	// every node before traffic starts.
+	Attach(id graph.NodeID, h Handler)
+	// Send delivers p from one node to an adjacent node after the link
+	// delay. Sending to a non-neighbor is a protocol bug and returns an
+	// error.
+	Send(from, to graph.NodeID, p Payload) error
+	// After runs fn in node id's execution context after d time units.
+	After(id graph.NodeID, d float64, fn func()) CancelFunc
+	// Now reports the current (virtual or scaled real) time.
+	Now() float64
+	// Topology exposes the underlying network graph.
+	Topology() *graph.Graph
+	// Stats exposes the communication counters.
+	Stats() *Stats
+}
+
+// Stats accumulates communication counters. Safe for concurrent use.
+type Stats struct {
+	mu       sync.Mutex
+	messages int64
+	bytes    int64
+	byKind   map[string]int64
+}
+
+// NewStats returns zeroed counters.
+func NewStats() *Stats {
+	return &Stats{byKind: make(map[string]int64)}
+}
+
+func (s *Stats) record(p Payload) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.messages++
+	s.bytes += int64(p.SizeBytes())
+	s.byKind[p.Kind()]++
+}
+
+// Messages reports the total number of link traversals.
+func (s *Stats) Messages() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.messages
+}
+
+// Bytes reports the total bytes placed on links.
+func (s *Stats) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// ByKind returns a copy of the per-kind message counts.
+func (s *Stats) ByKind() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.byKind))
+	for k, v := range s.byKind {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes all counters (used between experiment phases to separate
+// setup traffic from per-job traffic).
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.messages, s.bytes = 0, 0
+	s.byKind = make(map[string]int64)
+}
+
+// String renders the counters compactly, kinds sorted for determinism.
+func (s *Stats) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kinds := make([]string, 0, len(s.byKind))
+	for k := range s.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	out := fmt.Sprintf("msgs=%d bytes=%d", s.messages, s.bytes)
+	for _, k := range kinds {
+		out += fmt.Sprintf(" %s=%d", k, s.byKind[k])
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// DES transport
+
+// DES is the deterministic transport over a discrete-event engine.
+type DES struct {
+	engine   *sim.Engine
+	topo     *graph.Graph
+	handlers map[graph.NodeID]Handler
+	stats    *Stats
+}
+
+// NewDES builds a DES transport over the topology. The caller drives the
+// simulation through Engine().Run or RunUntil.
+func NewDES(engine *sim.Engine, topo *graph.Graph) *DES {
+	return &DES{
+		engine:   engine,
+		topo:     topo,
+		handlers: make(map[graph.NodeID]Handler),
+		stats:    NewStats(),
+	}
+}
+
+// Engine exposes the underlying event engine.
+func (d *DES) Engine() *sim.Engine { return d.engine }
+
+// Attach implements Transport.
+func (d *DES) Attach(id graph.NodeID, h Handler) {
+	if _, dup := d.handlers[id]; dup {
+		panic(fmt.Sprintf("simnet: handler for node %d attached twice", id))
+	}
+	d.handlers[id] = h
+}
+
+// Send implements Transport.
+func (d *DES) Send(from, to graph.NodeID, p Payload) error {
+	delay, err := d.topo.EdgeDelay(from, to)
+	if err != nil {
+		return fmt.Errorf("simnet: send %s from %d to non-neighbor %d", p.Kind(), from, to)
+	}
+	d.stats.record(p)
+	d.engine.After(delay, func() {
+		h, ok := d.handlers[to]
+		if !ok {
+			panic(fmt.Sprintf("simnet: no handler attached at node %d", to))
+		}
+		h(from, p)
+	})
+	return nil
+}
+
+// After implements Transport.
+func (d *DES) After(id graph.NodeID, delay float64, fn func()) CancelFunc {
+	evID := d.engine.After(delay, fn)
+	return func() bool { return d.engine.Cancel(evID) }
+}
+
+// Now implements Transport.
+func (d *DES) Now() float64 { return d.engine.Now() }
+
+// Topology implements Transport.
+func (d *DES) Topology() *graph.Graph { return d.topo }
+
+// Stats implements Transport.
+func (d *DES) Stats() *Stats { return d.stats }
+
+var _ Transport = (*DES)(nil)

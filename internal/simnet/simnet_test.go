@@ -1,0 +1,261 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+type testMsg struct {
+	kind string
+	size int
+	n    int
+}
+
+func (m testMsg) Kind() string   { return m.kind }
+func (m testMsg) SizeBytes() int { return m.size }
+
+func lineTopo() *graph.Graph {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 2.5)
+	g.MustAddEdge(1, 2, 1.5)
+	return g
+}
+
+func TestDESDeliveryDelay(t *testing.T) {
+	eng := sim.New()
+	tr := NewDES(eng, lineTopo())
+	var gotAt float64
+	var gotFrom graph.NodeID
+	tr.Attach(0, func(from graph.NodeID, p Payload) {})
+	tr.Attach(1, func(from graph.NodeID, p Payload) {
+		gotAt = tr.Now()
+		gotFrom = from
+	})
+	tr.Attach(2, func(from graph.NodeID, p Payload) {})
+	if err := tr.Send(0, 1, testMsg{kind: "x", size: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotAt != 2.5 {
+		t.Fatalf("delivered at %v, want 2.5", gotAt)
+	}
+	if gotFrom != 0 {
+		t.Fatalf("from = %d, want 0", gotFrom)
+	}
+}
+
+func TestDESNonNeighborRejected(t *testing.T) {
+	eng := sim.New()
+	tr := NewDES(eng, lineTopo())
+	tr.Attach(0, func(graph.NodeID, Payload) {})
+	if err := tr.Send(0, 2, testMsg{kind: "x"}); err == nil {
+		t.Fatal("send to non-neighbor accepted")
+	}
+}
+
+func TestDESFIFOPerLink(t *testing.T) {
+	eng := sim.New()
+	tr := NewDES(eng, lineTopo())
+	var got []int
+	tr.Attach(0, func(graph.NodeID, Payload) {})
+	tr.Attach(1, func(_ graph.NodeID, p Payload) { got = append(got, p.(testMsg).n) })
+	tr.Attach(2, func(graph.NodeID, Payload) {})
+	for i := 0; i < 50; i++ {
+		if err := tr.Send(0, 1, testMsg{kind: "x", n: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("link not FIFO at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestDESStats(t *testing.T) {
+	eng := sim.New()
+	tr := NewDES(eng, lineTopo())
+	for i := graph.NodeID(0); i < 3; i++ {
+		tr.Attach(i, func(graph.NodeID, Payload) {})
+	}
+	tr.Send(0, 1, testMsg{kind: "a", size: 100})
+	tr.Send(1, 2, testMsg{kind: "a", size: 50})
+	tr.Send(1, 0, testMsg{kind: "b", size: 7})
+	eng.Run()
+	st := tr.Stats()
+	if st.Messages() != 3 || st.Bytes() != 157 {
+		t.Fatalf("stats %v", st)
+	}
+	byKind := st.ByKind()
+	if byKind["a"] != 2 || byKind["b"] != 1 {
+		t.Fatalf("by kind %v", byKind)
+	}
+	st.Reset()
+	if st.Messages() != 0 || st.Bytes() != 0 || len(st.ByKind()) != 0 {
+		t.Fatal("Reset did not clear stats")
+	}
+}
+
+func TestDESTimerCancel(t *testing.T) {
+	eng := sim.New()
+	tr := NewDES(eng, lineTopo())
+	tr.Attach(0, func(graph.NodeID, Payload) {})
+	fired := false
+	cancel := tr.After(0, 5, func() { fired = true })
+	if !cancel() {
+		t.Fatal("cancel of pending timer returned false")
+	}
+	if cancel() {
+		t.Fatal("double cancel returned true")
+	}
+	eng.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestDESAttachTwicePanics(t *testing.T) {
+	eng := sim.New()
+	tr := NewDES(eng, lineTopo())
+	tr.Attach(0, func(graph.NodeID, Payload) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Attach did not panic")
+		}
+	}()
+	tr.Attach(0, func(graph.NodeID, Payload) {})
+}
+
+func TestLiveDeliveryAndFIFO(t *testing.T) {
+	topo := lineTopo()
+	tr := NewLive(topo, 100*time.Microsecond)
+	var mu sync.Mutex
+	var got []int
+	tr.Attach(0, func(graph.NodeID, Payload) {})
+	tr.Attach(1, func(_ graph.NodeID, p Payload) {
+		mu.Lock()
+		got = append(got, p.(testMsg).n)
+		mu.Unlock()
+	})
+	tr.Attach(2, func(graph.NodeID, Payload) {})
+	tr.Start()
+	defer tr.Close()
+	for i := 0; i < 30; i++ {
+		if err := tr.Send(0, 1, testMsg{kind: "x", n: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tr.WaitIdle(5 * time.Second) {
+		t.Fatal("transport did not quiesce")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 30 {
+		t.Fatalf("delivered %d messages, want 30", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("live link not FIFO at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestLivePingPong(t *testing.T) {
+	topo := lineTopo()
+	tr := NewLive(topo, 50*time.Microsecond)
+	var mu sync.Mutex
+	count := 0
+	tr.Attach(0, func(from graph.NodeID, p Payload) {
+		mu.Lock()
+		count++
+		c := count
+		mu.Unlock()
+		if c < 5 {
+			tr.Send(0, 1, testMsg{kind: "ping", n: c})
+		}
+	})
+	tr.Attach(1, func(from graph.NodeID, p Payload) {
+		tr.Send(1, 0, testMsg{kind: "pong"})
+	})
+	tr.Attach(2, func(graph.NodeID, Payload) {})
+	tr.Start()
+	defer tr.Close()
+	tr.Send(0, 1, testMsg{kind: "ping", n: 0})
+	if !tr.WaitIdle(5 * time.Second) {
+		t.Fatal("ping-pong did not quiesce")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 5 {
+		t.Fatalf("pong count %d, want 5", count)
+	}
+}
+
+func TestLiveTimer(t *testing.T) {
+	tr := NewLive(lineTopo(), 50*time.Microsecond)
+	var mu sync.Mutex
+	fired, cancelledFired := false, false
+	tr.Attach(0, func(graph.NodeID, Payload) {})
+	tr.Attach(1, func(graph.NodeID, Payload) {})
+	tr.Attach(2, func(graph.NodeID, Payload) {})
+	tr.Start()
+	defer tr.Close()
+	tr.After(0, 1, func() { mu.Lock(); fired = true; mu.Unlock() })
+	cancel := tr.After(0, 2, func() { mu.Lock(); cancelledFired = true; mu.Unlock() })
+	cancel()
+	if !tr.WaitIdle(5 * time.Second) {
+		t.Fatal("did not quiesce")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !fired {
+		t.Fatal("timer did not fire")
+	}
+	if cancelledFired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestLiveSendBeforeStart(t *testing.T) {
+	tr := NewLive(lineTopo(), time.Millisecond)
+	tr.Attach(0, func(graph.NodeID, Payload) {})
+	if err := tr.Send(0, 1, testMsg{kind: "x"}); err == nil {
+		t.Fatal("send before Start accepted")
+	}
+}
+
+func TestLiveCloseIdempotent(t *testing.T) {
+	tr := NewLive(lineTopo(), time.Millisecond)
+	for i := graph.NodeID(0); i < 3; i++ {
+		tr.Attach(i, func(graph.NodeID, Payload) {})
+	}
+	tr.Start()
+	tr.Close()
+	tr.Close() // must not panic or hang
+}
+
+func BenchmarkDESSend(b *testing.B) {
+	eng := sim.New()
+	tr := NewDES(eng, lineTopo())
+	for i := graph.NodeID(0); i < 3; i++ {
+		tr.Attach(i, func(graph.NodeID, Payload) {})
+	}
+	msg := testMsg{kind: "x", size: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Send(0, 1, msg)
+		if i%1000 == 999 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/daggen"
+)
+
+func baseSpec() Spec {
+	return Spec{
+		Sites:       8,
+		Horizon:     500,
+		RatePerSite: 0.05,
+		TaskSize:    6,
+		Params:      daggen.Params{MinComplexity: 1, MaxComplexity: 5},
+		Tightness:   2,
+		Seed:        42,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) { s.Sites = 0 },
+		func(s *Spec) { s.Horizon = 0 },
+		func(s *Spec) { s.RatePerSite = 0 },
+		func(s *Spec) { s.TaskSize = 0 },
+		func(s *Spec) { s.Tightness = 0 },
+	}
+	for i, mut := range bad {
+		s := baseSpec()
+		mut(&s)
+		if _, err := Generate(s); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestGenerateSortedAndInHorizon(t *testing.T) {
+	arr, err := Generate(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if !sort.SliceIsSorted(arr, func(i, j int) bool { return arr[i].At < arr[j].At }) {
+		t.Fatal("arrivals not sorted by time")
+	}
+	for _, a := range arr {
+		if a.At < 0 || a.At >= 500 {
+			t.Fatalf("arrival at %v outside horizon", a.At)
+		}
+		if int(a.Origin) < 0 || int(a.Origin) >= 8 {
+			t.Fatalf("origin %d out of range", a.Origin)
+		}
+		if a.Deadline <= 0 {
+			t.Fatalf("non-positive deadline %v", a.Deadline)
+		}
+		// Deadline tightness 2 with no jitter: exactly 2x critical path.
+		want := a.Graph.CriticalPathLength() * 2
+		if math.Abs(a.Deadline-want) > 1e-9 {
+			t.Fatalf("deadline %v, want %v", a.Deadline, want)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a1, err := Generate(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Generate(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) != len(a2) {
+		t.Fatalf("lengths differ: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i].At != a2[i].At || a1[i].Origin != a2[i].Origin ||
+			a1[i].Graph.Len() != a2[i].Graph.Len() {
+			t.Fatalf("arrival %d differs", i)
+		}
+	}
+}
+
+func TestArrivalCountTracksRate(t *testing.T) {
+	s := baseSpec()
+	s.RatePerSite = 0.1
+	s.Horizon = 1000
+	arr, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := float64(s.Sites) * s.RatePerSite * s.Horizon // 800
+	got := float64(len(arr))
+	if got < expected*0.8 || got > expected*1.2 {
+		t.Fatalf("got %v arrivals, expected ~%v", got, expected)
+	}
+}
+
+func TestOfferedLoadAndRateInversion(t *testing.T) {
+	s := baseSpec()
+	work := ExpectedWorkPerJob(s, 500)
+	if work <= 0 {
+		t.Fatal("non-positive expected work")
+	}
+	rate := RateForLoad(0.4, work)
+	s.RatePerSite = rate
+	s.Horizon = 2000
+	arr, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := OfferedLoad(arr, s.Sites, s.Horizon)
+	if load < 0.25 || load > 0.55 {
+		t.Fatalf("realized load %v, wanted ~0.4", load)
+	}
+}
+
+func TestTightnessJitterBounds(t *testing.T) {
+	s := baseSpec()
+	s.Tightness = 2
+	s.TightnessJitter = 0.5
+	arr, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arr {
+		ratio := a.Deadline / a.Graph.CriticalPathLength()
+		if ratio < 1.5-1e-9 || ratio > 2.5+1e-9 {
+			t.Fatalf("tightness %v outside [1.5, 2.5]", ratio)
+		}
+	}
+}
+
+func TestKindsFilter(t *testing.T) {
+	s := baseSpec()
+	s.Kinds = []daggen.Kind{daggen.KindChain}
+	arr, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arr {
+		if a.Graph.Width() != 1 {
+			t.Fatalf("non-chain DAG %q in chain-only workload", a.Graph.Name)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package rtds
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/graph"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+// Core protocol types, re-exported for users of the facade.
+type (
+	// Cluster is a simulated network of RTDS sites (deterministic
+	// discrete-event time).
+	Cluster = core.Cluster
+	// LiveCluster runs the same protocol on real goroutines and channels.
+	LiveCluster = core.LiveCluster
+	// Config tunes a cluster; start from DefaultConfig.
+	Config = core.Config
+	// Job is one submitted job's record.
+	Job = core.Job
+	// Outcome is a job's fate (accepted locally/distributed, rejected).
+	Outcome = core.Outcome
+	// Summary aggregates a run.
+	Summary = core.Summary
+
+	// Network is the communication topology.
+	Network = graph.Graph
+	// NodeID identifies a site.
+	NodeID = graph.NodeID
+	// DelayRange bounds generated link delays.
+	DelayRange = graph.DelayRange
+
+	// DAG is a job's precedence graph.
+	DAG = dag.Graph
+	// TaskID identifies a task within one job.
+	TaskID = dag.TaskID
+
+	// Heuristic selects the mapper's processor-selection rule.
+	Heuristic = mapper.Heuristic
+	// LaxityMode selects how case-(iii) laxity is scattered.
+	LaxityMode = mapper.LaxityMode
+
+	// Workload describes a sporadic arrival process.
+	Workload = workload.Spec
+	// Arrival is one generated job arrival.
+	Arrival = workload.Arrival
+)
+
+// Job outcomes.
+const (
+	Pending             = core.Pending
+	AcceptedLocal       = core.AcceptedLocal
+	AcceptedDistributed = core.AcceptedDistributed
+	Rejected            = core.Rejected
+)
+
+// Mapper heuristics (paper §12 instance first).
+const (
+	HeuristicCPEFT       = mapper.HeuristicCPEFT
+	HeuristicBestSurplus = mapper.HeuristicBestSurplus
+	HeuristicRoundRobin  = mapper.HeuristicRoundRobin
+)
+
+// Laxity dispatching modes (§12.2 and §13).
+const (
+	LaxityUniform          = mapper.LaxityUniform
+	LaxityBusynessWeighted = mapper.LaxityBusynessWeighted
+)
+
+// DefaultConfig returns the configuration the experiments use.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewCluster builds a cluster over the topology and runs the one-time PCS
+// construction (paper §7).
+func NewCluster(topo *Network, cfg Config) (*Cluster, error) {
+	return core.NewCluster(topo, cfg)
+}
+
+// NewLiveCluster is NewCluster on the goroutine-backed transport; scale is
+// the wall-clock duration of one virtual time unit.
+func NewLiveCluster(topo *Network, cfg Config, scale time.Duration) (*LiveCluster, error) {
+	return core.NewLiveCluster(topo, cfg, scale)
+}
+
+// NewNetwork returns an empty topology with n sites; join sites with
+// AddLink (method AddEdge on Network).
+func NewNetwork(n int) *Network { return graph.New(n) }
+
+// NewRandomNetwork returns a connected random topology with roughly the
+// given average degree and link delays in [0.05, 0.3].
+func NewRandomNetwork(n int, avgDegree float64, seed int64) *Network {
+	return graph.RandomConnected(n, avgDegree, graph.DelayRange{Min: 0.05, Max: 0.3}, seed)
+}
+
+// NewRingNetwork, NewGridNetwork and NewTreeNetwork build classic shapes
+// with the given delay range.
+func NewRingNetwork(n int, delays DelayRange, seed int64) *Network {
+	return graph.Ring(n, delays, seed)
+}
+
+// NewGridNetwork builds a rows x cols mesh.
+func NewGridNetwork(rows, cols int, delays DelayRange, seed int64) *Network {
+	return graph.Grid(rows, cols, delays, seed)
+}
+
+// NewTreeNetwork builds a random tree.
+func NewTreeNetwork(n int, delays DelayRange, seed int64) *Network {
+	return graph.RandomTree(n, delays, seed)
+}
+
+// JobBuilder builds a job DAG fluently.
+type JobBuilder struct {
+	b *dag.Builder
+}
+
+// NewJob starts a job DAG with the given name.
+func NewJob(name string) *JobBuilder {
+	return &JobBuilder{b: dag.NewBuilder(name)}
+}
+
+// Task declares a task with its computational complexity.
+func (jb *JobBuilder) Task(id TaskID, complexity float64) *JobBuilder {
+	jb.b.AddTask(id, complexity)
+	return jb
+}
+
+// Edge declares a precedence constraint from -> to.
+func (jb *JobBuilder) Edge(from, to TaskID) *JobBuilder {
+	jb.b.AddEdge(from, to)
+	return jb
+}
+
+// Build validates the DAG.
+func (jb *JobBuilder) Build() (*DAG, error) { return jb.b.Build() }
+
+// MustBuild is Build but panics on error.
+func (jb *JobBuilder) MustBuild() *DAG { return jb.b.MustBuild() }
+
+// GenerateWorkload draws a sporadic arrival sequence from the spec.
+func GenerateWorkload(spec Workload) ([]Arrival, error) { return workload.Generate(spec) }
+
+// SubmitAll submits a generated arrival sequence to a cluster.
+func SubmitAll(c *Cluster, arrivals []Arrival) error {
+	for _, a := range arrivals {
+		if _, err := c.Submit(a.At, a.Origin, a.Graph, a.Deadline); err != nil {
+			return err
+		}
+	}
+	return nil
+}

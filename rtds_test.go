@@ -1,0 +1,120 @@
+package rtds_test
+
+import (
+	"testing"
+	"time"
+
+	rtds "repro"
+)
+
+// paperJob is the Fig. 2 DAG built through the public facade.
+func paperJob() *rtds.DAG {
+	return rtds.NewJob("fig2").
+		Task(1, 6).Task(2, 4).Task(3, 4).Task(4, 2).Task(5, 5).
+		Edge(1, 3).Edge(2, 3).Edge(1, 4).Edge(3, 5).Edge(4, 5).
+		MustBuild()
+}
+
+func TestFacadeQuickstart(t *testing.T) {
+	topo := rtds.NewRandomNetwork(8, 3, 42)
+	cluster, err := rtds.NewCluster(topo, rtds.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := cluster.Submit(0, 0, paperJob(), 66)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !job.Accepted() {
+		t.Fatalf("quickstart job rejected: %v/%s", job.Outcome, job.RejectStage)
+	}
+	if !job.MetDeadline() {
+		t.Fatal("quickstart job missed its deadline")
+	}
+}
+
+func TestFacadeTopologyBuilders(t *testing.T) {
+	delays := rtds.DelayRange{Min: 0.1, Max: 0.2}
+	nets := []*rtds.Network{
+		rtds.NewRingNetwork(6, delays, 1),
+		rtds.NewGridNetwork(3, 3, delays, 1),
+		rtds.NewTreeNetwork(7, delays, 1),
+		rtds.NewRandomNetwork(10, 3, 1),
+	}
+	for i, n := range nets {
+		if !n.Connected() {
+			t.Errorf("network %d disconnected", i)
+		}
+	}
+	manual := rtds.NewNetwork(3)
+	if err := manual.AddEdge(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := manual.AddEdge(1, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if !manual.Connected() {
+		t.Error("manual network disconnected")
+	}
+}
+
+func TestFacadeWorkload(t *testing.T) {
+	topo := rtds.NewRandomNetwork(8, 3, 7)
+	cluster, err := rtds.NewCluster(topo, rtds.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals, err := rtds.GenerateWorkload(rtds.Workload{
+		Sites:       8,
+		Horizon:     100,
+		RatePerSite: 0.05,
+		TaskSize:    5,
+		Tightness:   3,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rtds.SubmitAll(cluster, arrivals); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sum := cluster.Summarize()
+	if sum.Submitted != len(arrivals) {
+		t.Fatalf("summary covers %d jobs, submitted %d", sum.Submitted, len(arrivals))
+	}
+	for _, j := range cluster.Jobs() {
+		if j.Outcome == rtds.Pending {
+			t.Fatalf("job %s undecided", j.ID)
+		}
+	}
+}
+
+func TestFacadeLiveCluster(t *testing.T) {
+	topo := rtds.NewNetwork(3)
+	topo.MustAddEdge(0, 1, 0.05)
+	topo.MustAddEdge(1, 2, 0.05)
+	cfg := rtds.DefaultConfig()
+	cfg.EnrollSlack = 2
+	cfg.ReleasePadFactor = 25
+	live, err := rtds.NewLiveCluster(topo, cfg, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	job, err := live.Submit(0, 1, paperJob(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !live.Wait(30 * time.Second) {
+		t.Fatal("live cluster did not quiesce")
+	}
+	if !job.Accepted() {
+		t.Fatalf("live job rejected: %v/%s", job.Outcome, job.RejectStage)
+	}
+}
