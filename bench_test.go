@@ -83,6 +83,27 @@ func BenchmarkE8MapperHeuristics(b *testing.B) { benchTable(b, experiments.E8Map
 // BenchmarkE9PCSConstruction regenerates the E9 table.
 func BenchmarkE9PCSConstruction(b *testing.B) { benchTable(b, experiments.E9PCSConstruction) }
 
+// BenchmarkSuiteSerial runs the entire Quick suite serially — the baseline
+// the parallel runner is measured against.
+func BenchmarkSuiteSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.All(experiments.Quick, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteParallel runs the entire Quick suite on the worker pool at
+// GOMAXPROCS. On a 4+ core machine this is the ≥2x wall-time win the
+// harness banks on; on one core it degenerates to the serial cost.
+func BenchmarkSuiteParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(experiments.Quick, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkE10TransportDES measures one distributed admission end to end on
 // the deterministic transport.
 func BenchmarkE10TransportDES(b *testing.B) {

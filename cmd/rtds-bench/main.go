@@ -1,15 +1,20 @@
-// Command rtds-bench runs the full experiment suite (DESIGN.md §4) and
-// prints every table; -md emits GitHub-flavored markdown for EXPERIMENTS.md.
+// Command rtds-bench runs the full experiment suite (DESIGN.md §4) on a
+// parallel worker pool and prints every table; -md emits GitHub-flavored
+// markdown for EXPERIMENTS.md, -json writes the machine-readable suite
+// benchmark (per-experiment wall time, events/sec, guarantee ratios) so the
+// performance trajectory is tracked across PRs.
 //
 // Usage:
 //
-//	rtds-bench [-quick] [-md] [-seed N]
+//	rtds-bench [-quick] [-md] [-seed N] [-trials N] [-workers N] [-json] [-out FILE]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -18,25 +23,70 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "small networks/horizons (seconds instead of minutes)")
 	md := flag.Bool("md", false, "emit markdown tables")
-	seed := flag.Int64("seed", 1, "random seed for every experiment")
+	seed := flag.Int64("seed", 1, "base random seed for every experiment")
+	trials := flag.Int("trials", 1, "run the suite at seeds seed..seed+trials-1")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size (1 = serial)")
+	jsonOut := flag.Bool("json", false, "write the machine-readable suite benchmark")
+	outPath := flag.String("out", "BENCH_suite.json", "path of the -json report")
 	flag.Parse()
 
 	size := experiments.Full
 	if *quick {
 		size = experiments.Quick
 	}
+	if *trials < 1 {
+		*trials = 1
+	}
+	if *workers < 1 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	// One task per experiment×seed; trial-major order keeps each trial's
+	// tables contiguous and in suite order.
+	suite := experiments.Suite()
+	var tasks []experiments.Task
+	var seeds []int64
+	for t := 0; t < *trials; t++ {
+		s := *seed + int64(t)
+		seeds = append(seeds, s)
+		for _, n := range suite {
+			tasks = append(tasks, experiments.Task{Exp: n, Seed: s})
+		}
+	}
+
 	start := time.Now()
-	tables, err := experiments.All(size, *seed)
-	if err != nil {
+	results := experiments.RunTasks(size, tasks, *workers)
+	wall := time.Since(start)
+	if err := experiments.FirstError(results); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	for _, t := range tables {
+
+	// Print the first trial's tables (the historical rtds-bench output);
+	// additional trials only feed the JSON report.
+	for _, r := range results[:len(suite)] {
 		if *md {
-			fmt.Println(t.Markdown())
+			fmt.Println(r.Table.Markdown())
 		} else {
-			fmt.Println(t.String())
+			fmt.Println(r.Table.String())
 		}
 	}
-	fmt.Fprintf(os.Stderr, "suite completed in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *jsonOut {
+		rep := experiments.NewBenchReport(size, seeds, *workers, wall, results)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d experiment runs, %.0f events/sec)\n",
+			*outPath, len(rep.Experiments), rep.EventsPerSec)
+	}
+	fmt.Fprintf(os.Stderr, "suite completed in %v on %d workers (%d tasks)\n",
+		wall.Round(time.Millisecond), *workers, len(tasks))
 }

@@ -189,12 +189,15 @@ func NewCluster(topo *graph.Graph, cfg Config) (*Cluster, error) {
 		tr:       simnet.NewDES(engine, topo),
 		jobIndex: make(map[string]*core.Job),
 	}
+	// One synchronous-flow simulation yields every site's table; building
+	// them per site would redo the O(n)-round computation n times.
+	tables := routing.CentralTables(topo, topo.Len()-1)
 	for id := graph.NodeID(0); int(id) < topo.Len(); id++ {
 		s := &site{
 			id:      id,
 			c:       c,
 			plan:    schedule.NewNonPreemptive(),
-			table:   routing.CentralTable(topo, id, topo.Len()-1),
+			table:   tables[id],
 			surplus: make(map[graph.NodeID]float64),
 			seen:    make(map[graph.NodeID]int),
 			pending: make(map[string]*pendingJob),
@@ -210,10 +213,10 @@ func NewCluster(topo *graph.Graph, cfg Config) (*Cluster, error) {
 		announce = func() {
 			s.floodSurplus()
 			if engine.Now()+cfg.SurplusPeriod <= cfg.Horizon {
-				engine.After(cfg.SurplusPeriod, announce)
+				engine.AfterFixed(cfg.SurplusPeriod, announce)
 			}
 		}
-		engine.At(0, announce)
+		engine.AtFixed(0, announce)
 	}
 	return c, nil
 }
@@ -240,7 +243,7 @@ func (c *Cluster) Submit(at float64, origin graph.NodeID, g *dag.Graph, relDeadl
 	c.jobIndex[job.ID] = job
 	c.mu.Unlock()
 	s := c.sites[origin]
-	c.engine.At(at, func() { s.jobArrives(job) })
+	c.engine.AtFixed(at, func() { s.jobArrives(job) })
 	return job, nil
 }
 
@@ -256,6 +259,9 @@ func (c *Cluster) Jobs() []*core.Job {
 
 // Stats exposes communication counters.
 func (c *Cluster) Stats() *simnet.Stats { return c.tr.Stats() }
+
+// EventsProcessed reports how many discrete events the engine has fired.
+func (c *Cluster) EventsProcessed() int64 { return c.engine.Processed() }
 
 // GuaranteeRatio is accepted / submitted.
 func (c *Cluster) GuaranteeRatio() float64 {

@@ -104,7 +104,7 @@ func (c *Cluster) Submit(at float64, origin graph.NodeID, g *dag.Graph, relDeadl
 	c.jobIndex[job.ID] = job
 	c.mu.Unlock()
 	site := c.sites[origin]
-	c.engine.At(job.Arrival, func() { site.jobArrives(job) })
+	c.engine.AtFixed(job.Arrival, func() { site.jobArrives(job) })
 	return job, nil
 }
 
@@ -132,6 +132,16 @@ func (c *Cluster) BootstrapCost() (messages, bytes int64) {
 	return c.bootstrapMessages, c.bootstrapBytes
 }
 
+// EventsProcessed reports how many discrete events the underlying engine has
+// fired (0 on the live transport, which has no event queue). The experiment
+// harness aggregates this into its events/sec throughput metric.
+func (c *Cluster) EventsProcessed() int64 {
+	if c.engine == nil {
+		return 0
+	}
+	return c.engine.Processed()
+}
+
 // Violations lists causality violations detected during execution. A sound
 // run has none; tests assert emptiness.
 func (c *Cluster) Violations() []string {
@@ -142,7 +152,9 @@ func (c *Cluster) Violations() []string {
 
 // AllIdle reports whether every site has released its lock, drained its
 // deferred queue and closed its transactions — the expected state once the
-// event queue is empty. Tests assert it.
+// event queue is empty. Tests assert it. This reads site state directly and
+// is only safe on the single-threaded DES transport; LiveCluster shadows it
+// with a probe routed through each site's execution context.
 func (c *Cluster) AllIdle() bool {
 	for _, s := range c.sites {
 		if s.locked() || len(s.deferred) > 0 || len(s.txns) > 0 {

@@ -67,7 +67,13 @@ func NewLiveCluster(topo *graph.Graph, cfg Config, scale time.Duration) (*LiveCl
 
 // Submit injects a job arrival `at` virtual time units after the epoch
 // (0 = as soon as possible) through the origin site's execution context.
+// Validation matches the DES Cluster.Submit exactly so the two transports
+// keep equivalent APIs; the only live-specific adjustment is clamping an
+// arrival the wall clock has already passed up to now.
 func (lc *LiveCluster) Submit(at float64, origin graph.NodeID, g *dag.Graph, relDeadline float64) (*Job, error) {
+	if at < 0 {
+		return nil, fmt.Errorf("core: negative submission time %v", at)
+	}
 	if int(origin) < 0 || int(origin) >= len(lc.sites) {
 		return nil, fmt.Errorf("core: origin site %d out of range", origin)
 	}
@@ -107,6 +113,29 @@ func (lc *LiveCluster) Submit(at float64, origin graph.NodeID, g *dag.Graph, rel
 // scheduled) or the timeout elapses.
 func (lc *LiveCluster) Wait(timeout time.Duration) bool {
 	return lc.live.WaitIdle(timeout)
+}
+
+// AllIdle reports whether every site has released its lock, drained its
+// deferred queue and closed its transactions. Unlike the DES cluster's
+// check, site state here is owned by per-site goroutines, so each probe is
+// routed through its site's execution context instead of reading the fields
+// from the caller's goroutine (which would race with message handlers).
+// Must not be called after Close.
+func (lc *LiveCluster) AllIdle() bool {
+	results := make(chan bool, len(lc.sites))
+	for _, s := range lc.sites {
+		s := s
+		lc.live.After(s.id, 0, func() {
+			results <- !s.locked() && len(s.deferred) == 0 && len(s.txns) == 0
+		})
+	}
+	idle := true
+	for range lc.sites {
+		if !<-results {
+			idle = false
+		}
+	}
+	return idle
 }
 
 // Close shuts down the transport goroutines.

@@ -70,6 +70,68 @@ func TestLiveMatchesDESDecisions(t *testing.T) {
 	}
 }
 
+// TestLiveAllIdleDuringTraffic calls AllIdle concurrently with protocol
+// activity. The probe is routed through each site's execution context, so
+// under -race this test proves the check no longer reads site state from a
+// foreign goroutine (the seed's Cluster.AllIdle raced with handlers here).
+func TestLiveAllIdleDuringTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnrollSlack = 2
+	cfg.ReleasePadFactor = 25
+	topo := fastLine(3)
+	live, err := NewLiveCluster(topo, cfg, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	// Distribution-forcing deadline (as in TestLiveMatchesDESDecisions) keeps
+	// lock/transaction traffic flowing between the sites while we probe.
+	job, err := live.Submit(0, 0, parJob(t, 2, 10), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			live.AllIdle() // value irrelevant mid-run; must not race
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	<-done
+	if !live.Wait(30 * time.Second) {
+		t.Fatal("live cluster did not quiesce")
+	}
+	if job.Outcome != AcceptedDistributed {
+		t.Fatalf("outcome %v, want %v", job.Outcome, AcceptedDistributed)
+	}
+	if !live.AllIdle() {
+		t.Fatal("cluster not idle after quiescence")
+	}
+}
+
+// TestLiveSubmitValidatesLikeDES: the live transport must reject the same
+// invalid submissions the DES transport rejects, instead of silently
+// clamping negative arrival times.
+func TestLiveSubmitValidatesLikeDES(t *testing.T) {
+	topo := fastLine(2)
+	live, err := NewLiveCluster(topo, DefaultConfig(), 100*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	g := parJob(t, 1, 5)
+	if _, err := live.Submit(-1, 0, g, 50); err == nil {
+		t.Error("negative submission time accepted")
+	}
+	if _, err := live.Submit(0, 99, g, 50); err == nil {
+		t.Error("out-of-range origin accepted")
+	}
+	if _, err := live.Submit(0, 0, g, 0); err == nil {
+		t.Error("non-positive deadline accepted")
+	}
+}
+
 func TestLiveClusterBootstrap(t *testing.T) {
 	topo := fastLine(4)
 	live, err := NewLiveCluster(topo, DefaultConfig(), 100*time.Microsecond)

@@ -30,6 +30,12 @@ type Site struct {
 	table      *routing.Table
 	pcs        []graph.NodeID // sphere members, self excluded
 	sphereDiam float64        // max known delay to a sphere member
+	// distVec is the site's distance vector, precomputed once when the
+	// (immutable after bootstrap) table is final. It is shared by reference
+	// in every enrollAck this site sends; receivers treat Dists as
+	// read-only, so rebuilding/sorting it per enrollment would only burn
+	// the protocol's hottest path.
+	distVec []distEntry
 
 	// Lock (§8): while locked the site defers all other scheduling activity.
 	lockedBy graph.NodeID
@@ -122,6 +128,11 @@ func newSite(id graph.NodeID, c *Cluster) *Site {
 				}
 			}
 			s.sphereDiam = t.SphereDelayDiameter(c.cfg.Radius)
+			for _, dest := range t.Destinations() {
+				if dest != id {
+					s.distVec = append(s.distVec, distEntry{Dest: dest, Dist: t.Dist(dest)})
+				}
+			}
 		},
 	)
 	return s
@@ -321,19 +332,12 @@ func (s *Site) onEnroll(src graph.NodeID, m enrollReq) {
 		return
 	}
 	s.lock(m.Initiator, m.Job)
-	var dists []distEntry
-	for _, dest := range s.table.Destinations() {
-		if dest == s.id {
-			continue
-		}
-		dists = append(dists, distEntry{Dest: dest, Dist: s.table.Dist(dest)})
-	}
 	s.sendTo(m.Initiator, enrollAck{
 		Job:     m.Job,
 		Member:  s.id,
 		Surplus: s.plan.Surplus(s.now(), s.cluster.cfg.SurplusWindow),
 		Power:   s.power,
-		Dists:   dists,
+		Dists:   s.distVec,
 	})
 }
 

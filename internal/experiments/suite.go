@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -58,8 +60,10 @@ func stdSpec(sites int, horizon float64, seed int64) workload.Spec {
 	}
 }
 
-// runRTDS drives a full cluster run over an arrival sequence.
-func runRTDS(topo *graph.Graph, cfg core.Config, arrivals []workload.Arrival) (core.Summary, error) {
+// runRTDS drives a full cluster run over an arrival sequence, recording the
+// simulation's event count against the enclosing suite task.
+func (env *runEnv) runRTDS(topo *graph.Graph, cfg core.Config, arrivals []workload.Arrival) (core.Summary, error) {
+	start := time.Now()
 	c, err := core.NewCluster(topo, cfg)
 	if err != nil {
 		return core.Summary{}, err
@@ -69,7 +73,9 @@ func runRTDS(topo *graph.Graph, cfg core.Config, arrivals []workload.Arrival) (c
 			return core.Summary{}, err
 		}
 	}
-	if err := c.Run(); err != nil {
+	err = c.Run()
+	env.note(c.EventsProcessed(), time.Since(start))
+	if err != nil {
 		return core.Summary{}, err
 	}
 	if v := c.Violations(); len(v) > 0 {
@@ -79,7 +85,8 @@ func runRTDS(topo *graph.Graph, cfg core.Config, arrivals []workload.Arrival) (c
 }
 
 // runFAB drives the focused addressing + bidding baseline.
-func runFAB(topo *graph.Graph, horizon float64, arrivals []workload.Arrival) (ratio, msgsPerJob float64, err error) {
+func (env *runEnv) runFAB(topo *graph.Graph, horizon float64, arrivals []workload.Arrival) (ratio, msgsPerJob float64, err error) {
+	start := time.Now()
 	c, err := baseline.NewCluster(topo, baseline.DefaultConfig(horizon))
 	if err != nil {
 		return 0, 0, err
@@ -89,7 +96,9 @@ func runFAB(topo *graph.Graph, horizon float64, arrivals []workload.Arrival) (ra
 			return 0, 0, err
 		}
 	}
-	if err := c.Run(); err != nil {
+	err = c.Run()
+	env.note(c.EventsProcessed(), time.Since(start))
+	if err != nil {
 		return 0, 0, err
 	}
 	n := len(c.Jobs())
@@ -123,91 +132,128 @@ func arrivalsForLoad(spec workload.Spec, load float64) ([]workload.Arrival, erro
 }
 
 // E1GuaranteeVsLoad: guarantee ratio as offered load grows, RTDS vs
-// LocalOnly vs BroadcastSphere vs Focused-Addressing/Bidding.
-func E1GuaranteeVsLoad(size Size, seed int64) (*metrics.Table, error) {
-	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
-	tbl := metrics.NewTable(
+// LocalOnly vs BroadcastSphere vs Focused-Addressing/Bidding. Sharded per
+// load point: every row derives all state from (seed, load) alone.
+var e1Loads = []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2}
+
+func e1Shards(Size) int { return len(e1Loads) }
+
+func e1Table(size Size) *metrics.Table {
+	return metrics.NewTable(
 		fmt.Sprintf("E1 — guarantee ratio vs offered load (%d sites, h=3, tightness 2.5)", size.sites()),
 		"load", "oracle", "rtds", "local-only", "broadcast", "fa-bidding")
-	for _, load := range []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2} {
-		spec := stdSpec(size.sites(), size.horizon(), seed+int64(load*100))
-		arrivals, err := arrivalsForLoad(spec, load)
-		if err != nil {
-			return nil, err
-		}
-		rtds, err := runRTDS(topo, spreadCfg(), arrivals)
-		if err != nil {
-			return nil, err
-		}
-		localCfg := core.DefaultConfig()
-		localCfg.LocalOnly = true
-		local, err := runRTDS(topo, localCfg, arrivals)
-		if err != nil {
-			return nil, err
-		}
-		bcast, err := runRTDS(topo, broadcastCfg(topo), arrivals)
-		if err != nil {
-			return nil, err
-		}
-		fabRatio, _, err := runFAB(topo, size.horizon(), arrivals)
-		if err != nil {
-			return nil, err
-		}
-		// Clairvoyant centralized upper bound: exact global knowledge, zero
-		// protocol latency and message cost.
-		oracle := baseline.NewOracle(topo)
-		for _, a := range arrivals {
-			oracle.Submit(a.At, a.Origin, a.Graph, a.Deadline)
-		}
-		tbl.AddRow(load, oracle.GuaranteeRatio(), rtds.GuaranteeRatio,
-			local.GuaranteeRatio, bcast.GuaranteeRatio, fabRatio)
+}
+
+func e1Row(env *runEnv, size Size, seed int64, shard int) ([][]any, error) {
+	load := e1Loads[shard]
+	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
+	spec := stdSpec(size.sites(), size.horizon(), seed+int64(load*100))
+	arrivals, err := arrivalsForLoad(spec, load)
+	if err != nil {
+		return nil, err
 	}
-	return tbl, nil
+	rtds, err := env.runRTDS(topo, spreadCfg(), arrivals)
+	if err != nil {
+		return nil, err
+	}
+	localCfg := core.DefaultConfig()
+	localCfg.LocalOnly = true
+	local, err := env.runRTDS(topo, localCfg, arrivals)
+	if err != nil {
+		return nil, err
+	}
+	bcast, err := env.runRTDS(topo, broadcastCfg(topo), arrivals)
+	if err != nil {
+		return nil, err
+	}
+	fabRatio, _, err := env.runFAB(topo, size.horizon(), arrivals)
+	if err != nil {
+		return nil, err
+	}
+	// Clairvoyant centralized upper bound: exact global knowledge, zero
+	// protocol latency and message cost.
+	oracle := baseline.NewOracle(topo)
+	for _, a := range arrivals {
+		oracle.Submit(a.At, a.Origin, a.Graph, a.Deadline)
+	}
+	return [][]any{{load, oracle.GuaranteeRatio(), rtds.GuaranteeRatio,
+		local.GuaranteeRatio, bcast.GuaranteeRatio, fabRatio}}, nil
+}
+
+func e1GuaranteeVsLoad(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
+	return runShardsSerially(env, size, seed, e1Shards, e1Table, e1Row)
 }
 
 // E2MessagesVsNetworkSize: communication cost per job as the network grows —
 // the paper's central claim: spheres keep traffic bounded while broadcast
-// schemes scale with N.
-func E2MessagesVsNetworkSize(size Size, seed int64) (*metrics.Table, error) {
-	sizes := []int{8, 16, 32}
+// schemes scale with N. Sharded per network size — the 128-site point costs
+// orders of magnitude more than the 8-site point, so row-level fan-out is
+// what lets the pool balance the suite.
+func e2Sizes(size Size) []int {
 	if size == Full {
-		sizes = []int{8, 16, 32, 64, 128}
+		return []int{8, 16, 32, 64, 128}
 	}
-	tbl := metrics.NewTable(
+	return []int{8, 16, 32}
+}
+
+func e2Shards(size Size) int { return len(e2Sizes(size)) }
+
+func e2Table(Size) *metrics.Table {
+	return metrics.NewTable(
 		"E2 — messages per job vs network size (load 0.6, h=2)",
 		"sites", "rtds msgs/job", "broadcast msgs/job", "fa-bidding msgs/job", "rtds ratio", "broadcast ratio")
-	for _, n := range sizes {
-		topo := graph.RandomConnected(n, 3, stdDelays, seed+int64(n))
-		spec := stdSpec(n, size.horizon(), seed+int64(n))
-		arrivals, err := arrivalsForLoad(spec, 0.6)
-		if err != nil {
-			return nil, err
-		}
+}
+
+func e2Row(env *runEnv, size Size, seed int64, shard int) ([][]any, error) {
+	n := e2Sizes(size)[shard]
+	topo := graph.RandomConnected(n, 3, stdDelays, seed+int64(n))
+	spec := stdSpec(n, size.horizon(), seed+int64(n))
+	arrivals, err := arrivalsForLoad(spec, 0.6)
+	if err != nil {
+		return nil, err
+	}
+	// The three schemes are independent simulations over the same arrival
+	// sequence; at 128 sites the broadcast run alone costs seconds, so run
+	// them concurrently instead of back to back — otherwise this one shard
+	// bounds the whole suite's parallel wall time.
+	var rtds, bcast core.Summary
+	var fabMsgs float64
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
 		// h=2 keeps the sphere well below the network size at every point
 		// of the sweep, which is the regime the paper's locality argument
 		// addresses.
 		localityCfg := spreadCfg()
 		localityCfg.Radius = 2
-		rtds, err := runRTDS(topo, localityCfg, arrivals)
+		rtds, errs[0] = env.runRTDS(topo, localityCfg, arrivals)
+	}()
+	go func() {
+		defer wg.Done()
+		bcast, errs[1] = env.runRTDS(topo, broadcastCfg(topo), arrivals)
+	}()
+	go func() {
+		defer wg.Done()
+		_, fabMsgs, errs[2] = env.runFAB(topo, size.horizon(), arrivals)
+	}()
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		bcast, err := runRTDS(topo, broadcastCfg(topo), arrivals)
-		if err != nil {
-			return nil, err
-		}
-		_, fabMsgs, err := runFAB(topo, size.horizon(), arrivals)
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(n, rtds.MessagesPerJob, bcast.MessagesPerJob, fabMsgs,
-			rtds.GuaranteeRatio, bcast.GuaranteeRatio)
 	}
-	return tbl, nil
+	return [][]any{{n, rtds.MessagesPerJob, bcast.MessagesPerJob, fabMsgs,
+		rtds.GuaranteeRatio, bcast.GuaranteeRatio}}, nil
+}
+
+func e2MessagesVsNetworkSize(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
+	return runShardsSerially(env, size, seed, e2Shards, e2Table, e2Row)
 }
 
 // E3SphereRadius: the locality trade-off of the Computing Sphere concept.
-func E3SphereRadius(size Size, seed int64) (*metrics.Table, error) {
+func e3SphereRadius(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
 	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
 	spec := stdSpec(size.sites(), size.horizon(), seed)
 	arrivals, err := arrivalsForLoad(spec, 0.8)
@@ -218,6 +264,7 @@ func E3SphereRadius(size Size, seed int64) (*metrics.Table, error) {
 		fmt.Sprintf("E3 — sphere radius trade-off (%d sites, load 0.8)", size.sites()),
 		"h", "ratio", "msgs/job", "mean ACS", "bootstrap msgs")
 	for h := 1; h <= 5; h++ {
+		start := time.Now()
 		cfg := core.DefaultConfig()
 		cfg.Radius = h
 		c, err := core.NewCluster(topo, cfg)
@@ -229,7 +276,9 @@ func E3SphereRadius(size Size, seed int64) (*metrics.Table, error) {
 				return nil, err
 			}
 		}
-		if err := c.Run(); err != nil {
+		err = c.Run()
+		env.note(c.EventsProcessed(), time.Since(start))
+		if err != nil {
 			return nil, err
 		}
 		if v := c.Violations(); len(v) > 0 {
@@ -243,32 +292,41 @@ func E3SphereRadius(size Size, seed int64) (*metrics.Table, error) {
 }
 
 // E4DeadlineTightness: admission quality of the window adjustment
-// (eqs. 3–5) as deadlines tighten.
-func E4DeadlineTightness(size Size, seed int64) (*metrics.Table, error) {
-	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
-	tbl := metrics.NewTable(
+// (eqs. 3–5) as deadlines tighten. Sharded per tightness point.
+var e4Tightness = []float64{1.2, 1.5, 2, 3, 4, 6}
+
+func e4Shards(Size) int { return len(e4Tightness) }
+
+func e4Table(size Size) *metrics.Table {
+	return metrics.NewTable(
 		fmt.Sprintf("E4 — guarantee ratio vs deadline tightness (%d sites, load 0.6)", size.sites()),
 		"tightness", "rtds", "local-only")
-	for _, tight := range []float64{1.2, 1.5, 2, 3, 4, 6} {
-		spec := stdSpec(size.sites(), size.horizon(), seed+int64(tight*10))
-		spec.Tightness = tight
-		arrivals, err := arrivalsForLoad(spec, 0.6)
-		if err != nil {
-			return nil, err
-		}
-		rtds, err := runRTDS(topo, spreadCfg(), arrivals)
-		if err != nil {
-			return nil, err
-		}
-		localCfg := core.DefaultConfig()
-		localCfg.LocalOnly = true
-		local, err := runRTDS(topo, localCfg, arrivals)
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(tight, rtds.GuaranteeRatio, local.GuaranteeRatio)
+}
+
+func e4Row(env *runEnv, size Size, seed int64, shard int) ([][]any, error) {
+	tight := e4Tightness[shard]
+	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
+	spec := stdSpec(size.sites(), size.horizon(), seed+int64(tight*10))
+	spec.Tightness = tight
+	arrivals, err := arrivalsForLoad(spec, 0.6)
+	if err != nil {
+		return nil, err
 	}
-	return tbl, nil
+	rtds, err := env.runRTDS(topo, spreadCfg(), arrivals)
+	if err != nil {
+		return nil, err
+	}
+	localCfg := core.DefaultConfig()
+	localCfg.LocalOnly = true
+	local, err := env.runRTDS(topo, localCfg, arrivals)
+	if err != nil {
+		return nil, err
+	}
+	return [][]any{{tight, rtds.GuaranteeRatio, local.GuaranteeRatio}}, nil
+}
+
+func e4DeadlineTightness(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
+	return runShardsSerially(env, size, seed, e4Shards, e4Table, e4Row)
 }
 
 // E5LaxityDispatch: §13's busyness-weighted laxity scattering vs the
@@ -277,7 +335,7 @@ func E4DeadlineTightness(size Size, seed int64) (*metrics.Table, error) {
 // and measures (a) how often the adjusted windows stay self-consistent and
 // (b) how much slack tasks on the busiest processor receive — the quantity
 // the weighted variant is designed to increase.
-func E5LaxityDispatch(size Size, seed int64) (*metrics.Table, error) {
+func e5LaxityDispatch(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
 	trials := 300
 	if size == Full {
 		trials = 2000
@@ -340,7 +398,7 @@ func E5LaxityDispatch(size Size, seed int64) (*metrics.Table, error) {
 
 // E6UniformMachines: the §13 related-machines extension — heterogeneous
 // computing powers with the same aggregate capacity.
-func E6UniformMachines(size Size, seed int64) (*metrics.Table, error) {
+func e6UniformMachines(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
 	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
 	spec := stdSpec(size.sites(), size.horizon(), seed)
 	arrivals, err := arrivalsForLoad(spec, 0.7)
@@ -351,7 +409,7 @@ func E6UniformMachines(size Size, seed int64) (*metrics.Table, error) {
 		"E6 — identical vs uniform (related) machines, equal aggregate capacity",
 		"machines", "ratio", "accepted-dist")
 
-	identical, err := runRTDS(topo, spreadCfg(), arrivals)
+	identical, err := env.runRTDS(topo, spreadCfg(), arrivals)
 	if err != nil {
 		return nil, err
 	}
@@ -370,7 +428,7 @@ func E6UniformMachines(size Size, seed int64) (*metrics.Table, error) {
 	}
 	cfg := spreadCfg()
 	cfg.Powers = powers
-	hetero, err := runRTDS(topo, cfg, arrivals)
+	hetero, err := env.runRTDS(topo, cfg, arrivals)
 	if err != nil {
 		return nil, err
 	}
@@ -379,7 +437,7 @@ func E6UniformMachines(size Size, seed int64) (*metrics.Table, error) {
 }
 
 // E7Preemption: the §13 preemptive case against the non-preemptive default.
-func E7Preemption(size Size, seed int64) (*metrics.Table, error) {
+func e7Preemption(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
 	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
 	spec := stdSpec(size.sites(), size.horizon(), seed)
 	spec.Tightness = 1.8
@@ -393,7 +451,7 @@ func E7Preemption(size Size, seed int64) (*metrics.Table, error) {
 	for _, pre := range []bool{false, true} {
 		cfg := spreadCfg()
 		cfg.Preemptive = pre
-		sum, err := runRTDS(topo, cfg, arrivals)
+		sum, err := env.runRTDS(topo, cfg, arrivals)
 		if err != nil {
 			return nil, err
 		}
@@ -408,7 +466,7 @@ func E7Preemption(size Size, seed int64) (*metrics.Table, error) {
 
 // E8MapperHeuristics: §9 says "almost any heuristic can be adapted"; this
 // ablation compares the paper's CP-EFT instance with two naive selectors.
-func E8MapperHeuristics(size Size, seed int64) (*metrics.Table, error) {
+func e8MapperHeuristics(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
 	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
 	spec := stdSpec(size.sites(), size.horizon(), seed)
 	arrivals, err := arrivalsForLoad(spec, 0.8)
@@ -422,7 +480,7 @@ func E8MapperHeuristics(size Size, seed int64) (*metrics.Table, error) {
 		mapper.HeuristicBestSurplus, mapper.HeuristicRoundRobin} {
 		cfg := spreadCfg()
 		cfg.Heuristic = h
-		sum, err := runRTDS(topo, cfg, arrivals)
+		sum, err := env.runRTDS(topo, cfg, arrivals)
 		if err != nil {
 			return nil, err
 		}
@@ -434,41 +492,50 @@ func E8MapperHeuristics(size Size, seed int64) (*metrics.Table, error) {
 // E11DataVolumes: the §13 data-volume extension — guarantee ratio as
 // transfers become more expensive relative to computation. Every DAG edge
 // carries a volume; the x axis is the mean transfer time vol/throughput in
-// units of mean task duration.
-func E11DataVolumes(size Size, seed int64) (*metrics.Table, error) {
-	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
-	tbl := metrics.NewTable(
+// units of mean task duration. Sharded per CCR point.
+var e11CCRs = []float64{0, 0.25, 0.5, 1, 2}
+
+func e11Shards(Size) int { return len(e11CCRs) }
+
+func e11Table(size Size) *metrics.Table {
+	return metrics.NewTable(
 		fmt.Sprintf("E11 — data volumes (%d sites, load 0.6): transfer cost vs guarantee ratio", size.sites()),
 		"transfer/compute", "ratio", "accepted-dist", "bytes/job")
-	for _, ccr := range []float64{0, 0.25, 0.5, 1, 2} {
-		spec := stdSpec(size.sites(), size.horizon(), seed+int64(ccr*100))
-		arrivals, err := arrivalsForLoad(spec, 0.6)
-		if err != nil {
-			return nil, err
-		}
-		// Decorate every job's edges with volumes so that, at throughput 1,
-		// the mean transfer time is ccr x the mean task complexity.
-		meanC := (spec.Params.MinComplexity + spec.Params.MaxComplexity) / 2
-		decorated := make([]workload.Arrival, len(arrivals))
-		for i, a := range arrivals {
-			decorated[i] = a
-			decorated[i].Graph = withVolumes(a.Graph, ccr*meanC, seed+int64(i))
-		}
-		cfg := spreadCfg()
-		if ccr > 0 {
-			cfg.Throughput = 1
-		}
-		sum, err := runRTDS(topo, cfg, decorated)
-		if err != nil {
-			return nil, err
-		}
-		bytesPerJob := 0.0
-		if sum.Submitted > 0 {
-			bytesPerJob = float64(sum.Bytes) / float64(sum.Submitted)
-		}
-		tbl.AddRow(ccr, sum.GuaranteeRatio, sum.AcceptedDistributed, bytesPerJob)
+}
+
+func e11Row(env *runEnv, size Size, seed int64, shard int) ([][]any, error) {
+	ccr := e11CCRs[shard]
+	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
+	spec := stdSpec(size.sites(), size.horizon(), seed+int64(ccr*100))
+	arrivals, err := arrivalsForLoad(spec, 0.6)
+	if err != nil {
+		return nil, err
 	}
-	return tbl, nil
+	// Decorate every job's edges with volumes so that, at throughput 1,
+	// the mean transfer time is ccr x the mean task complexity.
+	meanC := (spec.Params.MinComplexity + spec.Params.MaxComplexity) / 2
+	decorated := make([]workload.Arrival, len(arrivals))
+	for i, a := range arrivals {
+		decorated[i] = a
+		decorated[i].Graph = withVolumes(a.Graph, ccr*meanC, seed+int64(i))
+	}
+	cfg := spreadCfg()
+	if ccr > 0 {
+		cfg.Throughput = 1
+	}
+	sum, err := env.runRTDS(topo, cfg, decorated)
+	if err != nil {
+		return nil, err
+	}
+	bytesPerJob := 0.0
+	if sum.Submitted > 0 {
+		bytesPerJob = float64(sum.Bytes) / float64(sum.Submitted)
+	}
+	return [][]any{{ccr, sum.GuaranteeRatio, sum.AcceptedDistributed, bytesPerJob}}, nil
+}
+
+func e11DataVolumes(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
+	return runShardsSerially(env, size, seed, e11Shards, e11Table, e11Row)
 }
 
 // withVolumes rebuilds a DAG with every edge carrying a volume drawn
@@ -491,57 +558,101 @@ func withVolumes(g *dag.Graph, meanVol float64, seed int64) *dag.Graph {
 }
 
 // E9PCSConstruction: the one-time cost of the interrupted distance-vector
-// bootstrap (§7) as a function of radius and network size.
-func E9PCSConstruction(size Size, seed int64) (*metrics.Table, error) {
-	sizes := []int{16, 32}
+// bootstrap (§7) as a function of radius and network size. Sharded per
+// network size; each shard contributes the four radius rows of its size.
+func e9Sizes(size Size) []int {
 	if size == Full {
-		sizes = []int{16, 32, 64, 128}
+		return []int{16, 32, 64, 128}
 	}
-	tbl := metrics.NewTable(
-		"E9 — PCS construction cost (messages = rounds × 2|E|)",
-		"sites", "h", "rounds", "messages", "bytes", "mean sphere")
-	for _, n := range sizes {
-		topo := graph.RandomConnected(n, 3, stdDelays, seed+int64(n))
-		for _, h := range []int{1, 2, 3, 4} {
-			cfg := core.DefaultConfig()
-			cfg.Radius = h
-			c, err := core.NewCluster(topo, cfg)
-			if err != nil {
-				return nil, err
-			}
-			msgs, bytes := c.BootstrapCost()
-			var sphereSum float64
-			for id := 0; id < n; id++ {
-				sphereSum += float64(len(c.SiteSphere(graph.NodeID(id))))
-			}
-			tbl.AddRow(n, h, 2*h-1, msgs, bytes, sphereSum/float64(n))
-		}
-	}
-	return tbl, nil
+	return []int{16, 32}
 }
 
-// All runs the entire suite (paper example first) and returns the tables in
-// a stable order.
-func All(size Size, seed int64) ([]*metrics.Table, error) {
-	var tables []*metrics.Table
-	paper, err := PaperExample()
-	if err != nil {
-		return nil, err
-	}
-	if err := VerifyPaperExample(paper); err != nil {
-		return nil, fmt.Errorf("paper example mismatch: %w", err)
-	}
-	tables = append(tables, paper.Table1)
-	for _, run := range []func(Size, int64) (*metrics.Table, error){
-		E1GuaranteeVsLoad, E2MessagesVsNetworkSize, E3SphereRadius,
-		E4DeadlineTightness, E5LaxityDispatch, E6UniformMachines,
-		E7Preemption, E8MapperHeuristics, E9PCSConstruction, E11DataVolumes,
-	} {
-		t, err := run(size, seed)
+func e9Shards(size Size) int { return len(e9Sizes(size)) }
+
+func e9Table(Size) *metrics.Table {
+	return metrics.NewTable(
+		"E9 — PCS construction cost (messages = rounds × 2|E|)",
+		"sites", "h", "rounds", "messages", "bytes", "mean sphere")
+}
+
+func e9Row(env *runEnv, size Size, seed int64, shard int) ([][]any, error) {
+	n := e9Sizes(size)[shard]
+	topo := graph.RandomConnected(n, 3, stdDelays, seed+int64(n))
+	var rows [][]any
+	for _, h := range []int{1, 2, 3, 4} {
+		start := time.Now()
+		cfg := core.DefaultConfig()
+		cfg.Radius = h
+		c, err := core.NewCluster(topo, cfg)
 		if err != nil {
 			return nil, err
 		}
-		tables = append(tables, t)
+		env.note(c.EventsProcessed(), time.Since(start))
+		msgs, bytes := c.BootstrapCost()
+		var sphereSum float64
+		for id := 0; id < n; id++ {
+			sphereSum += float64(len(c.SiteSphere(graph.NodeID(id))))
+		}
+		rows = append(rows, []any{n, h, 2*h - 1, msgs, bytes, sphereSum / float64(n)})
 	}
-	return tables, nil
+	return rows, nil
+}
+
+func e9PCSConstruction(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
+	return runShardsSerially(env, size, seed, e9Shards, e9Table, e9Row)
+}
+
+// ---------------------------------------------------------------------------
+// Exported experiment entry points. Each wrapper runs the experiment with
+// fresh instrumentation; the suite runner invokes the env-taking variants
+// directly so it can attribute events/sec per task.
+
+// E1GuaranteeVsLoad runs E1 standalone.
+func E1GuaranteeVsLoad(size Size, seed int64) (*metrics.Table, error) {
+	return e1GuaranteeVsLoad(new(runEnv), size, seed)
+}
+
+// E2MessagesVsNetworkSize runs E2 standalone.
+func E2MessagesVsNetworkSize(size Size, seed int64) (*metrics.Table, error) {
+	return e2MessagesVsNetworkSize(new(runEnv), size, seed)
+}
+
+// E3SphereRadius runs E3 standalone.
+func E3SphereRadius(size Size, seed int64) (*metrics.Table, error) {
+	return e3SphereRadius(new(runEnv), size, seed)
+}
+
+// E4DeadlineTightness runs E4 standalone.
+func E4DeadlineTightness(size Size, seed int64) (*metrics.Table, error) {
+	return e4DeadlineTightness(new(runEnv), size, seed)
+}
+
+// E5LaxityDispatch runs E5 standalone.
+func E5LaxityDispatch(size Size, seed int64) (*metrics.Table, error) {
+	return e5LaxityDispatch(new(runEnv), size, seed)
+}
+
+// E6UniformMachines runs E6 standalone.
+func E6UniformMachines(size Size, seed int64) (*metrics.Table, error) {
+	return e6UniformMachines(new(runEnv), size, seed)
+}
+
+// E7Preemption runs E7 standalone.
+func E7Preemption(size Size, seed int64) (*metrics.Table, error) {
+	return e7Preemption(new(runEnv), size, seed)
+}
+
+// E8MapperHeuristics runs E8 standalone.
+func E8MapperHeuristics(size Size, seed int64) (*metrics.Table, error) {
+	return e8MapperHeuristics(new(runEnv), size, seed)
+}
+
+// E9PCSConstruction runs E9 standalone.
+func E9PCSConstruction(size Size, seed int64) (*metrics.Table, error) {
+	return e9PCSConstruction(new(runEnv), size, seed)
+}
+
+// E11DataVolumes runs E11 standalone.
+func E11DataVolumes(size Size, seed int64) (*metrics.Table, error) {
+	return e11DataVolumes(new(runEnv), size, seed)
 }

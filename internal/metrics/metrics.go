@@ -146,6 +146,14 @@ func formatFloat(v float64) string {
 // NumRows reports the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Cell returns the formatted cell at (row, col); empty when out of range.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.rows) || col < 0 || col >= len(t.rows[row]) {
+		return ""
+	}
+	return t.rows[row][col]
+}
+
 // String renders the table with aligned columns.
 func (t *Table) String() string {
 	widths := make([]int, len(t.Headers))

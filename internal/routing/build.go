@@ -49,16 +49,15 @@ func Build(topo *graph.Graph, rounds int) (map[graph.NodeID]*Table, *simnet.Stat
 	return tables, tr.Stats(), nil
 }
 
-// CentralTable is the centralized oracle: it computes, without any message
-// exchange, exactly the table the distributed protocol produces at node k
-// after the given number of rounds — minimum delay over paths of at most
-// rounds+1 edges, minimum hop counts capped the same way, and the
-// deterministic next-hop tie-breaking of Table.merge.
-func CentralTable(topo *graph.Graph, k graph.NodeID, rounds int) *Table {
-	maxEdges := rounds + 1 // start condition covers 1-edge paths
-	// Simulate the synchronous information flow: state[v] after r rounds is
-	// v's table; k's final table is what we want, but computing all nodes'
-	// tables is the straightforward faithful mirror.
+// CentralTables is the centralized oracle: it computes, without any message
+// exchange, exactly the tables the distributed protocol produces at every
+// node after the given number of rounds — minimum delay over paths of at
+// most rounds+1 edges, minimum hop counts capped the same way, and the
+// deterministic next-hop tie-breaking of Table.merge. The whole synchronous
+// information flow is simulated once; callers that need every site's table
+// (the bidding baseline) must use this instead of calling CentralTable per
+// site, which would redo the n-node simulation n times.
+func CentralTables(topo *graph.Graph, rounds int) []*Table {
 	n := topo.Len()
 	state := make([]*Table, n)
 	for v := 0; v < n; v++ {
@@ -66,17 +65,30 @@ func CentralTable(topo *graph.Graph, k graph.NodeID, rounds int) *Table {
 	}
 	for r := 0; r < rounds; r++ {
 		snaps := make([][]WireRoute, n)
+		changed := false
 		for v := 0; v < n; v++ {
 			snaps[v] = state[v].snapshot()
 		}
 		for v := 0; v < n; v++ {
 			for _, e := range topo.Neighbors(graph.NodeID(v)) {
-				state[v].merge(e.To, e.Delay, snaps[e.To])
+				if state[v].merge(e.To, e.Delay, snaps[e.To]) {
+					changed = true
+				}
 			}
 		}
+		// Fixed point: further rounds cannot alter any table, so stopping
+		// early returns exactly what the remaining rounds would.
+		if !changed {
+			break
+		}
 	}
-	_ = maxEdges
-	return state[k]
+	return state
+}
+
+// CentralTable computes one node's table (see CentralTables). Callers that
+// need many nodes' tables should call CentralTables once instead.
+func CentralTable(topo *graph.Graph, k graph.NodeID, rounds int) *Table {
+	return CentralTables(topo, rounds)[k]
 }
 
 // OracleSphere computes the PCS of k (radius h) straight from the topology:

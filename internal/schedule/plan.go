@@ -92,11 +92,17 @@ type Ticket struct {
 // Non-preemptive plan
 
 // NonPreemptivePlan keeps committed reservations as a sorted list of
-// non-overlapping intervals. The zero value is not usable; call
-// NewNonPreemptive.
+// non-overlapping intervals and answers gap queries by binary search: since
+// the intervals are disjoint, their End times are sorted too, so "first
+// reservation that could block a slot starting at t" is a log-time lookup.
+// Tentative placements during Admit live in a small reusable scratch overlay
+// instead of a full copy of the committed set. The zero value is not usable;
+// call NewNonPreemptive. Plans are not safe for concurrent use; every site
+// drives its plan from a single execution context.
 type NonPreemptivePlan struct {
 	res     []Reservation // sorted by Start, pairwise disjoint
 	version uint64
+	scratch []Reservation // reusable Admit overlay (capacity retained)
 }
 
 // NewNonPreemptive returns an empty non-preemptive plan.
@@ -134,18 +140,20 @@ func (p *NonPreemptivePlan) Admit(now float64, reqs []Request) (*Ticket, bool) {
 		}
 		return ra.Task < rb.Task
 	})
-	occupied := append([]Reservation(nil), p.res...)
+	overlay := p.scratch[:0]
 	placements := make([]Reservation, len(reqs))
 	for _, idx := range order {
 		r := reqs[idx]
-		start, ok := earliestFit(occupied, math.Max(now, r.Release), r.Deadline, r.Duration)
+		start, ok := earliestFitOverlay(p.res, overlay, math.Max(now, r.Release), r.Deadline, r.Duration)
 		if !ok {
+			p.scratch = overlay
 			return nil, false
 		}
 		pl := Reservation{Job: r.Job, Task: r.Task, Start: start, End: start + r.Duration}
-		occupied = insertSorted(occupied, pl)
+		overlay = insertSorted(overlay, pl)
 		placements[idx] = pl
 	}
+	p.scratch = overlay
 	return &Ticket{
 		Placements: placements,
 		Requests:   append([]Request(nil), reqs...),
@@ -155,18 +163,49 @@ func (p *NonPreemptivePlan) Admit(now float64, reqs []Request) (*Ticket, bool) {
 	}, true
 }
 
-// earliestFit finds the earliest start >= from with [start, start+dur]
-// disjoint from occupied and start+dur <= deadline.
-func earliestFit(occupied []Reservation, from, deadline, dur float64) (float64, bool) {
+// searchEndAbove returns the index of the first reservation whose End lies
+// strictly after t (mod timeEps). Reservations are disjoint and sorted by
+// Start, so their Ends are sorted as well and the lookup is binary.
+func searchEndAbove(res []Reservation, t float64) int {
+	return sort.Search(len(res), func(i int) bool { return res[i].End > t+timeEps })
+}
+
+// earliestFitOverlay finds the earliest start >= from with [start, start+dur]
+// disjoint from the union of base and extra, and start+dur <= deadline. Both
+// slices are sorted by Start and the union is pairwise disjoint (extra holds
+// tentative placements carved out of the union's gaps). Binary search skips
+// every interval that ends before `from`; the walk then proceeds in Start
+// order over the merged view.
+func earliestFitOverlay(base, extra []Reservation, from, deadline, dur float64) (float64, bool) {
 	start := from
-	for _, res := range occupied {
-		if res.End <= start+timeEps {
-			continue // entirely before the candidate slot
+	i := searchEndAbove(base, start)
+	j := searchEndAbove(extra, start)
+	for i < len(base) || j < len(extra) {
+		var blk Reservation
+		fromBase := j >= len(extra) || (i < len(base) && base[i].Start <= extra[j].Start)
+		if fromBase {
+			blk = base[i]
+		} else {
+			blk = extra[j]
 		}
-		if res.Start >= start+dur-timeEps {
-			break // gap before this reservation fits; list is sorted
+		if blk.End <= start+timeEps {
+			// Entirely before the candidate slot (start has jumped past it).
+			if fromBase {
+				i++
+			} else {
+				j++
+			}
+			continue
 		}
-		start = res.End // collide: jump past it
+		if blk.Start >= start+dur-timeEps {
+			break // gap before this interval fits; merged view is sorted
+		}
+		start = blk.End // collide: jump past it
+		if fromBase {
+			i++
+		} else {
+			j++
+		}
 	}
 	if start+dur <= deadline+timeEps {
 		return start, true
@@ -193,23 +232,43 @@ func (p *NonPreemptivePlan) Commit(t *Ticket) error {
 	}
 	if t.version != p.version {
 		// Plan changed since Admit: re-verify every placement still fits.
+		// The only committed interval that can overlap pl is the first one
+		// ending after pl.Start (the set is disjoint and sorted).
 		for _, pl := range t.Placements {
-			for _, res := range p.res {
-				if overlap(pl, res) {
-					return ErrStaleTicket
-				}
+			if i := searchEndAbove(p.res, pl.Start); i < len(p.res) && p.res[i].Start < pl.End-timeEps {
+				return ErrStaleTicket
 			}
 		}
 	}
-	for _, pl := range t.Placements {
-		p.res = insertSorted(p.res, pl)
-	}
+	p.res = mergeReservations(p.res, t.Placements)
 	p.version++
 	return nil
 }
 
-func overlap(a, b Reservation) bool {
-	return a.Start < b.End-timeEps && b.Start < a.End-timeEps
+// mergeReservations merges the sorted-by-Start placements `add` into the
+// sorted committed set in one backward pass (O(n+k) moves instead of one
+// O(n) memmove per placement).
+func mergeReservations(res, add []Reservation) []Reservation {
+	if len(add) == 0 {
+		return res
+	}
+	sorted := make([]Reservation, len(add))
+	copy(sorted, add)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Start < sorted[b].Start })
+	n, k := len(res), len(sorted)
+	res = append(res, sorted...) // grow; contents beyond n are overwritten below
+	i, j, w := n-1, k-1, n+k-1
+	for j >= 0 {
+		if i >= 0 && res[i].Start > sorted[j].Start {
+			res[w] = res[i]
+			i--
+		} else {
+			res[w] = sorted[j]
+			j--
+		}
+		w--
+	}
+	return res
 }
 
 // CancelJob implements Plan.
@@ -231,14 +290,20 @@ func (p *NonPreemptivePlan) CancelJob(job string) int {
 }
 
 // Surplus implements Plan: fraction of [now, now+window] not covered by
-// reservations.
+// reservations. Binary search finds the first reservation intersecting the
+// window; the scan stops at the first one starting past it, so cost is
+// proportional to the work inside the window, not the plan size.
 func (p *NonPreemptivePlan) Surplus(now, window float64) float64 {
 	if window <= 0 {
 		return 0
 	}
 	end := now + window
 	busy := 0.0
-	for _, r := range p.res {
+	for i := sort.Search(len(p.res), func(i int) bool { return p.res[i].End > now }); i < len(p.res); i++ {
+		r := p.res[i]
+		if r.Start >= end {
+			break
+		}
 		lo := math.Max(r.Start, now)
 		hi := math.Min(r.End, end)
 		if hi > lo {
@@ -258,9 +323,10 @@ func (p *NonPreemptivePlan) Surplus(now, window float64) float64 {
 func (p *NonPreemptivePlan) IdleIntervals(from, to float64) []Reservation {
 	var out []Reservation
 	cursor := from
-	for _, r := range p.res {
-		if r.End <= from || r.Start >= to {
-			continue
+	for i := sort.Search(len(p.res), func(i int) bool { return p.res[i].End > from }); i < len(p.res); i++ {
+		r := p.res[i]
+		if r.Start >= to {
+			break
 		}
 		if r.Start > cursor {
 			out = append(out, Reservation{Start: cursor, End: math.Min(r.Start, to)})

@@ -1,8 +1,10 @@
 package schedule
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -372,6 +374,349 @@ func TestPropertyPreemptiveFragmentsSound(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation: the original linear-scan plan, kept verbatim in
+// the tests as the oracle the indexed plan must agree with.
+
+type referencePlan struct {
+	res     []Reservation
+	version uint64
+}
+
+func refEarliestFit(occupied []Reservation, from, deadline, dur float64) (float64, bool) {
+	start := from
+	for _, res := range occupied {
+		if res.End <= start+timeEps {
+			continue
+		}
+		if res.Start >= start+dur-timeEps {
+			break
+		}
+		start = res.End
+	}
+	if start+dur <= deadline+timeEps {
+		return start, true
+	}
+	return 0, false
+}
+
+func (p *referencePlan) admit(now float64, reqs []Request) ([]Reservation, uint64, bool) {
+	for _, r := range reqs {
+		if !r.Valid() {
+			return nil, 0, false
+		}
+	}
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := reqs[order[a]], reqs[order[b]]
+		if ra.Deadline != rb.Deadline {
+			return ra.Deadline < rb.Deadline
+		}
+		if ra.Release != rb.Release {
+			return ra.Release < rb.Release
+		}
+		return ra.Task < rb.Task
+	})
+	occupied := append([]Reservation(nil), p.res...)
+	placements := make([]Reservation, len(reqs))
+	for _, idx := range order {
+		r := reqs[idx]
+		start, ok := refEarliestFit(occupied, math.Max(now, r.Release), r.Deadline, r.Duration)
+		if !ok {
+			return nil, 0, false
+		}
+		pl := Reservation{Job: r.Job, Task: r.Task, Start: start, End: start + r.Duration}
+		occupied = insertSorted(occupied, pl)
+		placements[idx] = pl
+	}
+	return placements, p.version, true
+}
+
+func (p *referencePlan) commit(placements []Reservation, version uint64) error {
+	if version != p.version {
+		for _, pl := range placements {
+			for _, res := range p.res {
+				if pl.Start < res.End-timeEps && res.Start < pl.End-timeEps {
+					return ErrStaleTicket
+				}
+			}
+		}
+	}
+	for _, pl := range placements {
+		p.res = insertSorted(p.res, pl)
+	}
+	p.version++
+	return nil
+}
+
+func (p *referencePlan) cancelJob(job string) int {
+	kept := p.res[:0]
+	removed := 0
+	for _, r := range p.res {
+		if r.Job == job {
+			removed++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	p.res = kept
+	if removed > 0 {
+		p.version++
+	}
+	return removed
+}
+
+func (p *referencePlan) surplus(now, window float64) float64 {
+	if window <= 0 {
+		return 0
+	}
+	end := now + window
+	busy := 0.0
+	for _, r := range p.res {
+		lo := math.Max(r.Start, now)
+		hi := math.Min(r.End, end)
+		if hi > lo {
+			busy += hi - lo
+		}
+	}
+	s := (window - busy) / window
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+func sameReservations(a, b []Reservation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertyIndexedPlanMatchesReference drives the indexed plan and the
+// original linear implementation with identical randomized streams of
+// Admit / Commit (including deliberately stale tickets) / CancelJob /
+// Surplus operations and requires bit-identical agreement at every step.
+func TestPropertyIndexedPlanMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewNonPreemptive()
+		ref := &referencePlan{}
+		now := 0.0
+		var pendingTk *Ticket // a ticket held back to go stale
+		var pendingRef []Reservation
+		var pendingVer uint64
+		var pendingOK bool
+		for round := 0; round < 40; round++ {
+			switch rng.Intn(5) {
+			case 0, 1: // admit + commit a batch
+				n := 1 + rng.Intn(4)
+				reqs := make([]Request, 0, n)
+				for i := 0; i < n; i++ {
+					rel := now + rng.Float64()*25
+					dur := 0.5 + rng.Float64()*5
+					dl := rel + dur + rng.Float64()*15
+					reqs = append(reqs, req(fmt.Sprintf("j%d", round%7), round*10+i, rel, dl, dur))
+				}
+				tk, ok := p.Admit(now, reqs)
+				rpl, rver, rok := ref.admit(now, reqs)
+				if ok != rok {
+					t.Errorf("seed %d round %d: admit ok %v vs ref %v", seed, round, ok, rok)
+					return false
+				}
+				if !ok {
+					continue
+				}
+				if !sameReservations(tk.Placements, rpl) {
+					t.Errorf("seed %d round %d: placements %v vs ref %v", seed, round, tk.Placements, rpl)
+					return false
+				}
+				if err, rerr := p.Commit(tk), ref.commit(rpl, rver); (err == nil) != (rerr == nil) {
+					t.Errorf("seed %d round %d: commit %v vs ref %v", seed, round, err, rerr)
+					return false
+				}
+			case 2: // stash a ticket so later mutations make it stale
+				rel := now + rng.Float64()*25
+				dur := 0.5 + rng.Float64()*5
+				reqs := []Request{req("stale", round, rel, rel+dur+rng.Float64()*15, dur)}
+				tk, ok := p.Admit(now, reqs)
+				rpl, rver, rok := ref.admit(now, reqs)
+				if ok != rok {
+					t.Errorf("seed %d round %d: stash admit ok %v vs ref %v", seed, round, ok, rok)
+					return false
+				}
+				if ok {
+					pendingTk, pendingRef, pendingVer, pendingOK = tk, rpl, rver, true
+				}
+			case 3: // cancel a random job
+				job := fmt.Sprintf("j%d", rng.Intn(7))
+				if n, rn := p.CancelJob(job), ref.cancelJob(job); n != rn {
+					t.Errorf("seed %d round %d: cancel %d vs ref %d", seed, round, n, rn)
+					return false
+				}
+			case 4: // commit the stale ticket, if any
+				if pendingOK {
+					err := p.Commit(pendingTk)
+					rerr := ref.commit(pendingRef, pendingVer)
+					if (err == nil) != (rerr == nil) || (err != nil && err != rerr) {
+						t.Errorf("seed %d round %d: stale commit %v vs ref %v", seed, round, err, rerr)
+						return false
+					}
+					pendingOK = false
+				}
+			}
+			if !sameReservations(p.Reservations(), append([]Reservation(nil), ref.res...)) {
+				t.Errorf("seed %d round %d: reservations diverged\n%v\n%v", seed, round, p.Reservations(), ref.res)
+				return false
+			}
+			w := rng.Float64() * 60
+			if s, rs := p.Surplus(now, w), ref.surplus(now, w); s != rs {
+				t.Errorf("seed %d round %d: surplus(%v,%v) %v vs ref %v", seed, round, now, w, s, rs)
+				return false
+			}
+			now += rng.Float64() * 4
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySessionMatchesReference checks the overlay-backed placement
+// session against sequential reference earliest-fit over a copied set.
+func TestPropertySessionMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewNonPreemptive()
+		ref := &referencePlan{}
+		// Preload some committed work.
+		for i := 0; i < 30; i++ {
+			rel := rng.Float64() * 200
+			dur := 0.5 + rng.Float64()*4
+			reqs := []Request{req("bg", i, rel, rel+dur+rng.Float64()*30, dur)}
+			tk, ok := p.Admit(0, reqs)
+			rpl, rver, rok := ref.admit(0, reqs)
+			if ok != rok {
+				return false
+			}
+			if ok {
+				if p.Commit(tk) != nil || ref.commit(rpl, rver) != nil {
+					return false
+				}
+			}
+		}
+		now := rng.Float64() * 50
+		sess := p.NewSession(now)
+		occupied := append([]Reservation(nil), ref.res...)
+		for i := 0; i < 12; i++ {
+			rel := now + rng.Float64()*40
+			dur := 0.5 + rng.Float64()*4
+			r := req("s", i, rel, rel+dur+rng.Float64()*20, dur)
+			pl, ok := sess.Place(r)
+			start, rok := refEarliestFit(occupied, math.Max(now, r.Release), r.Deadline, r.Duration)
+			if ok != rok {
+				t.Errorf("seed %d place %d: ok %v vs ref %v", seed, i, ok, rok)
+				return false
+			}
+			if !ok {
+				continue
+			}
+			rpl := Reservation{Job: r.Job, Task: r.Task, Start: start, End: start + r.Duration}
+			if pl != rpl {
+				t.Errorf("seed %d place %d: %v vs ref %v", seed, i, pl, rpl)
+				return false
+			}
+			occupied = insertSorted(occupied, rpl)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// preload fills a plan with n committed back-to-back-ish reservations spread
+// over a long horizon, the shape a loaded site's plan converges to.
+func preload(b *testing.B, p Plan, n int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		rel := rng.Float64() * float64(n) * 5
+		r := req("w", i, rel, rel+50, 1+rng.Float64()*3)
+		if tk, ok := p.Admit(0, []Request{r}); ok {
+			if err := p.Commit(tk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPlanAdmit measures one admission probe against a plan holding 1k
+// committed reservations — the per-request hot path of a loaded site.
+func BenchmarkPlanAdmit(b *testing.B) {
+	p := NewNonPreemptive()
+	preload(b, p, 1000)
+	horizon := 5000.0
+	probe := []Request{req("p", 0, 0, 0, 5)}
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel := rng.Float64() * horizon
+		probe[0].Release = rel
+		probe[0].Deadline = rel + 300
+		p.Admit(0, probe)
+	}
+}
+
+// BenchmarkPlanAdmitReference is the same probe against the original
+// linear-scan implementation, for the speedup comparison.
+func BenchmarkPlanAdmitReference(b *testing.B) {
+	p := NewNonPreemptive()
+	preload(b, p, 1000)
+	ref := &referencePlan{res: append([]Reservation(nil), p.res...)}
+	horizon := 5000.0
+	probe := []Request{req("p", 0, 0, 0, 5)}
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel := rng.Float64() * horizon
+		probe[0].Release = rel
+		probe[0].Deadline = rel + 300
+		ref.admit(0, probe)
+	}
+}
+
+// BenchmarkPlanAdmitCommit measures the full admit+commit+cancel cycle at 1k
+// reservations, exercising the batched merge in Commit.
+func BenchmarkPlanAdmitCommit(b *testing.B) {
+	p := NewNonPreemptive()
+	preload(b, p, 1000)
+	horizon := 5000.0
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel := rng.Float64() * horizon
+		if tk, ok := p.Admit(0, []Request{req("p", 0, rel, rel+300, 5)}); ok {
+			if err := p.Commit(tk); err != nil {
+				b.Fatal(err)
+			}
+			p.CancelJob("p")
+		}
 	}
 }
 

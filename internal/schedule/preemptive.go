@@ -11,9 +11,30 @@ import (
 // exact preemptive-EDF simulation (EDF is optimal on one processor for
 // independent jobs with releases and deadlines, so the test accepts exactly
 // the feasible sets).
+//
+// The full-history EDF fragment list is cached and invalidated by the plan
+// version, so the many residualAt callers (Admit, Surplus, sessions) stop
+// re-simulating the entire admission history on every query. Like the
+// non-preemptive plan, a PreemptivePlan is not safe for concurrent use.
 type PreemptivePlan struct {
 	admitted []Request
 	version  uint64
+
+	fragCache   []Reservation // edfSimulate(0, admitted) fragments
+	fragVersion uint64
+	fragValid   bool
+	scratch     []Request // reusable Admit/Commit assembly buffer
+}
+
+// frags returns the cached full-history EDF execution fragments, recomputing
+// them only when the admitted set changed. Callers must not mutate or retain
+// the returned slice across plan mutations.
+func (p *PreemptivePlan) frags() []Reservation {
+	if !p.fragValid || p.fragVersion != p.version {
+		p.fragCache, _ = edfSimulate(0, p.admitted)
+		p.fragVersion, p.fragValid = p.version, true
+	}
+	return p.fragCache
 }
 
 // NewPreemptive returns an empty preemptive plan.
@@ -36,7 +57,7 @@ func (p *PreemptivePlan) residualAt(now float64) []Request {
 	if len(p.admitted) == 0 {
 		return nil
 	}
-	frags, _ := edfSimulate(0, p.admitted)
+	frags := p.frags()
 	type key struct {
 		job  string
 		task int
@@ -79,9 +100,9 @@ func (p *PreemptivePlan) Admit(now float64, reqs []Request) (*Ticket, bool) {
 		}
 	}
 	resid := p.residualAt(now)
-	all := make([]Request, 0, len(resid)+len(reqs))
-	all = append(all, resid...)
+	all := append(p.scratch[:0], resid...)
 	all = append(all, reqs...)
+	p.scratch = all[:0]
 	frags, ok := edfSimulate(now, all)
 	if !ok {
 		return nil, false
@@ -166,8 +187,7 @@ func (p *PreemptivePlan) Surplus(now, window float64) float64 {
 
 // Reservations implements Plan: the current EDF execution fragments.
 func (p *PreemptivePlan) Reservations() []Reservation {
-	frags, _ := edfSimulate(0, p.admitted)
-	return frags
+	return append([]Reservation(nil), p.frags()...)
 }
 
 // edfSimulate runs preemptive EDF from time `from` over the requests and

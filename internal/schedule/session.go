@@ -19,19 +19,22 @@ type PlacementSession interface {
 }
 
 // NewSession starts a placement session against the non-preemptive plan.
+// The session reads the plan's committed set directly and keeps only its own
+// tentative placements in a sorted overlay; the RTDS locking discipline
+// guarantees the plan does not change while a session is open (the version
+// captured here lets Commit verify that anyway).
 func (p *NonPreemptivePlan) NewSession(now float64) PlacementSession {
 	return &npSession{
-		p:        p,
-		now:      now,
-		occupied: append([]Reservation(nil), p.res...),
-		version:  p.version,
+		p:       p,
+		now:     now,
+		version: p.version,
 	}
 }
 
 type npSession struct {
 	p          *NonPreemptivePlan
 	now        float64
-	occupied   []Reservation
+	overlay    []Reservation // tentative placements, sorted by Start
 	placements []Reservation
 	requests   []Request
 	version    uint64
@@ -41,12 +44,12 @@ func (s *npSession) Place(r Request) (Reservation, bool) {
 	if !r.Valid() {
 		return Reservation{}, false
 	}
-	start, ok := earliestFit(s.occupied, math.Max(s.now, r.Release), r.Deadline, r.Duration)
+	start, ok := earliestFitOverlay(s.p.res, s.overlay, math.Max(s.now, r.Release), r.Deadline, r.Duration)
 	if !ok {
 		return Reservation{}, false
 	}
 	pl := Reservation{Job: r.Job, Task: r.Task, Start: start, End: start + r.Duration}
-	s.occupied = insertSorted(s.occupied, pl)
+	s.overlay = insertSorted(s.overlay, pl)
 	s.placements = append(s.placements, pl)
 	s.requests = append(s.requests, r)
 	return pl, true

@@ -76,6 +76,7 @@ type Engine struct {
 	seq       int64
 	nextID    EventID
 	live      map[EventID]*event
+	free      []*event // recycled event nodes
 	processed int64
 	limit     int64 // 0 = unlimited
 	running   bool
@@ -104,10 +105,8 @@ func (e *Engine) Processed() int64 { return e.processed }
 // Pending reports how many events are scheduled but not yet fired.
 func (e *Engine) Pending() int { return len(e.pq) }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it is always a logic error in the layers above, and silently
-// clamping would mask causality bugs.
-func (e *Engine) At(t Time, fn func()) EventID {
+// schedule validates and enqueues one event node drawn from the pool.
+func (e *Engine) schedule(t Time, fn func()) *event {
 	if math.IsNaN(t) {
 		panic("sim: NaN event time")
 	}
@@ -118,11 +117,43 @@ func (e *Engine) At(t Time, fn func()) EventID {
 		panic("sim: nil event function")
 	}
 	e.seq++
-	e.nextID++
-	ev := &event{at: t, seq: e.seq, id: e.nextID, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.id, ev.fn = t, e.seq, 0, fn
+	} else {
+		ev = &event{at: t, seq: e.seq, fn: fn}
+	}
 	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// release returns a popped or cancelled event node to the pool. The closure
+// reference is dropped so the pool does not pin caller state.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+// At schedules fn to run at absolute virtual time t and returns an ID that
+// can cancel it. Scheduling in the past panics: it is always a logic error
+// in the layers above, and silently clamping would mask causality bugs.
+func (e *Engine) At(t Time, fn func()) EventID {
+	ev := e.schedule(t, fn)
+	e.nextID++
+	ev.id = e.nextID
 	e.live[ev.id] = ev
 	return ev.id
+}
+
+// AtFixed schedules fn to run at absolute virtual time t with no way to
+// cancel it. Fire-and-forget events skip the cancellation index entirely —
+// message deliveries, the dominant event class, never cancel, and tracking
+// them costs a map insert + delete per event on the hot path.
+func (e *Engine) AtFixed(t Time, fn func()) {
+	e.schedule(t, fn)
 }
 
 // After schedules fn to run d time units from now. Negative d panics.
@@ -133,8 +164,18 @@ func (e *Engine) After(d Time, fn func()) EventID {
 	return e.At(e.now+d, fn)
 }
 
+// AfterFixed schedules fn to run d time units from now with no cancellation
+// handle (see AtFixed). Negative d panics.
+func (e *Engine) AfterFixed(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.AtFixed(e.now+d, fn)
+}
+
 // Cancel removes a scheduled event. It reports whether the event was still
-// pending (false if it already fired or was cancelled).
+// pending (false if it already fired or was cancelled). Only events created
+// by At/After can be cancelled; AtFixed/AfterFixed events have no ID.
 func (e *Engine) Cancel(id EventID) bool {
 	ev, ok := e.live[id]
 	if !ok {
@@ -142,6 +183,7 @@ func (e *Engine) Cancel(id EventID) bool {
 	}
 	delete(e.live, id)
 	heap.Remove(&e.pq, ev.index)
+	e.release(ev)
 	return true
 }
 
@@ -155,13 +197,17 @@ func (e *Engine) step() (bool, error) {
 		return false, ErrEventLimit
 	}
 	ev := heap.Pop(&e.pq).(*event)
-	delete(e.live, ev.id)
+	if ev.id != 0 {
+		delete(e.live, ev.id)
+	}
 	if ev.at < e.now {
 		panic("sim: time went backwards") // unreachable by construction
 	}
-	e.now = ev.at
+	at, fn := ev.at, ev.fn
+	e.release(ev) // fn may schedule and reuse the node; all fields are read
+	e.now = at
 	e.processed++
-	ev.fn()
+	fn()
 	return true, nil
 }
 

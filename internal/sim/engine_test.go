@@ -263,6 +263,93 @@ func TestPropertyCancelSubset(t *testing.T) {
 	}
 }
 
+func TestFixedEventsInterleaveWithCancellable(t *testing.T) {
+	e := New()
+	var got []int
+	e.AtFixed(2, func() { got = append(got, 2) })
+	id := e.At(1, func() { got = append(got, 1) })
+	e.AtFixed(3, func() { got = append(got, 3) })
+	e.At(4, func() { got = append(got, 4) })
+	_ = id
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestFixedSimultaneousFIFOAcrossKinds(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		if i%2 == 0 {
+			e.AtFixed(7, func() { got = append(got, i) })
+		} else {
+			e.At(7, func() { got = append(got, i) })
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("mixed simultaneous events not FIFO at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestAfterFixedNesting(t *testing.T) {
+	e := New()
+	var times []Time
+	e.AfterFixed(2, func() {
+		times = append(times, e.Now())
+		e.AfterFixed(3, func() { times = append(times, e.Now()) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[0] != 2 || times[1] != 5 {
+		t.Fatalf("nested fixed timers fired at %v, want [2 5]", times)
+	}
+}
+
+// Recycled event nodes must never resurrect a fired event's cancellation
+// handle: a stale ID must not cancel a newer event that reused the node.
+func TestPooledNodesDoNotAliasCancellation(t *testing.T) {
+	e := New()
+	var fired []string
+	id1 := e.At(1, func() { fired = append(fired, "a") })
+	if err := e.RunUntil(2); err != nil {
+		t.Fatal(err)
+	}
+	// id1's node is back in the pool; the next event reuses it.
+	e.At(3, func() { fired = append(fired, "b") })
+	if e.Cancel(id1) {
+		t.Fatal("stale ID cancelled a recycled event")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "b" {
+		t.Fatalf("fired %v, want [a b]", fired)
+	}
+}
+
+func TestNegativeAfterFixedPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative AfterFixed did not panic")
+		}
+	}()
+	e.AfterFixed(-1, func() {})
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := New()
@@ -272,5 +359,44 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 		if err := e.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineThroughput measures sustained events/sec on the dominant
+// workload shape: a long chain of fire-and-forget deliveries (one event
+// schedules the next), which is what simnet message traffic looks like.
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := New()
+	remaining := b.N
+	var step func()
+	step = func() {
+		if remaining--; remaining > 0 {
+			e.AfterFixed(1, step)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.AfterFixed(1, step)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEngineThroughputCancellable is the same chain through the
+// tracked At/After path, for comparison against the fixed path.
+func BenchmarkEngineThroughputCancellable(b *testing.B) {
+	e := New()
+	remaining := b.N
+	var step func()
+	step = func() {
+		if remaining--; remaining > 0 {
+			e.After(1, step)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.After(1, step)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
 	}
 }

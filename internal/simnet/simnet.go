@@ -172,7 +172,9 @@ func (d *DES) Send(from, to graph.NodeID, p Payload) error {
 		return fmt.Errorf("simnet: send %s from %d to non-neighbor %d", p.Kind(), from, to)
 	}
 	d.stats.record(p)
-	d.engine.After(delay, func() {
+	// Deliveries are fire-and-forget: the protocol never cancels an in-flight
+	// message, so skip the engine's cancellation index on this hot path.
+	d.engine.AfterFixed(delay, func() {
 		h, ok := d.handlers[to]
 		if !ok {
 			panic(fmt.Sprintf("simnet: no handler attached at node %d", to))
