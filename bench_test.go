@@ -83,6 +83,10 @@ func BenchmarkE8MapperHeuristics(b *testing.B) { benchTable(b, experiments.E8Map
 // BenchmarkE9PCSConstruction regenerates the E9 table.
 func BenchmarkE9PCSConstruction(b *testing.B) { benchTable(b, experiments.E9PCSConstruction) }
 
+// BenchmarkE12FaultTolerance regenerates the E12 fault sweep — the cost of
+// simulating under injected loss, jitter and crashes.
+func BenchmarkE12FaultTolerance(b *testing.B) { benchTable(b, experiments.E12FaultTolerance) }
+
 // BenchmarkSuiteSerial runs the entire Quick suite serially — the baseline
 // the parallel runner is measured against.
 func BenchmarkSuiteSerial(b *testing.B) {

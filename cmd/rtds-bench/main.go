@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	rtds-bench [-quick] [-md] [-seed N] [-trials N] [-workers N] [-json] [-out FILE]
+//	rtds-bench [-quick] [-md] [-seed N] [-trials N] [-workers N] [-json] [-out FILE] [-exp SUBSTR]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -28,6 +29,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size (1 = serial)")
 	jsonOut := flag.Bool("json", false, "write the machine-readable suite benchmark")
 	outPath := flag.String("out", "BENCH_suite.json", "path of the -json report")
+	expFilter := flag.String("exp", "", "run only experiments whose name contains this substring (e.g. E12, fault)")
 	flag.Parse()
 
 	size := experiments.Full
@@ -44,6 +46,23 @@ func main() {
 	// One task per experiment×seed; trial-major order keeps each trial's
 	// tables contiguous and in suite order.
 	suite := experiments.Suite()
+	if *expFilter != "" {
+		var keep []experiments.Named
+		for _, n := range suite {
+			if strings.Contains(strings.ToLower(n.Name), strings.ToLower(*expFilter)) {
+				keep = append(keep, n)
+			}
+		}
+		if len(keep) == 0 {
+			fmt.Fprintf(os.Stderr, "error: -exp %q matches no experiment; suite:", *expFilter)
+			for _, n := range suite {
+				fmt.Fprintf(os.Stderr, " %s", n.Name)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(1)
+		}
+		suite = keep
+	}
 	var tasks []experiments.Task
 	var seeds []int64
 	for t := 0; t < *trials; t++ {

@@ -53,6 +53,13 @@ type Config struct {
 	// Horizon bounds the periodic flooding (floods stop after it); set it to
 	// at least the workload horizon.
 	Horizon float64
+	// Faults arms transport fault injection (see simnet.FaultPlan). The
+	// baseline has no bootstrap phase, so plan times are relative to 0 and
+	// loss also hits the surplus floods — which is fair: the flooding
+	// traffic the paper criticizes runs on the same faulty network. A job
+	// whose offer, bid, award or verdict is lost stays undecided, which
+	// counts against the guarantee ratio.
+	Faults *simnet.FaultPlan
 }
 
 // DefaultConfig mirrors core.DefaultConfig's spirit.
@@ -188,6 +195,14 @@ func NewCluster(topo *graph.Graph, cfg Config) (*Cluster, error) {
 		engine:   engine,
 		tr:       simnet.NewDES(engine, topo),
 		jobIndex: make(map[string]*core.Job),
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(topo.Len()); err != nil {
+			return nil, err
+		}
+		if cfg.Faults.Enabled() {
+			c.tr.SetFaults(*cfg.Faults, 0)
+		}
 	}
 	// One synchronous-flow simulation yields every site's table; building
 	// them per site would redo the O(n)-round computation n times.

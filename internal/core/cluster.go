@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/graph"
+	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -25,12 +26,104 @@ type Cluster struct {
 	bootstrapMessages int64
 	bootstrapBytes    int64
 
-	mu         sync.Mutex // guards records (needed on the live transport)
-	jobs       []*Job
-	jobIndex   map[string]*Job
-	violations []string
-	events     []Event
-	jobSeq     int
+	mu          sync.Mutex // guards records (needed on the live transport)
+	jobs        []*Job
+	jobIndex    map[string]*Job
+	violations  []string
+	events      []Event
+	jobSeq      int
+	disruptions int // fault-attributed anomalies (see protocolDrop, recordViolation)
+}
+
+// faultsOn reports whether this cluster runs with transport fault injection,
+// which also arms the protocol's defensive machinery (lock leases,
+// retransmitted aborts) and reclassifies violations as fault disruptions.
+func (c *Cluster) faultsOn() bool {
+	return c.cfg.Faults != nil && c.cfg.Faults.Enabled()
+}
+
+// armFaults activates the configured fault plan once the bootstrap is done:
+// plan times are relative to the epoch, and permanent crashes additionally
+// schedule the failure-detection repair of the survivors' routing tables.
+// Shared by the DES and live constructors.
+func (c *Cluster) armFaults() {
+	if !c.faultsOn() {
+		return
+	}
+	c.tr.SetFaults(*c.cfg.Faults, c.epoch)
+	for _, cr := range c.cfg.Faults.Crashes {
+		if !cr.Permanent() {
+			continue
+		}
+		detectAt := cr.At + c.cfg.Faults.DetectDelay
+		if c.engine != nil {
+			// DES: one synchronous repair event rebuilds every survivor's
+			// table over the alive subgraph (RebuildAlive), the closest
+			// deterministic stand-in for a §7 re-flood.
+			c.engine.AtFixed(c.epoch+detectAt, func() { c.repairAfterCrashes() })
+			continue
+		}
+		// Live transport: no global synchronization point exists, so each
+		// site prunes the dead site inside its own execution context.
+		dead := cr.Site
+		for _, s := range c.sites {
+			if s.id == dead {
+				continue
+			}
+			s := s
+			c.tr.After(s.id, detectAt, func() { s.pruneDeadSite(dead) })
+		}
+	}
+}
+
+// repairAfterCrashes rebuilds every surviving site's routing table around
+// the sites whose permanent crashes have been detected by now, so later
+// jobs enroll and route around them.
+func (c *Cluster) repairAfterCrashes() {
+	now := c.tr.Now()
+	dead := make(map[graph.NodeID]bool)
+	for _, cr := range c.cfg.Faults.Crashes {
+		if cr.Permanent() && now >= c.epoch+cr.At+c.cfg.Faults.DetectDelay-1e-9 {
+			dead[cr.Site] = true
+		}
+	}
+	if len(dead) == 0 {
+		return
+	}
+	tables := routing.RebuildAlive(c.topo, routing.RoundsForRadius(c.cfg.Radius),
+		func(id graph.NodeID) bool { return !dead[id] })
+	for _, s := range c.sites {
+		if dead[s.id] {
+			continue
+		}
+		s.adoptTable(tables[s.id])
+		c.event(s.id, "", EvRouteRepair, fmt.Sprintf("%d sites dead", len(dead)))
+	}
+}
+
+// protocolDrop reports an anomaly on a graceful-degradation path (a dropped
+// un-routable message, a refused commit of an unknown job, lost plan
+// fragments). On a faulty cluster these are expected consequences of the
+// injected faults and only counted; on a faultless cluster they indicate a
+// protocol bug and are reported as violations so tests fail loudly.
+func (c *Cluster) protocolDrop(site graph.NodeID, msg string) {
+	if !c.faultsOn() {
+		c.recordViolation(msg)
+		return
+	}
+	c.mu.Lock()
+	c.disruptions++
+	c.mu.Unlock()
+	c.event(site, "", EvMsgDropped, msg)
+}
+
+// FaultDisruptions reports how many anomalies were attributed to injected
+// faults (dropped protocol messages, causality misses from lost results,
+// torn-down executions). Always 0 on a faultless cluster.
+func (c *Cluster) FaultDisruptions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.disruptions
 }
 
 // NewCluster builds a DES-backed cluster and runs the PCS construction.
@@ -71,6 +164,7 @@ func NewCluster(topo *graph.Graph, cfg Config) (*Cluster, error) {
 	c.bootstrapMessages = c.tr.Stats().Messages()
 	c.bootstrapBytes = c.tr.Stats().Bytes()
 	c.tr.Stats().Reset()
+	c.armFaults()
 	return c, nil
 }
 
@@ -298,6 +392,16 @@ func (c *Cluster) recordTaskDone(job *Job, task dag.TaskID, at float64) {
 }
 
 func (c *Cluster) recordViolation(msg string) {
+	if c.faultsOn() {
+		// Under injected faults a causality miss (a slot firing without its
+		// lost inputs) is an expected disruption, not a protocol bug; keep
+		// Violations reserved for genuine correctness failures so faulty
+		// experiment runs remain checkable.
+		c.mu.Lock()
+		c.disruptions++
+		c.mu.Unlock()
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.violations = append(c.violations, msg)
@@ -309,6 +413,7 @@ type Summary struct {
 	AcceptedLocal        int
 	AcceptedDistributed  int
 	Rejected             int
+	Undecided            int // still Pending after the run (initiator died mid-transaction)
 	RejectedByStage      map[string]int
 	CompletedOnTime      int
 	CompletedLate        int
@@ -319,6 +424,8 @@ type Summary struct {
 	Messages             int64
 	Bytes                int64
 	MessagesPerJob       float64
+	Dropped              int64 // traversals discarded by the fault injector
+	Disruptions          int   // fault-attributed protocol anomalies
 }
 
 // Summarize computes the run summary. Call it after Run has drained.
@@ -339,6 +446,8 @@ func (c *Cluster) Summarize() Summary {
 		case Rejected:
 			s.Rejected++
 			s.RejectedByStage[j.RejectStage]++
+		case Pending:
+			s.Undecided++
 		}
 		if j.Outcome != Pending {
 			latencySum += j.DecisionAt - j.Arrival
@@ -371,6 +480,8 @@ func (c *Cluster) Summarize() Summary {
 	}
 	s.Messages = c.tr.Stats().Messages()
 	s.Bytes = c.tr.Stats().Bytes()
+	s.Dropped = c.tr.Stats().Dropped()
+	s.Disruptions = c.disruptions
 	return s
 }
 
@@ -386,6 +497,15 @@ func (s Summary) String() string {
 		s.Submitted, s.AcceptedLocal+s.AcceptedDistributed, s.AcceptedLocal,
 		s.AcceptedDistributed, s.Rejected, s.GuaranteeRatio,
 		s.CompletedOnTime, s.CompletedLate, s.Messages, s.Bytes, s.MessagesPerJob)
+	if s.Undecided > 0 {
+		out += fmt.Sprintf(" undecided=%d", s.Undecided)
+	}
+	if s.Dropped > 0 {
+		out += fmt.Sprintf(" dropped=%d", s.Dropped)
+	}
+	if s.Disruptions > 0 {
+		out += fmt.Sprintf(" disruptions=%d", s.Disruptions)
+	}
 	for _, st := range stages {
 		out += fmt.Sprintf(" reject[%s]=%d", st, s.RejectedByStage[st])
 	}

@@ -79,7 +79,32 @@ func (s *Site) finishValidation(t *txn) {
 	s.cluster.event(s.id, t.job.ID, EvCommit, fmt.Sprintf("executing=%d", len(t.commitWait)+1))
 	if len(t.commitWait) == 0 {
 		s.commitResolved(t)
+		return
 	}
+	// Commit timeout, mirroring the enrollment window: a lost commit or
+	// commitAck resolves the transaction as a failed commit (abort
+	// everywhere) instead of wedging the initiator's lock forever.
+	t.cancelTimer = s.cluster.tr.After(s.id, 2*t.omega+s.cluster.cfg.EnrollSlack,
+		func() { s.commitTimeout(t) })
+}
+
+// commitTimeout resolves the commit phase when executing members went
+// silent. The silent members may or may not have committed their shares;
+// aborting everywhere is the only safe resolution, and on faulty clusters
+// the abort unlocks are retransmitted until acknowledged.
+func (s *Site) commitTimeout(t *txn) {
+	if t.phase != phaseCommitting {
+		return
+	}
+	t.cancelTimer = nil
+	if len(t.commitWait) == 0 {
+		return
+	}
+	t.comTimeout = true
+	t.commitFail = true
+	s.cluster.event(s.id, t.job.ID, EvPhaseTimeout,
+		fmt.Sprintf("commit missing=%d", len(t.commitWait)))
+	s.commitResolved(t)
 }
 
 // commitShare commits this site's cached ticket for a logical processor and
@@ -135,17 +160,19 @@ func (s *Site) onCommit(m commitMsg) {
 		s.unlock()
 		return
 	}
-	ok := s.commitShare(s.jobRef(m), m.Proc, m.Graph, m.TaskSites)
+	job := s.cluster.jobByID(m.Job)
+	if job == nil {
+		// The job record is gone (possible only under injected faults, when
+		// messages survive their transaction). Refuse instead of crashing.
+		s.cluster.protocolDrop(s.id, fmt.Sprintf(
+			"site %d: commit for unknown job %s", s.id, m.Job))
+		s.sendTo(m.Initiator, commitAck{Job: m.Job, Member: s.id, OK: false})
+		s.unlock()
+		return
+	}
+	ok := s.commitShare(job, m.Proc, m.Graph, m.TaskSites)
 	s.sendTo(m.Initiator, commitAck{Job: m.Job, Member: s.id, OK: ok})
 	s.unlock()
-}
-
-// jobRef resolves the cluster-level job record for a member-side commit.
-func (s *Site) jobRef(m commitMsg) *Job {
-	if j := s.cluster.jobByID(m.Job); j != nil {
-		return j
-	}
-	panic(fmt.Sprintf("core: site %d committing unknown job %s", s.id, m.Job))
 }
 
 // onCommitAck finalizes the transaction at the initiator once every
@@ -160,6 +187,10 @@ func (s *Site) onCommitAck(m commitAck) {
 		t.commitFail = true
 	}
 	if len(t.commitWait) == 0 {
+		if t.cancelTimer != nil {
+			t.cancelTimer()
+			t.cancelTimer = nil
+		}
 		s.commitResolved(t)
 	}
 }
@@ -168,14 +199,97 @@ func (s *Site) commitResolved(t *txn) {
 	if t.commitFail {
 		// Abort everywhere: members cancel any reservations of the job.
 		for _, m := range t.acs {
-			s.sendTo(m, unlockMsg{Job: t.job.ID, Abort: true})
+			s.sendTo(m, unlockMsg{Job: t.job.ID, From: s.id, Abort: true})
+		}
+		if s.cluster.faultsOn() {
+			s.trackAbort(t)
 		}
 		s.cancelExecution(t.job.ID)
 		s.plan.CancelJob(t.job.ID)
-		s.finishTxn(t, Rejected, StageCommit)
+		stage := StageCommit
+		if t.comTimeout {
+			stage = StageCommitTimeout
+		}
+		s.finishTxn(t, Rejected, stage)
 		return
 	}
 	s.finishTxn(t, AcceptedDistributed, "")
+}
+
+// trackAbort records which executing members must acknowledge the abort
+// unlock just sent, and arms the retransmission timer. Only members that
+// were dispatched a real share can hold reservations; release-only members
+// need no acknowledgement (their lock lease is backstop enough).
+func (s *Site) trackAbort(t *txn) {
+	var executing []graph.NodeID
+	for _, m := range t.acs {
+		if t.assignment != nil {
+			for _, site := range t.assignment {
+				if site == m {
+					executing = append(executing, m)
+					break
+				}
+			}
+		}
+	}
+	if len(executing) == 0 {
+		return
+	}
+	ar := &abortRetry{members: executing}
+	s.aborts[t.job.ID] = ar
+	s.scheduleAbortRetry(t.job.ID, ar)
+}
+
+func (s *Site) scheduleAbortRetry(job string, ar *abortRetry) {
+	interval := 4*s.sphereDiam + s.cluster.cfg.EnrollSlack
+	if f := s.cluster.cfg.Faults; f != nil {
+		interval += 2 * f.MaxJitter
+	}
+	ar.cancel = s.cluster.tr.After(s.id, interval, func() { s.abortRetryFire(job, ar) })
+}
+
+// abortRetryFire retransmits the abort unlock to members that have not
+// acknowledged it. Retries are bounded so runs with permanently dead
+// members still terminate; giving up is traced.
+func (s *Site) abortRetryFire(job string, ar *abortRetry) {
+	ar.cancel = nil
+	if len(ar.members) == 0 {
+		delete(s.aborts, job)
+		return
+	}
+	ar.tries++
+	if ar.tries > maxAbortTries {
+		s.cluster.event(s.id, job, EvAbortRetry,
+			fmt.Sprintf("gave up on %d members after %d tries", len(ar.members), maxAbortTries))
+		delete(s.aborts, job)
+		return
+	}
+	s.cluster.event(s.id, job, EvAbortRetry,
+		fmt.Sprintf("try %d to %d members", ar.tries, len(ar.members)))
+	for _, m := range ar.members {
+		s.sendTo(m, unlockMsg{Job: job, From: s.id, Abort: true})
+	}
+	s.scheduleAbortRetry(job, ar)
+}
+
+// onUnlockAck clears one member from an abort's retransmission set.
+func (s *Site) onUnlockAck(m unlockAck) {
+	ar := s.aborts[m.Job]
+	if ar == nil {
+		return
+	}
+	for i, member := range ar.members {
+		if member == m.Member {
+			ar.members = append(ar.members[:i], ar.members[i+1:]...)
+			break
+		}
+	}
+	if len(ar.members) == 0 {
+		if ar.cancel != nil {
+			ar.cancel()
+		}
+		delete(s.aborts, m.Job)
+	}
 }
 
 // finishTxn records the decision, unlocks the ACS when the members have not
@@ -186,13 +300,17 @@ func (s *Site) finishTxn(t *txn, outcome Outcome, stage string) {
 		return
 	}
 	t.phase = phaseDone
+	if t.cancelTimer != nil {
+		t.cancelTimer()
+		t.cancelTimer = nil
+	}
 	delete(s.txns, t.job.ID)
 	if outcome == Rejected && !t.commitsSent {
 		// "the DAG is rejected and ACS members are unlocked" (§10). This
 		// also covers a commit that failed at the initiator itself before
 		// anything was dispatched.
 		for _, m := range t.acs {
-			s.sendTo(m, unlockMsg{Job: t.job.ID})
+			s.sendTo(m, unlockMsg{Job: t.job.ID, From: s.id})
 		}
 		delete(s.memberTickets, t.job.ID)
 	}
@@ -201,10 +319,15 @@ func (s *Site) finishTxn(t *txn, outcome Outcome, stage string) {
 }
 
 // onUnlock releases a member (rejection path) or aborts a committed share.
+// On faulty clusters aborts are acknowledged so the initiator can stop
+// retransmitting; the handler is idempotent, so duplicates are harmless.
 func (s *Site) onUnlock(m unlockMsg) {
 	if m.Abort {
 		s.cancelExecution(m.Job)
 		s.plan.CancelJob(m.Job)
+		if s.cluster.faultsOn() {
+			s.sendTo(m.From, unlockAck{Job: m.Job, Member: s.id})
+		}
 	}
 	delete(s.memberTickets, m.Job)
 	if s.locked() && s.lockJob == m.Job {
@@ -279,6 +402,7 @@ func (s *Site) rescheduleAllExec() {
 		jobIDs = append(jobIDs, id)
 	}
 	sort.Strings(jobIDs)
+	var lost []string
 	for _, jobID := range jobIDs {
 		e := s.exec[jobID]
 		taskIDs := make([]int, 0, len(e.reservations))
@@ -293,11 +417,24 @@ func (s *Site) rescheduleAllExec() {
 			}
 			end, ok := completion[jobID][ti]
 			if !ok {
-				panic(fmt.Sprintf("core: site %d lost fragments of %s/t%d", s.id, jobID, ti))
+				// The plan no longer holds this job's fragments (a stale
+				// abort crossed a commit under faults). Tear the execution
+				// down instead of crashing the cluster; on a faultless run
+				// this is still reported as a violation.
+				s.cluster.protocolDrop(s.id, fmt.Sprintf(
+					"site %d lost fragments of %s/t%d", s.id, jobID, ti))
+				s.cluster.event(s.id, jobID, EvExecAborted,
+					fmt.Sprintf("t%d fragments missing", ti))
+				lost = append(lost, jobID)
+				break
 			}
 			e.timers = append(e.timers,
 				s.cluster.tr.After(s.id, math.Max(0, end-now), func() { s.onTaskComplete(e, id, end) }))
 		}
+	}
+	for _, jobID := range lost {
+		s.cancelExecution(jobID)
+		s.plan.CancelJob(jobID)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/mapper"
+	"repro/internal/simnet"
 )
 
 // Config controls a cluster of RTDS sites.
@@ -60,6 +61,13 @@ type Config struct {
 	// job's actual window instead of the fixed observational window, since
 	// it can inspect its own idle intervals exactly.
 	UseLocalKnowledge bool
+	// Faults arms transport fault injection (message loss, delay jitter,
+	// site crashes) after the PCS bootstrap; times in the plan are relative
+	// to the post-bootstrap epoch. A faulty cluster additionally arms the
+	// protocol's defensive machinery: member lock leases and retransmitted
+	// abort unlocks (the validation/commit phase timeouts are always on).
+	// Nil (or a plan injecting nothing) runs the faultless paper model.
+	Faults *simnet.FaultPlan
 }
 
 // DefaultConfig returns the configuration used by the experiments unless a
@@ -91,6 +99,11 @@ func (c Config) validate(n int) error {
 	for i, p := range c.Powers {
 		if p <= 0 {
 			return fmt.Errorf("core: site %d has non-positive power %v", i, p)
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(n); err != nil {
+			return err
 		}
 	}
 	return nil

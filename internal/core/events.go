@@ -23,6 +23,15 @@ const (
 	EvDecided   EventKind = "decided"      // final accept/reject decision
 	EvTaskDone  EventKind = "task-done"    // one task completed
 	EvJobDone   EventKind = "job-done"     // all tasks completed
+
+	// Fault-handling events (only emitted on clusters with fault injection
+	// or on the graceful-degradation paths that replaced hard panics).
+	EvPhaseTimeout EventKind = "phase-timeout" // validation/commit window expired
+	EvLeaseExpired EventKind = "lease-expired" // member lock lease fired (silent initiator)
+	EvMsgDropped   EventKind = "msg-dropped"   // protocol layer dropped a message (no route / TTL)
+	EvExecAborted  EventKind = "exec-aborted"  // execution torn down outside the normal abort path
+	EvAbortRetry   EventKind = "abort-retry"   // abort unlock retransmitted (or given up)
+	EvRouteRepair  EventKind = "route-repair"  // routing table repaired after a site death
 )
 
 // Event is one timeline entry. Events are recorded only when

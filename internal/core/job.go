@@ -46,6 +46,11 @@ const (
 	StageMapper    = "mapper"     // case (i) or inconsistent windows
 	StageMatching  = "matching"   // maximum coupling smaller than |U|
 	StageCommit    = "commit"     // a site could not honour its validated slots
+
+	// Timeout stages: the phase window expired before every answer arrived
+	// (lost messages, crashed members or excessive delay).
+	StageValidateTimeout = "validate-timeout"
+	StageCommitTimeout   = "commit-timeout"
 )
 
 // Job is one sporadic real-time job: a DAG with an arrival site, arrival

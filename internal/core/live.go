@@ -62,6 +62,7 @@ func NewLiveCluster(topo *graph.Graph, cfg Config, scale time.Duration) (*LiveCl
 	c.bootstrapMessages = live.Stats().Messages()
 	c.bootstrapBytes = live.Stats().Bytes()
 	live.Stats().Reset()
+	c.armFaults()
 	return lc, nil
 }
 
@@ -136,6 +137,41 @@ func (lc *LiveCluster) AllIdle() bool {
 		}
 	}
 	return idle
+}
+
+// ReservationJobIDs reports, per site, the distinct job IDs with committed
+// reservations in that site's plan. Like AllIdle, each probe is routed
+// through its site's execution context so the read does not race with
+// message handlers; call it only after the cluster has quiesced enough for
+// the answer to be meaningful. Must not be called after Close.
+func (lc *LiveCluster) ReservationJobIDs() map[graph.NodeID][]string {
+	type probe struct {
+		site graph.NodeID
+		jobs []string
+	}
+	results := make(chan probe, len(lc.sites))
+	for _, s := range lc.sites {
+		s := s
+		lc.live.After(s.id, 0, func() {
+			seen := make(map[string]bool)
+			var jobs []string
+			for _, r := range s.plan.Reservations() {
+				if !seen[r.Job] {
+					seen[r.Job] = true
+					jobs = append(jobs, r.Job)
+				}
+			}
+			results <- probe{s.id, jobs}
+		})
+	}
+	out := make(map[graph.NodeID][]string, len(lc.sites))
+	for range lc.sites {
+		p := <-results
+		if len(p.jobs) > 0 {
+			out[p.site] = p.jobs
+		}
+	}
+	return out
 }
 
 // Close shuts down the transport goroutines.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/simnet"
 )
 
 // TestLiveMatchesDESDecisions runs the same single-job scenarios on the
@@ -148,6 +149,62 @@ func TestLiveClusterBootstrap(t *testing.T) {
 	for id := 0; id < 4; id++ {
 		if len(live.SiteSphere(graph.NodeID(id))) == 0 {
 			t.Fatalf("site %d has empty sphere", id)
+		}
+	}
+}
+
+// TestLiveClusterUnderLossAndJitter runs the live (goroutine-backed)
+// transport with injected message loss, delay jitter and a transient site
+// outage: whatever is lost, Wait must reach quiescence (no wedged locks —
+// the phase timeouts and lock leases must fire), every job must be decided,
+// and no site may end holding reservations of a rejected job. Run under
+// -race in CI, this also exercises the injector from concurrent senders.
+func TestLiveClusterUnderLossAndJitter(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnrollSlack = 2
+	cfg.ReleasePadFactor = 25
+	cfg.Faults = &simnet.FaultPlan{
+		Seed:      7,
+		Loss:      0.25,
+		MaxJitter: 0.5,
+		Crashes:   []simnet.Crash{{Site: 2, At: 6, For: 6}},
+	}
+	topo := fastLine(4)
+	live, err := NewLiveCluster(topo, cfg, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	var jobs []*Job
+	for i := 0; i < 10; i++ {
+		// Serial needs 20 > deadline 19: every job must try to distribute,
+		// crossing the lossy links in every protocol phase.
+		j, err := live.Submit(float64(i)*2, graph.NodeID(i%4), parJob(t, 2, 10), 19)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	if !live.Wait(60 * time.Second) {
+		t.Fatal("live cluster did not quiesce under faults: wedged lock or timer")
+	}
+	if !live.AllIdle() {
+		t.Fatal("sites hold locks or open transactions after quiescence")
+	}
+	rejected := make(map[string]bool)
+	for _, j := range jobs {
+		if j.Outcome == Pending {
+			t.Errorf("job %s never decided", j.ID)
+		}
+		if j.Outcome == Rejected {
+			rejected[j.ID] = true
+		}
+	}
+	for site, jobIDs := range live.ReservationJobIDs() {
+		for _, id := range jobIDs {
+			if rejected[id] {
+				t.Errorf("site %d retains reservations of rejected job %s", site, id)
+			}
 		}
 	}
 }

@@ -29,14 +29,18 @@ func (r Routed) Kind() string { return r.Inner.Kind() }
 // SizeBytes implements simnet.Payload: inner payload plus routing header.
 func (r Routed) SizeBytes() int { return 8 + r.Inner.SizeBytes() }
 
-// enrollReq asks a PCS member to join the ACS for a job (§8).
+// enrollReq asks a PCS member to join the ACS for a job (§8). Window is the
+// initiator's enrollment window; members use it to size the lock lease they
+// arm on faulty clusters (the initiator's sphere diameter, which the window
+// encodes, bounds every later phase's round trip).
 type enrollReq struct {
 	Job       string
 	Initiator graph.NodeID
+	Window    float64
 }
 
 func (enrollReq) Kind() string     { return "rtds.enroll" }
-func (e enrollReq) SizeBytes() int { return msgHeader }
+func (e enrollReq) SizeBytes() int { return msgHeader + 8 }
 
 // distEntry is one line of the distance vector an enrollee reports, letting
 // the initiator compute the exact ACS delay diameter (DESIGN.md §6.3).
@@ -120,14 +124,27 @@ func (commitAck) Kind() string   { return "rtds.commit-ack" }
 func (commitAck) SizeBytes() int { return msgHeader + 1 }
 
 // unlockMsg releases an ACS member after a rejection (§10) or aborts an
-// already-committed job after a commit failure.
+// already-committed job after a commit failure. From identifies the
+// initiator so abort receipts can be acknowledged when the cluster runs
+// with fault injection (the initiator retransmits unacknowledged aborts —
+// a lost abort must not leave reservations of a rejected job behind).
 type unlockMsg struct {
 	Job   string
+	From  graph.NodeID
 	Abort bool // also cancel any reservations of Job
 }
 
 func (unlockMsg) Kind() string   { return "rtds.unlock" }
-func (unlockMsg) SizeBytes() int { return msgHeader + 1 }
+func (unlockMsg) SizeBytes() int { return msgHeader + 4 + 1 } // initiator id + abort flag
+
+// unlockAck acknowledges an abort unlock; only sent on faulty clusters.
+type unlockAck struct {
+	Job    string
+	Member graph.NodeID
+}
+
+func (unlockAck) Kind() string   { return "rtds.unlock-ack" }
+func (unlockAck) SizeBytes() int { return msgHeader }
 
 // resultMsg models a predecessor task's result travelling to the site of a
 // successor task during distributed execution (§13 "Communication Delays").

@@ -41,6 +41,10 @@ type Site struct {
 	lockedBy graph.NodeID
 	lockJob  string
 	deferred []func()
+	// lockLease is the member-side backstop on faulty clusters: if the
+	// initiator goes silent (crash, lost unlock) the lease releases the
+	// lock so the site is never wedged forever. Nil when not armed.
+	lockLease simnet.CancelFunc
 
 	// Member-side validation state: job -> logical proc -> admitted ticket.
 	memberTickets map[string]map[int]*schedule.Ticket
@@ -48,20 +52,28 @@ type Site struct {
 	// Initiator-side transactions.
 	txns map[string]*txn
 
+	// Initiator-side abort retransmission state (faulty clusters only):
+	// job -> members whose abort unlock has not been acknowledged yet.
+	aborts map[string]*abortRetry
+
 	// Execution state for jobs with tasks on this site.
 	exec map[string]*execJob
 }
 
 // txn is the initiator's state for one distributed job (§4 steps 2–5).
 type txn struct {
-	job         *Job
-	phase       txnPhase
-	expected    []graph.NodeID // PCS members the enrollment was sent to
-	acks        map[graph.NodeID]enrollAck
+	job      *Job
+	phase    txnPhase
+	expected []graph.NodeID // PCS members the enrollment was sent to
+	acks     map[graph.NodeID]enrollAck
+	// cancelTimer cancels the current phase's expiry timer: the enrollment
+	// window first, then the validation and commit timers that mirror it.
+	// Every path that closes a phase cancels and nils it before advancing.
 	cancelTimer simnet.CancelFunc
 
 	tm          *mapper.TrialMapping
 	acs         []graph.NodeID // enrolled members (self excluded), sorted
+	omega       float64        // ACS delay diameter, sizes the phase timers
 	endorse     map[graph.NodeID][]int
 	awaitAcks   map[graph.NodeID]bool
 	assignment  map[int]graph.NodeID // logical proc -> executing site
@@ -69,7 +81,23 @@ type txn struct {
 	commitFail  bool
 	commitsSent bool // commit/release messages have reached the ACS
 	selfOK      bool // initiator committed its own share successfully
+	valTimeout  bool // validation closed by its timer with acks missing
+	comTimeout  bool // commit resolved by its timer with acks missing
 }
+
+// abortRetry tracks one aborted job's unacknowledged abort unlocks at the
+// initiator (faulty clusters only). Members is kept sorted so retransmission
+// order is deterministic.
+type abortRetry struct {
+	members []graph.NodeID
+	tries   int
+	cancel  simnet.CancelFunc
+}
+
+// maxAbortTries bounds abort retransmission so runs terminate even when a
+// member is permanently unreachable. At 10% loss, 8 rounds leave a 1e-8
+// chance of an alive member missing every copy.
+const maxAbortTries = 8
 
 type txnPhase int
 
@@ -111,6 +139,7 @@ func newSite(id graph.NodeID, c *Cluster) *Site {
 		lockedBy:      noLock,
 		memberTickets: make(map[string]map[int]*schedule.Ticket),
 		txns:          make(map[string]*txn),
+		aborts:        make(map[string]*abortRetry),
 		exec:          make(map[string]*execJob),
 	}
 	rounds := routing.RoundsForRadius(c.cfg.Radius)
@@ -120,22 +149,43 @@ func newSite(id graph.NodeID, c *Cluster) *Site {
 				panic(err)
 			}
 		},
-		func(t *routing.Table) {
-			s.table = t
-			for _, m := range t.Sphere(c.cfg.Radius) {
-				if m != id {
-					s.pcs = append(s.pcs, m)
-				}
-			}
-			s.sphereDiam = t.SphereDelayDiameter(c.cfg.Radius)
-			for _, dest := range t.Destinations() {
-				if dest != id {
-					s.distVec = append(s.distVec, distEntry{Dest: dest, Dist: t.Dist(dest)})
-				}
-			}
-		},
+		s.adoptTable,
 	)
 	return s
+}
+
+// adoptTable installs a routing table — the PCS bootstrap result, or a
+// repaired table after a site death — and rebuilds the derived state: sphere
+// membership, sphere delay diameter and the distance vector. Fresh slices
+// are allocated every time because the previous ones may still be referenced
+// by in-flight enrollAcks (receivers treat Dists as read-only).
+func (s *Site) adoptTable(t *routing.Table) {
+	s.table = t
+	radius := s.cluster.cfg.Radius
+	s.pcs = nil
+	for _, m := range t.Sphere(radius) {
+		if m != s.id {
+			s.pcs = append(s.pcs, m)
+		}
+	}
+	s.sphereDiam = t.SphereDelayDiameter(radius)
+	s.distVec = nil
+	for _, dest := range t.Destinations() {
+		if dest != s.id {
+			s.distVec = append(s.distVec, distEntry{Dest: dest, Dist: t.Dist(dest)})
+		}
+	}
+}
+
+// pruneDeadSite is the local half of route repair: drop the dead site and
+// every route through it, then rebuild the derived state. The DES cluster
+// follows up with a RebuildAlive pass that re-learns detours; the live
+// cluster runs only this local pruning (each site repairs inside its own
+// execution context).
+func (s *Site) pruneDeadSite(dead graph.NodeID) {
+	removed := s.table.RemoveSite(dead)
+	s.adoptTable(s.table)
+	s.cluster.event(s.id, "", EvRouteRepair, fmt.Sprintf("site %d dead, %d routes dropped", dead, removed))
 }
 
 // handle is the single transport entry point.
@@ -170,6 +220,8 @@ func (s *Site) dispatch(src graph.NodeID, p simnet.Payload) {
 		s.onCommitAck(m)
 	case unlockMsg:
 		s.onUnlock(m)
+	case unlockAck:
+		s.onUnlockAck(m)
 	case resultMsg:
 		s.onResult(m)
 	case doneMsg:
@@ -188,15 +240,23 @@ func (s *Site) sendTo(dest graph.NodeID, p simnet.Payload) {
 	s.forward(Routed{Src: s.id, Dest: dest, TTL: 4*s.cluster.cfg.Radius + 8, Inner: p})
 }
 
+// forward relays a routed payload one hop. An exhausted TTL or a missing
+// route drops the message: on a faultless cluster that is a protocol bug and
+// is reported as a violation, on a faulty one it is expected degradation
+// (routes to dead sites are pruned) and only counted. The phase timeouts
+// and lock leases guarantee the protocol recovers from the loss either way.
 func (s *Site) forward(m Routed) {
 	if m.TTL <= 0 {
-		panic(fmt.Sprintf("core: TTL exhausted forwarding %q from %d to %d at %d",
-			m.Inner.Kind(), m.Src, m.Dest, s.id))
+		s.cluster.protocolDrop(s.id, fmt.Sprintf(
+			"TTL exhausted forwarding %q from %d to %d at %d", m.Inner.Kind(), m.Src, m.Dest, s.id))
+		return
 	}
 	m.TTL--
 	nh, ok := s.table.NextHop(m.Dest)
 	if !ok {
-		panic(fmt.Sprintf("core: site %d has no route to %d for %q", s.id, m.Dest, m.Inner.Kind()))
+		s.cluster.protocolDrop(s.id, fmt.Sprintf(
+			"site %d has no route to %d for %q", s.id, m.Dest, m.Inner.Kind()))
+		return
 	}
 	if err := s.cluster.tr.Send(s.id, nh, m); err != nil {
 		panic(err)
@@ -222,6 +282,10 @@ func (s *Site) lock(owner graph.NodeID, job string) {
 // pass over a snapshot avoids livelock when replayed items defer themselves
 // again.
 func (s *Site) unlock() {
+	if s.lockLease != nil {
+		s.lockLease()
+		s.lockLease = nil
+	}
 	s.lockedBy = noLock
 	s.lockJob = ""
 	pending := s.deferred
@@ -229,6 +293,37 @@ func (s *Site) unlock() {
 	for _, fn := range pending {
 		fn()
 	}
+}
+
+// startLockLease arms the member-side backstop on faulty clusters: if the
+// transaction has not released this lock by the time every fault-free
+// protocol schedule would have (enrollment window plus the validation and
+// commit round trips, with jitter headroom), the initiator is presumed dead
+// and the lock is released unilaterally. The lease is deliberately generous
+// — firing early only converts one admission into a conservative rejection,
+// but it must still be bounded so faulty runs terminate.
+func (s *Site) startLockLease(m enrollReq) {
+	jitter := 0.0
+	if f := s.cluster.cfg.Faults; f != nil {
+		jitter = f.MaxJitter
+	}
+	lease := 6*m.Window + 12*jitter + 4*s.cluster.cfg.EnrollSlack
+	job, initiator := m.Job, m.Initiator
+	s.lockLease = s.cluster.tr.After(s.id, lease, func() { s.leaseExpired(job, initiator) })
+}
+
+// leaseExpired releases a lock whose transaction went silent: the member
+// withdraws (drops its cached tickets) and resumes deferred work. Any later
+// message of the withdrawn transaction hits the defensive lock-mismatch
+// paths and is refused, which at worst turns the job into a rejection.
+func (s *Site) leaseExpired(job string, initiator graph.NodeID) {
+	s.lockLease = nil
+	if !s.locked() || s.lockJob != job || s.lockedBy != initiator {
+		return
+	}
+	s.cluster.event(s.id, job, EvLeaseExpired, fmt.Sprintf("initiator %d silent", initiator))
+	delete(s.memberTickets, job)
+	s.unlock()
 }
 
 func (s *Site) deferWork(fn func()) { s.deferred = append(s.deferred, fn) }
@@ -246,7 +341,15 @@ func (s *Site) jobArrives(job *Job) {
 	s.cluster.event(s.id, job.ID, EvArrival, "")
 	if tk, ok := s.localTest(job); ok {
 		if err := s.plan.Commit(tk); err != nil {
-			panic(fmt.Sprintf("core: unlocked local commit failed: %v", err))
+			// The plan refused a ticket admitted an instant ago on an
+			// unlocked site. This indicates an inconsistency, but crashing
+			// the whole cluster over one job helps nobody: reject the job
+			// with a trace and report it as a violation so faultless tests
+			// still fail loudly.
+			s.cluster.protocolDrop(s.id, fmt.Sprintf(
+				"site %d: unlocked local commit of %s failed: %v", s.id, job.ID, err))
+			s.cluster.recordDecision(job, Rejected, StageCommit, s.now())
+			return
 		}
 		s.cluster.event(s.id, job.ID, EvLocalOK, "")
 		s.cluster.recordDecision(job, AcceptedLocal, "", s.now())
@@ -316,10 +419,10 @@ func (s *Site) startTxn(job *Job) {
 		acks:     make(map[graph.NodeID]enrollAck),
 	}
 	s.txns[job.ID] = t
-	for _, m := range s.pcs {
-		s.sendTo(m, enrollReq{Job: job.ID, Initiator: s.id})
-	}
 	timeout := 2*s.sphereDiam + s.cluster.cfg.EnrollSlack
+	for _, m := range s.pcs {
+		s.sendTo(m, enrollReq{Job: job.ID, Initiator: s.id, Window: timeout})
+	}
 	t.cancelTimer = s.cluster.tr.After(s.id, timeout, func() { s.enrollDone(t) })
 }
 
@@ -332,6 +435,9 @@ func (s *Site) onEnroll(src graph.NodeID, m enrollReq) {
 		return
 	}
 	s.lock(m.Initiator, m.Job)
+	if s.cluster.faultsOn() {
+		s.startLockLease(m)
+	}
 	s.sendTo(m.Initiator, enrollAck{
 		Job:     m.Job,
 		Member:  s.id,
@@ -347,26 +453,59 @@ func (s *Site) onEnroll(src graph.NodeID, m enrollReq) {
 func (s *Site) onEnrollAck(m enrollAck) {
 	t, ok := s.txns[m.Job]
 	if !ok || t.phase != phaseEnrolling {
-		s.sendTo(m.Member, unlockMsg{Job: m.Job})
+		s.sendTo(m.Member, unlockMsg{Job: m.Job, From: s.id})
 		return
 	}
 	t.acks[m.Member] = m
 	if len(t.acks) == len(t.expected) {
+		// Cancel before closing the window: if the expiry timer fires at
+		// the same instant as this ack (or has already been queued on the
+		// live transport), the nil-ed handle plus enrollDone's phase guard
+		// keep the window from being closed twice.
 		if t.cancelTimer != nil {
 			t.cancelTimer()
+			t.cancelTimer = nil
 		}
 		s.enrollDone(t)
 	}
 }
 
 // enrollDone closes the enrollment window: the ACS is fixed (§8) and the
-// mapper runs (§9, §12).
+// mapper runs (§9, §12). It is reachable from both the final enrollAck and
+// the expiry timer; the phase guard makes the second entry a no-op whichever
+// path wins the race.
 func (s *Site) enrollDone(t *txn) {
 	if t.phase != phaseEnrolling {
 		return
 	}
+	if t.cancelTimer != nil {
+		t.cancelTimer()
+		t.cancelTimer = nil
+	}
 	t.phase = phaseValidating
 	job := t.job
+
+	// On a faulty cluster an expected member may be locked for us while its
+	// ack was lost in transit: release the stragglers eagerly (their lock
+	// lease is the backstop if this unlock is lost too). Faultless clusters
+	// skip this — a missing ack there only means the member deferred, and
+	// the existing straggler path unlocks it when the late ack arrives.
+	if s.cluster.faultsOn() && len(t.acks) < len(t.expected) {
+		for _, m := range t.expected {
+			if _, ok := t.acks[m]; !ok {
+				s.sendTo(m, unlockMsg{Job: job.ID, From: s.id})
+			}
+		}
+	}
+
+	if len(t.acks) == 0 {
+		// Nobody enrolled before the window closed (§8): reject without
+		// attempting an initiator-only mapping — the local test already
+		// failed, and the paper distributes or rejects.
+		s.cluster.event(s.id, job.ID, EvACSFixed, "acs=1 (nobody enrolled)")
+		s.finishTxn(t, Rejected, StageEmptyACS)
+		return
+	}
 
 	t.acs = make([]graph.NodeID, 0, len(t.acks))
 	for m := range t.acks {
@@ -377,6 +516,7 @@ func (s *Site) enrollDone(t *txn) {
 	s.cluster.event(s.id, job.ID, EvACSFixed, fmt.Sprintf("acs=%d", job.ACSSize))
 
 	omega := s.acsDiameter(t)
+	t.omega = omega
 	procs := s.acsProcs(t)
 	rEff := s.now() + s.cluster.cfg.ReleasePadFactor*omega
 	tm, err := mapper.Build(job.Graph, procs, omega, rEff, job.AbsDeadline, mapper.Options{
@@ -407,7 +547,39 @@ func (s *Site) enrollDone(t *txn) {
 	t.endorse[s.id] = s.endorsable(job.ID, windows)
 	if len(t.awaitAcks) == 0 {
 		s.finishValidation(t)
+		return
 	}
+	// Validation timeout, mirroring the enrollment window: the round trip
+	// inside the ACS is bounded by 2ω, so on a faultless cluster this timer
+	// is always cancelled; a lost validateReq or ack turns into a reject
+	// instead of a wedged initiator.
+	t.cancelTimer = s.cluster.tr.After(s.id, 2*omega+s.cluster.cfg.EnrollSlack,
+		func() { s.validateTimeout(t) })
+}
+
+// validateTimeout closes the validation phase when members went silent:
+// missing answers count as empty endorsements and the coupling runs on what
+// arrived, which typically rejects the job and unlocks everyone.
+func (s *Site) validateTimeout(t *txn) {
+	if t.phase != phaseValidating {
+		return
+	}
+	t.cancelTimer = nil
+	if len(t.awaitAcks) == 0 {
+		return
+	}
+	t.valTimeout = true
+	s.cluster.event(s.id, t.job.ID, EvPhaseTimeout,
+		fmt.Sprintf("validate missing=%d", len(t.awaitAcks)))
+	missing := make([]graph.NodeID, 0, len(t.awaitAcks))
+	for m := range t.awaitAcks {
+		missing = append(missing, m)
+	}
+	for _, m := range missing {
+		delete(t.awaitAcks, m)
+		t.endorse[m] = nil
+	}
+	s.finishValidation(t)
 }
 
 // acsDiameter computes ω: the largest pairwise known delay among ACS
@@ -439,7 +611,11 @@ func (s *Site) acsDiameter(t *txn) float64 {
 // acsProcs builds the mapper input: ACS members with surpluses in
 // descending order (§9). The initiator contributes its own current surplus;
 // with UseLocalKnowledge it measures itself over the job's actual window
-// (§13), which its own plan lets it do exactly.
+// (§13), which its own plan lets it do exactly. Ordering uses the *raw*
+// surpluses: the clamp that keeps the mapper's domain sane collapses every
+// saturated site onto the same floor, and sorting the clamped values would
+// reduce the §9 surplus ranking to a site-ID lottery among exactly the
+// sites where the ranking matters most.
 func (s *Site) acsProcs(t *txn) []mapper.ProcInfo {
 	selfWindow := s.cluster.cfg.SurplusWindow
 	if s.cluster.cfg.UseLocalKnowledge {
@@ -447,22 +623,33 @@ func (s *Site) acsProcs(t *txn) []mapper.ProcInfo {
 			selfWindow = w
 		}
 	}
-	procs := make([]mapper.ProcInfo, 0, len(t.acs)+1)
-	procs = append(procs, mapper.ProcInfo{
-		Site:    s.id,
-		Surplus: clampSurplus(s.plan.Surplus(s.now(), selfWindow)),
-		Power:   s.power,
+	type rankedProc struct {
+		info mapper.ProcInfo
+		raw  float64
+	}
+	selfRaw := s.plan.Surplus(s.now(), selfWindow)
+	ranked := make([]rankedProc, 0, len(t.acs)+1)
+	ranked = append(ranked, rankedProc{
+		info: mapper.ProcInfo{Site: s.id, Surplus: clampSurplus(selfRaw), Power: s.power},
+		raw:  selfRaw,
 	})
 	for _, m := range t.acs {
 		a := t.acks[m]
-		procs = append(procs, mapper.ProcInfo{Site: m, Surplus: clampSurplus(a.Surplus), Power: a.Power})
+		ranked = append(ranked, rankedProc{
+			info: mapper.ProcInfo{Site: m, Surplus: clampSurplus(a.Surplus), Power: a.Power},
+			raw:  a.Surplus,
+		})
 	}
-	sort.SliceStable(procs, func(i, j int) bool {
-		if procs[i].Surplus != procs[j].Surplus {
-			return procs[i].Surplus > procs[j].Surplus
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].raw != ranked[j].raw {
+			return ranked[i].raw > ranked[j].raw
 		}
-		return procs[i].Site < procs[j].Site
+		return ranked[i].info.Site < ranked[j].info.Site
 	})
+	procs := make([]mapper.ProcInfo, len(ranked))
+	for i, r := range ranked {
+		procs[i] = r.info
+	}
 	return procs
 }
 
@@ -527,6 +714,10 @@ func (s *Site) onValidateAck(m validateAck) {
 	delete(t.awaitAcks, m.Member)
 	t.endorse[m.Member] = m.Endorsable
 	if len(t.awaitAcks) == 0 {
+		if t.cancelTimer != nil {
+			t.cancelTimer()
+			t.cancelTimer = nil
+		}
 		s.finishValidation(t)
 	}
 }

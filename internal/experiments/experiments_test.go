@@ -196,3 +196,54 @@ func TestAblationExperimentsRun(t *testing.T) {
 		})
 	}
 }
+
+// TestE12FaultToleranceDegradesGracefully checks the fault sweep's
+// qualitative content at the quick size: the clean cell matches healthy
+// behaviour, injected loss costs admission but never liveness (every job is
+// decided in every cell), and the dropped-traversal column tracks the
+// injected intensity.
+func TestE12FaultToleranceDegradesGracefully(t *testing.T) {
+	tbl, err := E12FaultTolerance(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tbl.NumRows()
+	if rows != len(e12Loss)*len(e12CrashCounts(Quick)) {
+		t.Fatalf("%d rows, want %d", rows, len(e12Loss)*len(e12CrashCounts(Quick)))
+	}
+	col := map[string]int{}
+	for i, h := range tbl.Headers {
+		col[h] = i
+	}
+	cell := func(row int, name string) float64 {
+		v, err := strconv.ParseFloat(tbl.Cell(row, col[name]), 64)
+		if err != nil {
+			t.Fatalf("row %d col %s: %v", row, name, err)
+		}
+		return v
+	}
+	for row := 0; row < rows; row++ {
+		loss := cell(row, "loss")
+		for _, scheme := range []string{"rtds", "broadcast", "fa-bidding"} {
+			if r := cell(row, scheme); r < 0 || r > 1 {
+				t.Errorf("row %d: %s ratio %v outside [0,1]", row, scheme, r)
+			}
+		}
+		if u := cell(row, "undecided"); u != 0 {
+			t.Errorf("row %d: %v undecided RTDS jobs — initiator-side timeouts failed", row, u)
+		}
+		if loss == 0 && cell(row, "crashes") == 0 {
+			if d := cell(row, "dropped"); d != 0 {
+				t.Errorf("clean cell dropped %v traversals", d)
+			}
+		}
+		if loss >= 0.1 && cell(row, "dropped") == 0 {
+			t.Errorf("row %d: loss %v dropped nothing — injector inert", row, loss)
+		}
+	}
+	// Loss costs admission: the heaviest-loss cell cannot beat the clean
+	// cell (deterministic for this seed; the margin is wide in practice).
+	if clean, worst := cell(0, "rtds"), cell(rows-1, "rtds"); worst >= clean {
+		t.Errorf("rtds ratio did not degrade: clean %v vs 20%% loss %v", clean, worst)
+	}
+}

@@ -84,6 +84,8 @@ func Suite() []Named {
 			shards: e9Shards, newTable: e9Table, shardRows: e9Row},
 		{Name: "E11-data-volumes", run: e11DataVolumes,
 			shards: e11Shards, newTable: e11Table, shardRows: e11Row},
+		{Name: "E12-fault-tolerance", run: e12FaultTolerance,
+			shards: e12Shards, newTable: e12Table, shardRows: e12Row},
 	}
 }
 

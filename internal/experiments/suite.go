@@ -84,10 +84,22 @@ func (env *runEnv) runRTDS(topo *graph.Graph, cfg core.Config, arrivals []worklo
 	return c.Summarize(), nil
 }
 
-// runFAB drives the focused addressing + bidding baseline.
+// runFAB drives the focused addressing + bidding baseline with its default
+// configuration.
 func (env *runEnv) runFAB(topo *graph.Graph, horizon float64, arrivals []workload.Arrival) (ratio, msgsPerJob float64, err error) {
+	return env.runFABCluster(topo, baseline.DefaultConfig(horizon), arrivals)
+}
+
+// runFABWith drives the baseline with an explicit configuration (the fault
+// sweep passes a fault plan) and reports its guarantee ratio.
+func (env *runEnv) runFABWith(topo *graph.Graph, cfg baseline.Config, arrivals []workload.Arrival) (float64, error) {
+	ratio, _, err := env.runFABCluster(topo, cfg, arrivals)
+	return ratio, err
+}
+
+func (env *runEnv) runFABCluster(topo *graph.Graph, cfg baseline.Config, arrivals []workload.Arrival) (ratio, msgsPerJob float64, err error) {
 	start := time.Now()
-	c, err := baseline.NewCluster(topo, baseline.DefaultConfig(horizon))
+	c, err := baseline.NewCluster(topo, cfg)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -58,19 +58,51 @@ func Build(topo *graph.Graph, rounds int) (map[graph.NodeID]*Table, *simnet.Stat
 // (the bidding baseline) must use this instead of calling CentralTable per
 // site, which would redo the n-node simulation n times.
 func CentralTables(topo *graph.Graph, rounds int) []*Table {
+	return RebuildAlive(topo, rounds, func(graph.NodeID) bool { return true })
+}
+
+// RebuildAlive recomputes the routing tables of the surviving sites after a
+// set of sites has been declared dead: the CentralTables synchronous flow
+// (CentralTables delegates here with an all-alive predicate), run over the
+// alive subgraph — dead nodes contribute no table and dead links carry no
+// snapshot. It stands in for the §7 re-flood a deployment would trigger on
+// failure detection, so surviving sites route around dead ones where an
+// alive path of at most rounds+1 edges exists; destinations with no such
+// path simply drop out of the tables and the protocol layer degrades to
+// dropping traffic addressed to them. Dead sites' slots in the returned
+// slice are nil.
+func RebuildAlive(topo *graph.Graph, rounds int, alive func(graph.NodeID) bool) []*Table {
 	n := topo.Len()
 	state := make([]*Table, n)
 	for v := 0; v < n; v++ {
-		state[v] = NewTable(graph.NodeID(v), topo.Neighbors(graph.NodeID(v)))
+		id := graph.NodeID(v)
+		if !alive(id) {
+			continue
+		}
+		var nbrs []graph.Edge
+		for _, e := range topo.Neighbors(id) {
+			if alive(e.To) {
+				nbrs = append(nbrs, e)
+			}
+		}
+		state[v] = NewTable(id, nbrs)
 	}
 	for r := 0; r < rounds; r++ {
 		snaps := make([][]WireRoute, n)
+		for v := 0; v < n; v++ {
+			if state[v] != nil {
+				snaps[v] = state[v].snapshot()
+			}
+		}
 		changed := false
 		for v := 0; v < n; v++ {
-			snaps[v] = state[v].snapshot()
-		}
-		for v := 0; v < n; v++ {
+			if state[v] == nil {
+				continue
+			}
 			for _, e := range topo.Neighbors(graph.NodeID(v)) {
+				if state[e.To] == nil {
+					continue
+				}
 				if state[v].merge(e.To, e.Delay, snaps[e.To]) {
 					changed = true
 				}

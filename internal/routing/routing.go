@@ -183,6 +183,22 @@ func (t *Table) snapshot() []WireRoute {
 	return out
 }
 
+// RemoveSite deletes the route to a dead site and every route whose next
+// hop is the dead site — those paths are physically broken. It reports how
+// many routes were removed. Destinations stranded by the removal are
+// re-learned by RebuildAlive (the repair pass the cluster runs when a site
+// is declared dead).
+func (t *Table) RemoveSite(dead graph.NodeID) int {
+	removed := 0
+	for d, r := range t.routes {
+		if d == dead || r.NextHop == dead {
+			delete(t.routes, d)
+			removed++
+		}
+	}
+	return removed
+}
+
 // Clone deep-copies the table.
 func (t *Table) Clone() *Table {
 	c := &Table{Self: t.Self, routes: make(map[graph.NodeID]Route, len(t.routes))}

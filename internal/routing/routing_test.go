@@ -308,3 +308,90 @@ func TestDegenerateNodes(t *testing.T) {
 	// Stragglers after interruption are dropped silently.
 	iso.HandleTable(1, TableMsg{Round: 9})
 }
+
+// ringN builds an n-cycle with uniform delay 1: every pair of nodes has two
+// disjoint paths, the shape that makes routing around a dead site possible.
+func ringN(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(graph.NodeID(i), graph.NodeID((i+1)%n), 1)
+	}
+	return g
+}
+
+func TestRemoveSiteDropsDeadAndVia(t *testing.T) {
+	tables, _, err := Build(lineN(4), RoundsForRadius(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0] // routes to 1, 2, 3 all via next hop 1
+	removed := tb.RemoveSite(1)
+	if removed != 3 {
+		t.Fatalf("removed %d routes, want 3 (dest 1 and the two via 1)", removed)
+	}
+	for _, dest := range []graph.NodeID{1, 2, 3} {
+		if _, ok := tb.NextHop(dest); ok {
+			t.Errorf("route to %d survived removal of its next hop", dest)
+		}
+	}
+	if tb.Dist(0) != 0 {
+		t.Error("self route removed")
+	}
+	if tb.RemoveSite(1) != 0 {
+		t.Error("second removal found routes")
+	}
+}
+
+func TestRebuildAliveRoutesAroundDeadSite(t *testing.T) {
+	topo := ringN(5)
+	dead := graph.NodeID(1)
+	alive := func(id graph.NodeID) bool { return id != dead }
+	tables := RebuildAlive(topo, RoundsForRadius(3), alive)
+	if tables[dead] != nil {
+		t.Fatal("dead site received a table")
+	}
+	// Node 0 must now reach 2 the long way round: 0-4-3-2, delay 3.
+	t0 := tables[0]
+	if nh, ok := t0.NextHop(2); !ok || nh != 4 {
+		t.Fatalf("next hop to 2 = %v (ok=%v), want 4", nh, ok)
+	}
+	if d := t0.Dist(2); d != 3 {
+		t.Fatalf("dist to 2 = %v, want 3 (detour)", d)
+	}
+	if _, ok := t0.Route(dead); ok {
+		t.Fatal("dead site still listed as destination")
+	}
+	// Every surviving pair stays mutually reachable on the 4-node path.
+	for _, u := range []graph.NodeID{0, 2, 3, 4} {
+		for _, v := range []graph.NodeID{0, 2, 3, 4} {
+			if u == v {
+				continue
+			}
+			if _, ok := tables[u].NextHop(v); !ok {
+				t.Errorf("no route %d -> %d after rebuild", u, v)
+			}
+		}
+	}
+}
+
+func TestRebuildAliveMatchesBuildWhenNobodyDied(t *testing.T) {
+	topo := ringN(6)
+	rounds := RoundsForRadius(2)
+	want, _, err := Build(topo, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RebuildAlive(topo, rounds, func(graph.NodeID) bool { return true })
+	for id, tb := range got {
+		for _, dest := range tb.Destinations() {
+			w, _ := want[graph.NodeID(id)].Route(dest)
+			g, _ := tb.Route(dest)
+			if w != g {
+				t.Fatalf("node %d route to %d: rebuild %+v != build %+v", id, dest, g, w)
+			}
+		}
+		if tb.Len() != want[graph.NodeID(id)].Len() {
+			t.Fatalf("node %d table size %d != %d", id, tb.Len(), want[graph.NodeID(id)].Len())
+		}
+	}
+}

@@ -26,6 +26,7 @@ type Live struct {
 	handlers map[graph.NodeID]Handler
 	links    map[[2]graph.NodeID]*liveLink
 	nodes    map[graph.NodeID]*liveNode
+	faults   *faultState
 	started  bool
 	closed   bool
 
@@ -125,6 +126,16 @@ func (l *Live) Start() {
 	}
 }
 
+// SetFaults implements Transport. Unlike the DES, real concurrency makes
+// the live transport's loss/jitter draws depend on goroutine interleaving;
+// the plan still bounds behaviour (loss rate, jitter range, crash windows)
+// but runs are not reproducible — the live transport never was.
+func (l *Live) SetFaults(plan FaultPlan, epoch float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.faults = newFaultState(plan, epoch)
+}
+
 // Send implements Transport.
 func (l *Live) Send(from, to graph.NodeID, p Payload) error {
 	l.mu.Lock()
@@ -135,6 +146,7 @@ func (l *Live) Send(from, to graph.NodeID, p Payload) error {
 	lk, ok := l.links[[2]graph.NodeID{from, to}]
 	node := l.nodes[to]
 	h := l.handlers[to]
+	faults := l.faults
 	l.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("simnet: send %s from %d to non-neighbor %d", p.Kind(), from, to)
@@ -142,10 +154,20 @@ func (l *Live) Send(from, to graph.NodeID, p Payload) error {
 	if h == nil {
 		return fmt.Errorf("simnet: no handler attached at node %d", to)
 	}
+	delay := lk.delay
+	if faults != nil {
+		base := float64(lk.delay) / float64(l.scale)
+		jittered, dropped := faults.perturb(from, to, l.Now(), base)
+		if dropped {
+			l.stats.drop()
+			return nil
+		}
+		delay = time.Duration(jittered * float64(l.scale))
+	}
 	l.stats.record(p)
 	l.pending.Add(1)
 	lk.queue.push(linkItem{
-		deliverAt: time.Now().Add(lk.delay),
+		deliverAt: time.Now().Add(delay),
 		deliver: func() {
 			node.inbox.push(func() { h(from, p) })
 		},

@@ -1,7 +1,10 @@
 // Package simnet provides the message transport the RTDS protocol runs on:
 // sites exchange payloads over the links of an internal/graph topology, with
-// per-link propagation delay. Links are faithful, loss-less and
-// order-preserving, and sites are faultless (paper §2).
+// per-link propagation delay. By default links are faithful, loss-less and
+// order-preserving, and sites are faultless (paper §2); SetFaults arms a
+// seeded FaultPlan that injects per-traversal loss, delay jitter (which may
+// reorder a link) and fail-silent site crash windows — the adverse
+// conditions of an arbitrary wide network.
 //
 // Two implementations are provided:
 //
@@ -59,6 +62,10 @@ type Transport interface {
 	Topology() *graph.Graph
 	// Stats exposes the communication counters.
 	Stats() *Stats
+	// SetFaults arms a fault plan whose times are relative to epoch.
+	// Traffic sent before the call is unaffected; protocol layers arm the
+	// plan after their bootstrap so construction always runs fault-free.
+	SetFaults(plan FaultPlan, epoch float64)
 }
 
 // Stats accumulates communication counters. Safe for concurrent use.
@@ -66,6 +73,7 @@ type Stats struct {
 	mu       sync.Mutex
 	messages int64
 	bytes    int64
+	dropped  int64
 	byKind   map[string]int64
 }
 
@@ -80,6 +88,21 @@ func (s *Stats) record(p Payload) {
 	s.messages++
 	s.bytes += int64(p.SizeBytes())
 	s.byKind[p.Kind()]++
+}
+
+// drop counts a traversal the fault injector discarded. Dropped traversals
+// are not counted as messages: they never crossed the link.
+func (s *Stats) drop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropped++
+}
+
+// Dropped reports how many traversals the fault injector discarded.
+func (s *Stats) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // Messages reports the total number of link traversals.
@@ -112,7 +135,7 @@ func (s *Stats) ByKind() map[string]int64 {
 func (s *Stats) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.messages, s.bytes = 0, 0
+	s.messages, s.bytes, s.dropped = 0, 0, 0
 	s.byKind = make(map[string]int64)
 }
 
@@ -126,6 +149,9 @@ func (s *Stats) String() string {
 	}
 	sort.Strings(kinds)
 	out := fmt.Sprintf("msgs=%d bytes=%d", s.messages, s.bytes)
+	if s.dropped > 0 {
+		out += fmt.Sprintf(" dropped=%d", s.dropped)
+	}
 	for _, k := range kinds {
 		out += fmt.Sprintf(" %s=%d", k, s.byKind[k])
 	}
@@ -141,6 +167,7 @@ type DES struct {
 	topo     *graph.Graph
 	handlers map[graph.NodeID]Handler
 	stats    *Stats
+	faults   *faultState
 }
 
 // NewDES builds a DES transport over the topology. The caller drives the
@@ -165,11 +192,25 @@ func (d *DES) Attach(id graph.NodeID, h Handler) {
 	d.handlers[id] = h
 }
 
+// SetFaults implements Transport. Since the DES runs single-threaded, every
+// subsequent Send observes the injector immediately and in a deterministic
+// order, so runs of the same plan and traffic are byte-identical.
+func (d *DES) SetFaults(plan FaultPlan, epoch float64) {
+	d.faults = newFaultState(plan, epoch)
+}
+
 // Send implements Transport.
 func (d *DES) Send(from, to graph.NodeID, p Payload) error {
 	delay, err := d.topo.EdgeDelay(from, to)
 	if err != nil {
 		return fmt.Errorf("simnet: send %s from %d to non-neighbor %d", p.Kind(), from, to)
+	}
+	if d.faults != nil {
+		var dropped bool
+		if delay, dropped = d.faults.perturb(from, to, d.engine.Now(), delay); dropped {
+			d.stats.drop()
+			return nil
+		}
 	}
 	d.stats.record(p)
 	// Deliveries are fire-and-forget: the protocol never cancels an in-flight

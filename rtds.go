@@ -7,6 +7,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/graph"
 	"repro/internal/mapper"
+	"repro/internal/simnet"
 	"repro/internal/workload"
 )
 
@@ -47,6 +48,13 @@ type (
 	Workload = workload.Spec
 	// Arrival is one generated job arrival.
 	Arrival = workload.Arrival
+
+	// FaultPlan injects message loss, delay jitter and site crashes into a
+	// cluster's transport (set Config.Faults; times are relative to the
+	// post-bootstrap epoch).
+	FaultPlan = simnet.FaultPlan
+	// Crash is one site outage window of a FaultPlan.
+	Crash = simnet.Crash
 )
 
 // Job outcomes.

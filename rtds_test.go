@@ -118,3 +118,33 @@ func TestFacadeLiveCluster(t *testing.T) {
 		t.Fatalf("live job rejected: %v/%s", job.Outcome, job.RejectStage)
 	}
 }
+
+// TestFacadeFaultPlan drives a faulty cluster entirely through the facade:
+// the plan types are re-exported, the run terminates and the drop counter
+// reflects the injected loss.
+func TestFacadeFaultPlan(t *testing.T) {
+	topo := rtds.NewNetwork(4)
+	for i := 0; i < 3; i++ {
+		topo.MustAddEdge(rtds.NodeID(i), rtds.NodeID(i+1), 0.05)
+	}
+	cfg := rtds.DefaultConfig()
+	cfg.Faults = &rtds.FaultPlan{Seed: 3, Loss: 0.5}
+	c, err := rtds.NewCluster(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rtds.NewJob("par").Task(1, 10).Task(2, 10).MustBuild()
+	job, err := c.Submit(0, 0, g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if job.Outcome == rtds.Pending {
+		t.Fatal("job never decided under 50% loss")
+	}
+	if c.Stats().Dropped() == 0 {
+		t.Fatal("no traversal dropped at 50% loss")
+	}
+}
