@@ -4,9 +4,14 @@
 // benchmark (per-experiment wall time, events/sec, guarantee ratios) so the
 // performance trajectory is tracked across PRs.
 //
+// With -scheme the tool instead benchmarks one registered scheme on one
+// -topo topology: a targeted cell (scheme × topology × load) with wall time
+// and events/sec, without running the whole suite.
+//
 // Usage:
 //
 //	rtds-bench [-quick] [-md] [-seed N] [-trials N] [-workers N] [-json] [-out FILE] [-exp SUBSTR]
+//	rtds-bench -scheme NAME [-topo KIND] [-sites N] [-load F] [-quick] [-seed N]
 package main
 
 import (
@@ -19,6 +24,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/scheme"
 )
 
 func main() {
@@ -30,6 +37,10 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write the machine-readable suite benchmark")
 	outPath := flag.String("out", "BENCH_suite.json", "path of the -json report")
 	expFilter := flag.String("exp", "", "run only experiments whose name contains this substring (e.g. E12, fault)")
+	schemeName := flag.String("scheme", "", "benchmark one scheme ("+strings.Join(scheme.Names(), "|")+") instead of the suite")
+	topoKind := flag.String("topo", "random", "topology kind of the -scheme benchmark: ring|line|star|clique|grid|torus|hypercube|tree|random|geometric")
+	sites := flag.Int("sites", 0, "sites of the -scheme benchmark (0 = suite default for the size)")
+	load := flag.Float64("load", 0.6, "offered load of the -scheme benchmark")
 	flag.Parse()
 
 	size := experiments.Full
@@ -41,6 +52,32 @@ func main() {
 	}
 	if *workers < 1 {
 		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	// The two modes accept disjoint flag sets; a flag from the other mode
+	// would be silently ignored, so refuse it loudly instead of letting a
+	// user read suite tables as torus numbers (or wait for a report that
+	// will never be written).
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *schemeName != "" {
+		for _, suiteOnly := range []string{"json", "out", "md", "exp", "trials", "workers"} {
+			if explicit[suiteOnly] {
+				fmt.Fprintf(os.Stderr, "error: -%s applies to suite runs only, not -scheme mode\n", suiteOnly)
+				os.Exit(1)
+			}
+		}
+		if err := benchScheme(*schemeName, *topoKind, *sites, *load, *quick, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, schemeOnly := range []string{"topo", "sites", "load"} {
+		if explicit[schemeOnly] {
+			fmt.Fprintf(os.Stderr, "error: -%s applies to -scheme mode only; the suite runs its fixed configurations\n", schemeOnly)
+			os.Exit(1)
+		}
 	}
 
 	// One task per experiment×seed; trial-major order keeps each trial's
@@ -108,4 +145,61 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "suite completed in %v on %d workers (%d tasks)\n",
 		wall.Round(time.Millisecond), *workers, len(tasks))
+}
+
+// benchScheme benchmarks one registered scheme on one generated topology:
+// build (bootstrap included), submit a standard workload, drain, and report
+// the outcome with wall time and simulation throughput.
+func benchScheme(name, topoKind string, sites int, load float64, quick bool, seed int64) error {
+	s, ok := scheme.Get(name)
+	if !ok {
+		return fmt.Errorf("unknown scheme %q; have %s", name, strings.Join(scheme.Names(), ", "))
+	}
+	n, horizon := 32, 400.0
+	if quick {
+		n, horizon = 16, 150.0
+	}
+	if sites > 0 {
+		n = sites
+	}
+	topo, err := graph.Generate(graph.TopologyKind(topoKind), n, experiments.StdDelays, seed)
+	if err != nil {
+		return err
+	}
+	// Literally the suite's workload shape, so "-scheme shares the suite's
+	// workload" stays true by construction.
+	arrivals, err := experiments.ArrivalsForLoad(
+		experiments.StdSpec(topo.Len(), horizon, seed), load)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	c, err := s.Build(topo, scheme.Config{Horizon: horizon})
+	if err != nil {
+		return err
+	}
+	for _, a := range arrivals {
+		if err := c.Submit(a.At, a.Origin, a.Graph, a.Deadline); err != nil {
+			return err
+		}
+	}
+	if err := c.Run(); err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	res := c.Summarize()
+	fmt.Printf("scheme %s on %s (%d sites, %d links), load %.2f, %d jobs\n",
+		s.Name(), topoKind, topo.Len(), topo.NumEdges(), load, len(arrivals))
+	fmt.Printf("ratio=%.3f msgs/job=%.1f bytes=%d\n",
+		res.GuaranteeRatio, res.MessagesPerJob, res.Bytes)
+	if res.Core != nil {
+		fmt.Println(*res.Core)
+	}
+	evps := 0.0
+	if wall > 0 {
+		evps = float64(c.EventsProcessed()) / wall.Seconds()
+	}
+	fmt.Fprintf(os.Stderr, "completed in %v (%d events, %.0f events/sec)\n",
+		wall.Round(time.Millisecond), c.EventsProcessed(), evps)
+	return nil
 }

@@ -1,71 +1,92 @@
-// Command rtds-sim runs one configurable RTDS simulation: a topology, a
-// sporadic workload, and the scheduling scheme of choice, reporting the
-// guarantee ratio, rejection breakdown and communication cost.
+// Command rtds-sim runs one configurable simulation: a topology, a sporadic
+// workload, and a scheduling scheme picked from the scheme registry,
+// reporting the guarantee ratio, rejection breakdown and communication cost.
 //
 // Example:
 //
-//	rtds-sim -sites 32 -topo random -radius 3 -load 0.8 -tightness 2.5 -seed 1
+//	rtds-sim -sites 32 -topo random -scheme rtds -radius 3 -load 0.8 -tightness 2.5 -seed 1
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
-	"repro/internal/daggen"
+	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/scheme"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		sites     = flag.Int("sites", 32, "number of sites")
-		topoKind  = flag.String("topo", "random", "topology: ring|line|star|clique|grid|torus|hypercube|tree|random|geometric")
-		radius    = flag.Int("radius", 3, "computing-sphere hop radius h")
-		load      = flag.Float64("load", 0.6, "offered load (total work / capacity)")
-		tightness = flag.Float64("tightness", 2.5, "deadline = tightness x critical path")
-		horizon   = flag.Float64("horizon", 400, "arrival horizon (virtual time)")
-		taskSize  = flag.Int("tasks", 8, "approximate tasks per job")
-		seed      = flag.Int64("seed", 1, "random seed")
-		localOnly = flag.Bool("local-only", false, "baseline: never distribute")
-		preempt   = flag.Bool("preemptive", false, "preemptive local scheduler (§13)")
-		verbose   = flag.Bool("v", false, "print per-job outcomes")
-		traceLog  = flag.Bool("trace", false, "print the protocol event timeline")
+		sites      = flag.Int("sites", 32, "number of sites")
+		topoKind   = flag.String("topo", "random", "topology: ring|line|star|clique|grid|torus|hypercube|tree|random|geometric")
+		schemeName = flag.String("scheme", "rtds", "scheduling scheme: "+strings.Join(scheme.Names(), "|"))
+		radius     = flag.Int("radius", 3, "computing-sphere hop radius h (core schemes)")
+		load       = flag.Float64("load", 0.6, "offered load (total work / capacity)")
+		tightness  = flag.Float64("tightness", 2.5, "deadline = tightness x critical path")
+		horizon    = flag.Float64("horizon", 400, "arrival horizon (virtual time)")
+		taskSize   = flag.Int("tasks", 8, "approximate tasks per job")
+		seed       = flag.Int64("seed", 1, "random seed")
+		localOnly  = flag.Bool("local-only", false, "shorthand for -scheme local")
+		preempt    = flag.Bool("preemptive", false, "preemptive local scheduler (§13, core schemes)")
+		verbose    = flag.Bool("v", false, "print per-job outcomes (core schemes)")
+		traceLog   = flag.Bool("trace", false, "print the protocol event timeline (core schemes)")
 	)
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
-	topo, err := graph.Generate(graph.TopologyKind(*topoKind), *sites,
-		graph.DelayRange{Min: 0.05, Max: 0.3}, *seed)
-	if err != nil {
-		fatal(err)
+	name := *schemeName
+	if *localOnly {
+		if explicit["scheme"] && name != "local" {
+			fatal(fmt.Errorf("-local-only conflicts with -scheme %s (it is shorthand for -scheme local)", name))
+		}
+		name = "local"
 	}
-	cfg := core.DefaultConfig()
-	cfg.Radius = *radius
-	cfg.LocalOnly = *localOnly
-	cfg.Preemptive = *preempt
-	cfg.TraceEvents = *traceLog
+	s, ok := scheme.Get(name)
+	if !ok {
+		fatal(fmt.Errorf("unknown scheme %q; have %s", name, strings.Join(scheme.Names(), ", ")))
+	}
 
-	spec := workload.Spec{
-		Sites:     topo.Len(),
-		Horizon:   *horizon,
-		TaskSize:  *taskSize,
-		Params:    daggen.Params{MinComplexity: 0.5, MaxComplexity: 5},
-		Tightness: *tightness,
-		Seed:      *seed,
-	}
-	spec.RatePerSite = workload.RateForLoad(*load, workload.ExpectedWorkPerJob(spec, 200))
-	arrivals, err := workload.Generate(spec)
+	topo, err := graph.Generate(graph.TopologyKind(*topoKind), *sites, experiments.StdDelays, *seed)
 	if err != nil {
 		fatal(err)
 	}
 
-	cluster, err := core.NewCluster(topo, cfg)
+	// The suite's standard workload shape, with the task-size and tightness
+	// flags layered on top.
+	spec := experiments.StdSpec(topo.Len(), *horizon, *seed)
+	spec.TaskSize = *taskSize
+	spec.Tightness = *tightness
+	arrivals, err := experiments.ArrivalsForLoad(spec, *load)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Tune runs after the scheme's base config; overriding the radius
+	// unconditionally would clobber bases that fix it (broadcast sets
+	// Radius = N), so -radius applies only when explicitly given.
+	effRadius := 0
+	cluster, err := s.Build(topo, scheme.Config{
+		Horizon: *horizon,
+		Tune: func(cfg *core.Config) {
+			if explicit["radius"] {
+				cfg.Radius = *radius
+			}
+			cfg.Preemptive = *preempt
+			cfg.TraceEvents = *traceLog
+			effRadius = cfg.Radius
+		},
+	})
 	if err != nil {
 		fatal(err)
 	}
 	for _, a := range arrivals {
-		if _, err := cluster.Submit(a.At, a.Origin, a.Graph, a.Deadline); err != nil {
+		if err := cluster.Submit(a.At, a.Origin, a.Graph, a.Deadline); err != nil {
 			fatal(err)
 		}
 	}
@@ -73,26 +94,37 @@ func main() {
 		fatal(err)
 	}
 
-	bootMsgs, bootBytes := cluster.BootstrapCost()
-	fmt.Printf("topology: %s, %d sites, %d links; sphere radius h=%d\n",
-		*topoKind, topo.Len(), topo.NumEdges(), *radius)
+	fmt.Printf("scheme: %s — %s\n", s.Name(), s.Description())
+	if effRadius > 0 {
+		fmt.Printf("topology: %s, %d sites, %d links; sphere radius h=%d\n",
+			*topoKind, topo.Len(), topo.NumEdges(), effRadius)
+	} else {
+		fmt.Printf("topology: %s, %d sites, %d links\n", *topoKind, topo.Len(), topo.NumEdges())
+	}
 	fmt.Printf("workload: %d jobs, offered load %.2f (realized %.2f), tightness %.2f\n",
 		len(arrivals), *load, workload.OfferedLoad(arrivals, topo.Len(), *horizon), *tightness)
-	fmt.Printf("bootstrap: %d messages, %d bytes (one-time PCS construction)\n", bootMsgs, bootBytes)
-	fmt.Println(cluster.Summarize())
-	if v := cluster.Violations(); len(v) > 0 {
-		fmt.Printf("CAUSALITY VIOLATIONS: %d (first: %s)\n", len(v), v[0])
-		os.Exit(1)
+	if b, ok := cluster.(scheme.Bootstrapper); ok {
+		msgs, bytes := b.BootstrapCost()
+		fmt.Printf("bootstrap: %d messages, %d bytes (one-time PCS construction)\n", msgs, bytes)
 	}
-	if *verbose {
-		for _, j := range cluster.Jobs() {
-			fmt.Printf("  %-12s %-22s arrival=%8.2f decided=%8.2f acs=%d procs=%d\n",
-				j.ID, j.Outcome.String()+"/"+j.RejectStage, j.Arrival, j.DecisionAt, j.ACSSize, j.NumProcs)
+	res := cluster.Summarize()
+	if res.Core != nil {
+		fmt.Println(*res.Core)
+	} else {
+		fmt.Printf("jobs=%d ratio=%.3f msgs=%d bytes=%d msgs/job=%.1f\n",
+			res.Jobs, res.GuaranteeRatio, res.Messages, res.Bytes, res.MessagesPerJob)
+	}
+	if cb, ok := cluster.(scheme.CoreBacked); ok {
+		if *verbose {
+			for _, j := range cb.Core().Jobs() {
+				fmt.Printf("  %-12s %-22s arrival=%8.2f decided=%8.2f acs=%d procs=%d\n",
+					j.ID, j.Outcome.String()+"/"+j.RejectStage, j.Arrival, j.DecisionAt, j.ACSSize, j.NumProcs)
+			}
 		}
-	}
-	if *traceLog {
-		for _, e := range cluster.Events() {
-			fmt.Println(e)
+		if *traceLog {
+			for _, e := range cb.Core().Events() {
+				fmt.Println(e)
+			}
 		}
 	}
 }

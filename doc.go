@@ -10,17 +10,43 @@
 // and a hard deadline — arrive at any site at any time and compete for the
 // sites' computation processors.
 //
-// Each site runs the same state machine; there is no centralized control:
+// Each site runs the same code; there is no centralized control. An
+// arriving job is first put to the local guarantee test; if the whole DAG
+// fits between the site's existing reservations it is accepted on the
+// spot. Otherwise the site becomes the initiator of a distributed
+// transaction that progresses through three named phases (the state
+// machine of internal/core/txn):
 //
-//   - the site first tries to guarantee an arriving job locally, inserting
-//     all tasks between its existing reservations before the deadline;
-//   - otherwise it enrolls its Available Computing Sphere — the unlocked
-//     subset of a hop-bounded neighborhood precomputed by an interrupted
-//     distributed shortest-paths algorithm — and its mapper list-schedules
-//     the DAG onto logical processors, deriving per-task windows that are
-//     validated by the sphere members and matched to sites by a maximum
-//     coupling; a perfect coupling dispatches the tasks, anything less
-//     rejects the job and unlocks the sphere.
+//   - Enrolling — the sphere policy picks members of the precomputed
+//     Potential Computing Sphere to lock; their surplus reports form the
+//     Accepted Computing Sphere when the window closes;
+//   - Validating — the mapper list-schedules the DAG onto logical
+//     processors and every member reports which processors it can endorse;
+//   - Committing — a maximum coupling assigns processors to members; a
+//     perfect coupling dispatches the tasks, anything less aborts and
+//     unlocks everyone.
+//
+// Every transition is guarded and timer-backed, so lost messages, silent
+// members and crashed initiators degrade into rejections instead of
+// wedged locks.
+//
+// # Policies and schemes
+//
+// The protocol's decision points are pluggable (Config.Policies, the
+// policy layer): the enrollment fan-out (full sphere or k-redundant), the
+// local acceptance test (EDF or a laxity threshold), the laxity
+// dispatching and the mapper heuristic. Nil policies replay the paper's
+// hard-wired behavior exactly.
+//
+// Complete scheduling algorithms are registered as schemes — rtds, spread,
+// broadcast, local, fab (focused addressing + bidding) and oracle — and
+// built by name:
+//
+//	c, err := rtds.BuildScheme("broadcast", topo, rtds.SchemeConfig{})
+//	if err != nil { ... }
+//	_ = c.Submit(0, 0, job, 66)
+//	if err := c.Run(); err != nil { ... }
+//	fmt.Println(c.Summarize().GuaranteeRatio)
 //
 // # Quick start
 //
@@ -37,7 +63,9 @@
 //	fmt.Println(rec.Outcome, cluster.Summarize())
 //
 // The package is a facade: the implementation lives in the internal
-// packages (internal/core for the protocol, internal/mapper for the
+// packages (internal/core for the protocol I/O, internal/core/txn for the
+// transaction state machine, internal/core/policy for the policy layer,
+// internal/scheme for the scheme registry, internal/mapper for the
 // trial-mapping construction, internal/routing for sphere construction,
 // internal/schedule for the local scheduler, and so on). See DESIGN.md for
 // the full inventory and EXPERIMENTS.md for the reproduction results.

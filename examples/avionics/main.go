@@ -61,13 +61,15 @@ func main() {
 	topo.MustAddEdge(0, 4, 0.2) // inter-segment trunks
 	topo.MustAddEdge(4, 8, 0.2)
 
-	cfg := rtds.DefaultConfig()
-	cfg.Radius = 2
-	// Mission computers (segment heads) are 2x the power of line-replaceable
-	// units.
-	cfg.Powers = []float64{2, 1, 1, 1, 2, 1, 1, 1, 2, 1, 1, 1}
-
-	cluster, err := rtds.NewCluster(topo, cfg)
+	// The registry's rtds scheme, tuned for the federation: tight radius-2
+	// spheres and mission computers (segment heads) at 2x the power of
+	// line-replaceable units.
+	cluster, err := rtds.BuildScheme("rtds", topo, rtds.SchemeConfig{
+		Tune: func(cfg *rtds.Config) {
+			cfg.Radius = 2
+			cfg.Powers = []float64{2, 1, 1, 1, 2, 1, 1, 1, 2, 1, 1, 1}
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,24 +83,22 @@ func main() {
 		if rng.Intn(3) > 0 {
 			g := controlLoop(fmt.Sprintf("ctl%d", i), rng)
 			control++
-			if _, err := cluster.Submit(t, origin, g, g.CriticalPathLength()*2); err != nil {
+			if err := cluster.Submit(t, origin, g, g.CriticalPathLength()*2); err != nil {
 				log.Fatal(err)
 			}
 		} else {
 			g := navigationJob(fmt.Sprintf("nav%d", i), rng)
 			nav++
-			if _, err := cluster.Submit(t, origin, g, g.CriticalPathLength()*2.5); err != nil {
+			if err := cluster.Submit(t, origin, g, g.CriticalPathLength()*2.5); err != nil {
 				log.Fatal(err)
 			}
 		}
 	}
+	// A Run error covers causality violations for registry core schemes.
 	if err := cluster.Run(); err != nil {
 		log.Fatal(err)
 	}
-	if v := cluster.Violations(); len(v) > 0 {
-		log.Fatalf("causality violations: %v", v)
-	}
-	sum := cluster.Summarize()
+	sum := *cluster.Summarize().Core
 	fmt.Printf("avionics workload: %d control loops + %d navigation jobs on 3 segments\n", control, nav)
 	fmt.Println(sum)
 	fmt.Printf("mean decision latency: %.3f time units; mean ACS: %.1f sites\n",

@@ -38,26 +38,23 @@ func pipelineJob(name string, filters int, rng *rand.Rand) *rtds.DAG {
 	return jb.MustBuild()
 }
 
-func run(localOnly bool, jobs []*rtds.DAG, arrivals []float64, origins []rtds.NodeID, deadlines []float64) rtds.Summary {
+// run drives one scheme from the registry ("rtds" or "local") over the same
+// clip workload; a Run error covers causality violations for core schemes.
+func run(schemeName string, jobs []*rtds.DAG, arrivals []float64, origins []rtds.NodeID, deadlines []float64) rtds.Summary {
 	topo := rtds.NewRandomNetwork(12, 3, 7)
-	cfg := rtds.DefaultConfig()
-	cfg.LocalOnly = localOnly
-	cluster, err := rtds.NewCluster(topo, cfg)
+	cluster, err := rtds.BuildScheme(schemeName, topo, rtds.SchemeConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	for i, g := range jobs {
-		if _, err := cluster.Submit(arrivals[i], origins[i], g, deadlines[i]); err != nil {
+		if err := cluster.Submit(arrivals[i], origins[i], g, deadlines[i]); err != nil {
 			log.Fatal(err)
 		}
 	}
 	if err := cluster.Run(); err != nil {
 		log.Fatal(err)
 	}
-	if v := cluster.Violations(); len(v) > 0 {
-		log.Fatalf("causality violations: %v", v)
-	}
-	return cluster.Summarize()
+	return *cluster.Summarize().Core
 }
 
 func main() {
@@ -83,8 +80,8 @@ func main() {
 		deadlines = append(deadlines, g.CriticalPathLength()*tight)
 	}
 
-	dist := run(false, jobs, arrivals, origins, deadlines)
-	local := run(true, jobs, arrivals, origins, deadlines)
+	dist := run("rtds", jobs, arrivals, origins, deadlines)
+	local := run("local", jobs, arrivals, origins, deadlines)
 
 	fmt.Println("video pipeline workload: 60 clips, 12 sites, sphere radius 3")
 	fmt.Printf("  RTDS:        guarantee ratio %.2f (%d local + %d distributed), %d msgs\n",

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/graph"
 	"repro/internal/routing"
+	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -265,13 +266,8 @@ func (c *Cluster) SiteSphere(id graph.NodeID) []graph.NodeID {
 }
 
 // SitePlanReservations exposes a site's committed reservations (for tests).
-func (c *Cluster) SitePlanReservations(id graph.NodeID) []interface{} {
-	res := c.sites[id].plan.Reservations()
-	out := make([]interface{}, len(res))
-	for i, r := range res {
-		out[i] = r
-	}
-	return out
+func (c *Cluster) SitePlanReservations(id graph.NodeID) []schedule.Reservation {
+	return c.sites[id].plan.Reservations()
 }
 
 // TaskExecution describes one task's realized execution: which site ran it

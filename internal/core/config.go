@@ -1,17 +1,9 @@
-// Package core implements the RTDS protocol itself (paper §4–§11): per-site
-// local scheduling, PCS bootstrap, ACS enrollment with locking, trial-mapping
-// construction and validation, maximum-coupling permutation selection, and
-// distributed execution with result messages.
-//
-// Every site runs the same state machine (there is no centralized control);
-// sites communicate only over topology links, forwarding multi-hop traffic
-// along their routing tables' next hops, so communication cost is accounted
-// per link traversal exactly as the paper argues.
 package core
 
 import (
 	"fmt"
 
+	"repro/internal/core/policy"
 	"repro/internal/mapper"
 	"repro/internal/simnet"
 )
@@ -68,6 +60,13 @@ type Config struct {
 	// abort unlocks (the validation/commit phase timeouts are always on).
 	// Nil (or a plan injecting nothing) runs the faultless paper model.
 	Faults *simnet.FaultPlan
+	// Policies selects the protocol's pluggable decision points: enrollment
+	// fan-out (Sphere), the local guarantee test (Acceptance), case-(iii)
+	// laxity scattering (Dispatch) and the trial-mapping heuristic (Mapper).
+	// Nil fields resolve to the paper defaults — FullSphere, EDF, and
+	// wrappers over the legacy LaxityMode/Heuristic knobs — which replay
+	// the hard-wired behavior event for event.
+	Policies policy.Set
 }
 
 // DefaultConfig returns the configuration used by the experiments unless a
@@ -114,4 +113,36 @@ func (c Config) power(site int) float64 {
 		return 1
 	}
 	return c.Powers[site]
+}
+
+// The policy resolvers fill nil Policies fields with the paper defaults.
+// Dispatch and Mapper fall back to wrappers over the legacy LaxityMode and
+// Heuristic knobs so existing sweeps (E5, E8) keep working unchanged.
+
+func (c Config) spherePolicy() policy.Sphere {
+	if c.Policies.Sphere != nil {
+		return c.Policies.Sphere
+	}
+	return policy.FullSphere{}
+}
+
+func (c Config) acceptancePolicy() policy.Acceptance {
+	if c.Policies.Acceptance != nil {
+		return c.Policies.Acceptance
+	}
+	return policy.EDF{}
+}
+
+func (c Config) dispatchPolicy() policy.Dispatch {
+	if c.Policies.Dispatch != nil {
+		return c.Policies.Dispatch
+	}
+	return policy.FromLaxityMode(c.LaxityMode)
+}
+
+func (c Config) mapperPolicy() policy.Mapper {
+	if c.Policies.Mapper != nil {
+		return c.Policies.Mapper
+	}
+	return policy.FromHeuristic(c.Heuristic)
 }

@@ -1,1 +1,23 @@
+// Package core implements the RTDS protocol itself (paper §4–§11): per-site
+// local scheduling, PCS bootstrap, ACS enrollment with locking, trial-mapping
+// construction and validation, maximum-coupling permutation selection, and
+// distributed execution with result messages.
+//
+// Every site runs the same state machine (there is no centralized control);
+// sites communicate only over topology links, forwarding multi-hop traffic
+// along their routing tables' next hops, so communication cost is accounted
+// per link traversal exactly as the paper argues.
+//
+// The package is layered:
+//
+//   - internal/core/txn holds the initiator-side transaction state machine —
+//     enroll → validate → commit as named phases with guarded transitions,
+//     the phase timers and the abort retransmission state;
+//   - internal/core/policy names the protocol's decision points (enrollment
+//     fan-out, local acceptance, laxity dispatching, mapper heuristic) as
+//     interfaces, resolved from Config.Policies with paper defaults;
+//   - this package owns the I/O: transports, routing, locks, plans and the
+//     member-side handlers, split by role across site.go (transport entry,
+//     locking, arrival), initiator.go (txn driving), member.go (enrollment,
+//     endorsement, commit handling) and exec.go (distributed execution).
 package core

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/core/txn"
 	"repro/internal/graph"
 	"repro/internal/simnet"
 )
@@ -70,15 +71,11 @@ func TestEnrollTimeoutTieRace(t *testing.T) {
 func TestSurplusOrderingBelowClampFloor(t *testing.T) {
 	c := mustCluster(t, fastLine(4), DefaultConfig())
 	s := c.sites[0]
-	tx := &txn{
-		job: &Job{ID: "x", AbsDeadline: 100},
-		acs: []graph.NodeID{1, 2, 3},
-		acks: map[graph.NodeID]enrollAck{
-			1: {Member: 1, Surplus: 1e-5, Power: 1},
-			2: {Member: 2, Surplus: 8e-4, Power: 1},
-			3: {Member: 3, Surplus: 1e-6, Power: 1},
-		},
-	}
+	tx := &activeTxn{Txn: txn.New("x", []graph.NodeID{1, 2, 3}), job: &Job{ID: "x", AbsDeadline: 100}}
+	tx.RecordEnrollment(1, txn.Enrollment{Surplus: 1e-5, Power: 1})
+	tx.RecordEnrollment(2, txn.Enrollment{Surplus: 8e-4, Power: 1})
+	tx.RecordEnrollment(3, txn.Enrollment{Surplus: 1e-6, Power: 1})
+	tx.FixACS()
 	procs := s.acsProcs(tx)
 	var order []graph.NodeID
 	for _, p := range procs {

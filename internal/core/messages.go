@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/core/txn"
 	"repro/internal/dag"
 	"repro/internal/graph"
 	"repro/internal/mapper"
@@ -43,11 +44,10 @@ func (enrollReq) Kind() string     { return "rtds.enroll" }
 func (e enrollReq) SizeBytes() int { return msgHeader + 8 }
 
 // distEntry is one line of the distance vector an enrollee reports, letting
-// the initiator compute the exact ACS delay diameter (DESIGN.md §6.3).
-type distEntry struct {
-	Dest graph.NodeID
-	Dist float64
-}
+// the initiator compute the exact ACS delay diameter (DESIGN.md §6.3). It
+// aliases the txn package's representation so enrollment reports flow into
+// the state machine without conversion.
+type distEntry = txn.DistEntry
 
 // enrollAck accepts enrollment: the member is now locked for the initiator
 // and reports its surplus (§8) plus its distance vector and computing power.

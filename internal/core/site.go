@@ -3,11 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
+	"repro/internal/core/policy"
+	"repro/internal/core/txn"
 	"repro/internal/dag"
 	"repro/internal/graph"
-	"repro/internal/mapper"
 	"repro/internal/routing"
 	"repro/internal/schedule"
 	"repro/internal/simnet"
@@ -19,17 +19,39 @@ const noLock = graph.NodeID(-1)
 // are only invoked from its transport execution context (the DES event loop
 // or the site's goroutine on the live transport), so no internal locking is
 // needed.
+//
+// The site is the protocol's I/O half: it owns the transport, the routing
+// table, the scheduling plan and the member-side lock. The initiator-side
+// phase progression of each distributed job lives in the txn package
+// (enroll → validate → commit as guarded transitions), and the decision
+// points — enrollment fan-out, local acceptance, laxity dispatching, the
+// mapper heuristic — are delegated to the policy layer resolved at
+// construction.
 type Site struct {
 	id      graph.NodeID
 	cluster *Cluster
 	plan    schedule.Plan
 	power   float64
 
+	// Policy layer (see internal/core/policy); resolved once from the
+	// cluster config, defaults replay the paper's hard-wired behavior.
+	spherePol   policy.Sphere
+	acceptPol   policy.Acceptance
+	dispatchPol policy.Dispatch
+	mapperPol   policy.Mapper
+
 	// PCS bootstrap (§7)
 	rnode      *routing.Node
 	table      *routing.Table
 	pcs        []graph.NodeID // sphere members, self excluded
 	sphereDiam float64        // max known delay to a sphere member
+	// enrollSet / enrollDiam cache the sphere policy's fan-out choice and
+	// its delay diameter. The sphere and its distances are immutable
+	// between table adoptions, so paying the policy's selection (a sort,
+	// for KRedundant) once per adoptTable instead of once per enrollment
+	// keeps startTxn off the protocol's hottest path.
+	enrollSet  []graph.NodeID
+	enrollDiam float64
 	// distVec is the site's distance vector, precomputed once when the
 	// (immutable after bootstrap) table is final. It is shared by reference
 	// in every enrollAck this site sends; receivers treat Dists as
@@ -49,79 +71,24 @@ type Site struct {
 	// Member-side validation state: job -> logical proc -> admitted ticket.
 	memberTickets map[string]map[int]*schedule.Ticket
 
-	// Initiator-side transactions.
-	txns map[string]*txn
+	// Initiator-side transactions (the txn state machines plus their job
+	// records).
+	txns map[string]*activeTxn
 
 	// Initiator-side abort retransmission state (faulty clusters only):
 	// job -> members whose abort unlock has not been acknowledged yet.
-	aborts map[string]*abortRetry
+	aborts map[string]*txn.AbortRetry
 
 	// Execution state for jobs with tasks on this site.
 	exec map[string]*execJob
 }
 
-// txn is the initiator's state for one distributed job (§4 steps 2–5).
-type txn struct {
-	job      *Job
-	phase    txnPhase
-	expected []graph.NodeID // PCS members the enrollment was sent to
-	acks     map[graph.NodeID]enrollAck
-	// cancelTimer cancels the current phase's expiry timer: the enrollment
-	// window first, then the validation and commit timers that mirror it.
-	// Every path that closes a phase cancels and nils it before advancing.
-	cancelTimer simnet.CancelFunc
-
-	tm          *mapper.TrialMapping
-	acs         []graph.NodeID // enrolled members (self excluded), sorted
-	omega       float64        // ACS delay diameter, sizes the phase timers
-	endorse     map[graph.NodeID][]int
-	awaitAcks   map[graph.NodeID]bool
-	assignment  map[int]graph.NodeID // logical proc -> executing site
-	commitWait  map[graph.NodeID]bool
-	commitFail  bool
-	commitsSent bool // commit/release messages have reached the ACS
-	selfOK      bool // initiator committed its own share successfully
-	valTimeout  bool // validation closed by its timer with acks missing
-	comTimeout  bool // commit resolved by its timer with acks missing
-}
-
-// abortRetry tracks one aborted job's unacknowledged abort unlocks at the
-// initiator (faulty clusters only). Members is kept sorted so retransmission
-// order is deterministic.
-type abortRetry struct {
-	members []graph.NodeID
-	tries   int
-	cancel  simnet.CancelFunc
-}
-
-// maxAbortTries bounds abort retransmission so runs terminate even when a
-// member is permanently unreachable. At 10% loss, 8 rounds leave a 1e-8
-// chance of an alive member missing every copy.
-const maxAbortTries = 8
-
-type txnPhase int
-
-const (
-	phaseEnrolling txnPhase = iota
-	phaseValidating
-	phaseCommitting
-	phaseDone
-)
-
-// execJob tracks the execution of one job's tasks on this site (§11).
-type execJob struct {
-	job       *Job
-	g         *dag.Graph
-	taskSites map[dag.TaskID]graph.NodeID
-	// reservations holds this site's slots (non-preemptive) or the current
-	// completion estimates (preemptive).
-	reservations map[dag.TaskID]schedule.Reservation
-	// arrived marks received cross-site results per (predecessor, consumer)
-	// edge: with data volumes, each edge's transfer completes separately.
-	arrived   map[[2]dag.TaskID]bool
-	completed map[dag.TaskID]bool
-	timers    []simnet.CancelFunc
-	cancelled bool
+// activeTxn pairs one txn state machine with the job record it decides: the
+// machine tracks identifiers and phase bookkeeping only, the protocol needs
+// the record for deadlines, graphs and the final decision.
+type activeTxn struct {
+	*txn.Txn
+	job *Job
 }
 
 func newSite(id graph.NodeID, c *Cluster) *Site {
@@ -136,10 +103,14 @@ func newSite(id graph.NodeID, c *Cluster) *Site {
 		cluster:       c,
 		plan:          plan,
 		power:         c.cfg.power(int(id)),
+		spherePol:     c.cfg.spherePolicy(),
+		acceptPol:     c.cfg.acceptancePolicy(),
+		dispatchPol:   c.cfg.dispatchPolicy(),
+		mapperPol:     c.cfg.mapperPolicy(),
 		lockedBy:      noLock,
 		memberTickets: make(map[string]map[int]*schedule.Ticket),
-		txns:          make(map[string]*txn),
-		aborts:        make(map[string]*abortRetry),
+		txns:          make(map[string]*activeTxn),
+		aborts:        make(map[string]*txn.AbortRetry),
 		exec:          make(map[string]*execJob),
 	}
 	rounds := routing.RoundsForRadius(c.cfg.Radius)
@@ -173,6 +144,20 @@ func (s *Site) adoptTable(t *routing.Table) {
 	for _, dest := range t.Destinations() {
 		if dest != s.id {
 			s.distVec = append(s.distVec, distEntry{Dest: dest, Dist: t.Dist(dest)})
+		}
+	}
+	// Resolve the sphere policy's enrollment fan-out once per table. The
+	// enrollment round trip is bounded by the precomputed sphere diameter
+	// when the whole sphere is enrolled (the paper's case), by the chosen
+	// set's own diameter when the policy restricted the fan-out.
+	s.enrollSet = s.spherePol.EnrollSet(s.pcs, t.Dist)
+	s.enrollDiam = s.sphereDiam
+	if len(s.enrollSet) != len(s.pcs) {
+		s.enrollDiam = 0
+		for _, m := range s.enrollSet {
+			if d := t.Dist(m); !math.IsInf(d, 1) && d > s.enrollDiam {
+				s.enrollDiam = d
+			}
 		}
 	}
 }
@@ -265,6 +250,12 @@ func (s *Site) forward(m Routed) {
 
 func (s *Site) now() float64 { return s.cluster.tr.Now() }
 
+// after schedules fn in this site's execution context after a virtual-time
+// delay — the clock every phase timer, lease and execution timer runs on.
+func (s *Site) after(d float64, fn func()) simnet.CancelFunc {
+	return s.cluster.tr.After(s.id, d, fn)
+}
+
 // ---------------------------------------------------------------------------
 // Locking (§8)
 
@@ -295,37 +286,6 @@ func (s *Site) unlock() {
 	}
 }
 
-// startLockLease arms the member-side backstop on faulty clusters: if the
-// transaction has not released this lock by the time every fault-free
-// protocol schedule would have (enrollment window plus the validation and
-// commit round trips, with jitter headroom), the initiator is presumed dead
-// and the lock is released unilaterally. The lease is deliberately generous
-// — firing early only converts one admission into a conservative rejection,
-// but it must still be bounded so faulty runs terminate.
-func (s *Site) startLockLease(m enrollReq) {
-	jitter := 0.0
-	if f := s.cluster.cfg.Faults; f != nil {
-		jitter = f.MaxJitter
-	}
-	lease := 6*m.Window + 12*jitter + 4*s.cluster.cfg.EnrollSlack
-	job, initiator := m.Job, m.Initiator
-	s.lockLease = s.cluster.tr.After(s.id, lease, func() { s.leaseExpired(job, initiator) })
-}
-
-// leaseExpired releases a lock whose transaction went silent: the member
-// withdraws (drops its cached tickets) and resumes deferred work. Any later
-// message of the withdrawn transaction hits the defensive lock-mismatch
-// paths and is refused, which at worst turns the job into a rejection.
-func (s *Site) leaseExpired(job string, initiator graph.NodeID) {
-	s.lockLease = nil
-	if !s.locked() || s.lockJob != job || s.lockedBy != initiator {
-		return
-	}
-	s.cluster.event(s.id, job, EvLeaseExpired, fmt.Sprintf("initiator %d silent", initiator))
-	delete(s.memberTickets, job)
-	s.unlock()
-}
-
 func (s *Site) deferWork(fn func()) { s.deferred = append(s.deferred, fn) }
 
 // ---------------------------------------------------------------------------
@@ -339,7 +299,7 @@ func (s *Site) jobArrives(job *Job) {
 		return
 	}
 	s.cluster.event(s.id, job.ID, EvArrival, "")
-	if tk, ok := s.localTest(job); ok {
+	if tk, ok := s.acceptPol.LocalTest(s.plan, s.now(), job.ID, job.Graph, job.Arrival, job.AbsDeadline, s.power); ok {
 		if err := s.plan.Commit(tk); err != nil {
 			// The plan refused a ticket admitted an instant ago on an
 			// unlocked site. This indicates an inconsistency, but crashing
@@ -370,354 +330,4 @@ func (s *Site) jobArrives(job *Job) {
 		return
 	}
 	s.startTxn(job)
-}
-
-// localTest tries to schedule the entire DAG in the gaps of this site's
-// plan before the job deadline, placing tasks in the §12 priority order and
-// deriving each release from its predecessors' completions.
-func (s *Site) localTest(job *Job) (*schedule.Ticket, bool) {
-	sess := s.plan.NewSession(s.now())
-	g := job.Graph
-	for _, id := range g.PriorityOrder() {
-		rel := job.Arrival
-		if n := s.now(); n > rel {
-			rel = n
-		}
-		for _, p := range g.Predecessors(id) {
-			c, ok := sess.Completion(int(p))
-			if !ok {
-				panic("core: predecessor not placed before successor")
-			}
-			if c > rel {
-				rel = c
-			}
-		}
-		req := schedule.Request{
-			Job:      job.ID,
-			Task:     int(id),
-			Release:  rel,
-			Deadline: job.AbsDeadline,
-			Duration: g.Complexity(id) / s.power,
-		}
-		if _, ok := sess.Place(req); !ok {
-			return nil, false
-		}
-	}
-	return sess.Ticket(), true
-}
-
-// ---------------------------------------------------------------------------
-// Initiator: enrollment (§8)
-
-func (s *Site) startTxn(job *Job) {
-	s.cluster.event(s.id, job.ID, EvEnroll, fmt.Sprintf("pcs=%d", len(s.pcs)))
-	s.lock(s.id, job.ID)
-	t := &txn{
-		job:      job,
-		phase:    phaseEnrolling,
-		expected: s.pcs,
-		acks:     make(map[graph.NodeID]enrollAck),
-	}
-	s.txns[job.ID] = t
-	timeout := 2*s.sphereDiam + s.cluster.cfg.EnrollSlack
-	for _, m := range s.pcs {
-		s.sendTo(m, enrollReq{Job: job.ID, Initiator: s.id, Window: timeout})
-	}
-	t.cancelTimer = s.cluster.tr.After(s.id, timeout, func() { s.enrollDone(t) })
-}
-
-// onEnroll handles an enrollment request at a member (§8): lock for the
-// initiator and report surplus, power and the distance vector; defer if
-// already locked.
-func (s *Site) onEnroll(src graph.NodeID, m enrollReq) {
-	if s.locked() {
-		s.deferWork(func() { s.onEnroll(src, m) })
-		return
-	}
-	s.lock(m.Initiator, m.Job)
-	if s.cluster.faultsOn() {
-		s.startLockLease(m)
-	}
-	s.sendTo(m.Initiator, enrollAck{
-		Job:     m.Job,
-		Member:  s.id,
-		Surplus: s.plan.Surplus(s.now(), s.cluster.cfg.SurplusWindow),
-		Power:   s.power,
-		Dists:   s.distVec,
-	})
-}
-
-// onEnrollAck collects members at the initiator. Acks for finished
-// transactions (stragglers that were deferred past the enrollment window)
-// get an immediate unlock so the member is not stranded.
-func (s *Site) onEnrollAck(m enrollAck) {
-	t, ok := s.txns[m.Job]
-	if !ok || t.phase != phaseEnrolling {
-		s.sendTo(m.Member, unlockMsg{Job: m.Job, From: s.id})
-		return
-	}
-	t.acks[m.Member] = m
-	if len(t.acks) == len(t.expected) {
-		// Cancel before closing the window: if the expiry timer fires at
-		// the same instant as this ack (or has already been queued on the
-		// live transport), the nil-ed handle plus enrollDone's phase guard
-		// keep the window from being closed twice.
-		if t.cancelTimer != nil {
-			t.cancelTimer()
-			t.cancelTimer = nil
-		}
-		s.enrollDone(t)
-	}
-}
-
-// enrollDone closes the enrollment window: the ACS is fixed (§8) and the
-// mapper runs (§9, §12). It is reachable from both the final enrollAck and
-// the expiry timer; the phase guard makes the second entry a no-op whichever
-// path wins the race.
-func (s *Site) enrollDone(t *txn) {
-	if t.phase != phaseEnrolling {
-		return
-	}
-	if t.cancelTimer != nil {
-		t.cancelTimer()
-		t.cancelTimer = nil
-	}
-	t.phase = phaseValidating
-	job := t.job
-
-	// On a faulty cluster an expected member may be locked for us while its
-	// ack was lost in transit: release the stragglers eagerly (their lock
-	// lease is the backstop if this unlock is lost too). Faultless clusters
-	// skip this — a missing ack there only means the member deferred, and
-	// the existing straggler path unlocks it when the late ack arrives.
-	if s.cluster.faultsOn() && len(t.acks) < len(t.expected) {
-		for _, m := range t.expected {
-			if _, ok := t.acks[m]; !ok {
-				s.sendTo(m, unlockMsg{Job: job.ID, From: s.id})
-			}
-		}
-	}
-
-	if len(t.acks) == 0 {
-		// Nobody enrolled before the window closed (§8): reject without
-		// attempting an initiator-only mapping — the local test already
-		// failed, and the paper distributes or rejects.
-		s.cluster.event(s.id, job.ID, EvACSFixed, "acs=1 (nobody enrolled)")
-		s.finishTxn(t, Rejected, StageEmptyACS)
-		return
-	}
-
-	t.acs = make([]graph.NodeID, 0, len(t.acks))
-	for m := range t.acks {
-		t.acs = append(t.acs, m)
-	}
-	sort.Slice(t.acs, func(i, j int) bool { return t.acs[i] < t.acs[j] })
-	job.ACSSize = len(t.acs) + 1 // initiator included
-	s.cluster.event(s.id, job.ID, EvACSFixed, fmt.Sprintf("acs=%d", job.ACSSize))
-
-	omega := s.acsDiameter(t)
-	t.omega = omega
-	procs := s.acsProcs(t)
-	rEff := s.now() + s.cluster.cfg.ReleasePadFactor*omega
-	tm, err := mapper.Build(job.Graph, procs, omega, rEff, job.AbsDeadline, mapper.Options{
-		Heuristic:  s.cluster.cfg.Heuristic,
-		LaxityMode: s.cluster.cfg.LaxityMode,
-		Throughput: s.cluster.cfg.Throughput,
-	})
-	if err != nil {
-		s.finishTxn(t, Rejected, StageMapper)
-		return
-	}
-	t.tm = tm
-	job.NumProcs = tm.NumProcs()
-	s.cluster.event(s.id, job.ID, EvMapped,
-		fmt.Sprintf("procs=%d case=%s M=%.3g M*=%.3g", tm.NumProcs(), tm.Case, tm.Makespan, tm.IdealMakespan))
-
-	// Broadcast M in the ACS (§10); endorse locally in place.
-	windows := make([][]mapper.TaskWindow, tm.NumProcs())
-	for i := range windows {
-		windows[i] = tm.Tasks(job.Graph, i)
-	}
-	t.endorse = make(map[graph.NodeID][]int)
-	t.awaitAcks = make(map[graph.NodeID]bool)
-	for _, m := range t.acs {
-		t.awaitAcks[m] = true
-		s.sendTo(m, validateReq{Job: job.ID, Initiator: s.id, NumProcs: tm.NumProcs(), Windows: windows})
-	}
-	t.endorse[s.id] = s.endorsable(job.ID, windows)
-	if len(t.awaitAcks) == 0 {
-		s.finishValidation(t)
-		return
-	}
-	// Validation timeout, mirroring the enrollment window: the round trip
-	// inside the ACS is bounded by 2ω, so on a faultless cluster this timer
-	// is always cancelled; a lost validateReq or ack turns into a reject
-	// instead of a wedged initiator.
-	t.cancelTimer = s.cluster.tr.After(s.id, 2*omega+s.cluster.cfg.EnrollSlack,
-		func() { s.validateTimeout(t) })
-}
-
-// validateTimeout closes the validation phase when members went silent:
-// missing answers count as empty endorsements and the coupling runs on what
-// arrived, which typically rejects the job and unlocks everyone.
-func (s *Site) validateTimeout(t *txn) {
-	if t.phase != phaseValidating {
-		return
-	}
-	t.cancelTimer = nil
-	if len(t.awaitAcks) == 0 {
-		return
-	}
-	t.valTimeout = true
-	s.cluster.event(s.id, t.job.ID, EvPhaseTimeout,
-		fmt.Sprintf("validate missing=%d", len(t.awaitAcks)))
-	missing := make([]graph.NodeID, 0, len(t.awaitAcks))
-	for m := range t.awaitAcks {
-		missing = append(missing, m)
-	}
-	for _, m := range missing {
-		delete(t.awaitAcks, m)
-		t.endorse[m] = nil
-	}
-	s.finishValidation(t)
-}
-
-// acsDiameter computes ω: the largest pairwise known delay among ACS
-// members (initiator included), from the initiator's own table plus the
-// enrollees' distance vectors (DESIGN.md §6.3).
-func (s *Site) acsDiameter(t *txn) float64 {
-	members := append([]graph.NodeID{s.id}, t.acs...)
-	inACS := make(map[graph.NodeID]bool, len(members))
-	for _, m := range members {
-		inACS[m] = true
-	}
-	var omega float64
-	consider := func(d float64) {
-		if !math.IsInf(d, 1) && d > omega {
-			omega = d
-		}
-	}
-	for _, m := range t.acs {
-		consider(s.table.Dist(m))
-		for _, e := range t.acks[m].Dists {
-			if inACS[e.Dest] {
-				consider(e.Dist)
-			}
-		}
-	}
-	return omega
-}
-
-// acsProcs builds the mapper input: ACS members with surpluses in
-// descending order (§9). The initiator contributes its own current surplus;
-// with UseLocalKnowledge it measures itself over the job's actual window
-// (§13), which its own plan lets it do exactly. Ordering uses the *raw*
-// surpluses: the clamp that keeps the mapper's domain sane collapses every
-// saturated site onto the same floor, and sorting the clamped values would
-// reduce the §9 surplus ranking to a site-ID lottery among exactly the
-// sites where the ranking matters most.
-func (s *Site) acsProcs(t *txn) []mapper.ProcInfo {
-	selfWindow := s.cluster.cfg.SurplusWindow
-	if s.cluster.cfg.UseLocalKnowledge {
-		if w := t.job.AbsDeadline - s.now(); w > 1e-6 {
-			selfWindow = w
-		}
-	}
-	type rankedProc struct {
-		info mapper.ProcInfo
-		raw  float64
-	}
-	selfRaw := s.plan.Surplus(s.now(), selfWindow)
-	ranked := make([]rankedProc, 0, len(t.acs)+1)
-	ranked = append(ranked, rankedProc{
-		info: mapper.ProcInfo{Site: s.id, Surplus: clampSurplus(selfRaw), Power: s.power},
-		raw:  selfRaw,
-	})
-	for _, m := range t.acs {
-		a := t.acks[m]
-		ranked = append(ranked, rankedProc{
-			info: mapper.ProcInfo{Site: m, Surplus: clampSurplus(a.Surplus), Power: a.Power},
-			raw:  a.Surplus,
-		})
-	}
-	sort.SliceStable(ranked, func(i, j int) bool {
-		if ranked[i].raw != ranked[j].raw {
-			return ranked[i].raw > ranked[j].raw
-		}
-		return ranked[i].info.Site < ranked[j].info.Site
-	})
-	procs := make([]mapper.ProcInfo, len(ranked))
-	for i, r := range ranked {
-		procs[i] = r.info
-	}
-	return procs
-}
-
-// clampSurplus keeps a measured surplus inside the mapper's (0, 1] domain:
-// a fully booked site still has an arbitrarily small surplus, not zero.
-func clampSurplus(v float64) float64 {
-	const floor = 1e-3
-	if v < floor {
-		return floor
-	}
-	if v > 1 {
-		return 1
-	}
-	return v
-}
-
-// endorsable computes which logical processors this site can endorse (§10)
-// and caches the admission tickets for a later commit.
-func (s *Site) endorsable(jobID string, windows [][]mapper.TaskWindow) []int {
-	tickets := make(map[int]*schedule.Ticket)
-	var ok []int
-	for i, wins := range windows {
-		reqs := make([]schedule.Request, len(wins))
-		for k, w := range wins {
-			reqs[k] = schedule.Request{
-				Job:      jobID,
-				Task:     int(w.Task),
-				Release:  w.Release,
-				Deadline: w.Deadline,
-				Duration: w.Complexity / s.power,
-			}
-		}
-		if tk, admitted := s.plan.Admit(s.now(), reqs); admitted {
-			tickets[i] = tk
-			ok = append(ok, i)
-		}
-	}
-	s.memberTickets[jobID] = tickets
-	return ok
-}
-
-// onValidate handles the mapping broadcast at a member (§10).
-func (s *Site) onValidate(m validateReq) {
-	if s.lockedBy != m.Initiator || s.lockJob != m.Job {
-		// Defensive: the lock should always match (validation is only sent
-		// to enrolled members), but an empty endorsement keeps the initiator
-		// from waiting forever if it ever does not.
-		s.sendTo(m.Initiator, validateAck{Job: m.Job, Member: s.id})
-		return
-	}
-	end := s.endorsable(m.Job, m.Windows)
-	s.sendTo(m.Initiator, validateAck{Job: m.Job, Member: s.id, Endorsable: end})
-}
-
-// onValidateAck collects endorsements at the initiator; when all ACS members
-// have answered it computes the maximum coupling (§10).
-func (s *Site) onValidateAck(m validateAck) {
-	t, ok := s.txns[m.Job]
-	if !ok || t.phase != phaseValidating || !t.awaitAcks[m.Member] {
-		return
-	}
-	delete(t.awaitAcks, m.Member)
-	t.endorse[m.Member] = m.Endorsable
-	if len(t.awaitAcks) == 0 {
-		if t.cancelTimer != nil {
-			t.cancelTimer()
-			t.cancelTimer = nil
-		}
-		s.finishValidation(t)
-	}
 }

@@ -1,0 +1,61 @@
+package txn
+
+import (
+	"repro/internal/graph"
+	"repro/internal/simnet"
+)
+
+// MaxAbortTries bounds abort retransmission so runs terminate even when a
+// member is permanently unreachable. At 10% loss, 8 rounds leave a 1e-8
+// chance of an alive member missing every copy.
+const MaxAbortTries = 8
+
+// AbortRetry tracks one aborted job's unacknowledged abort unlocks at the
+// initiator (faulty clusters only): the abort edge of the state machine
+// outlives the transaction itself, retransmitting until every executing
+// member acknowledged or the retry budget is spent. Members is kept in the
+// order the abort was issued, so retransmission order is deterministic.
+type AbortRetry struct {
+	Members []graph.NodeID
+	Tries   int
+	timer   simnet.CancelFunc
+}
+
+// NewAbortRetry starts tracking the executing members that must acknowledge
+// an abort unlock.
+func NewAbortRetry(members []graph.NodeID) *AbortRetry {
+	return &AbortRetry{Members: members}
+}
+
+// Arm installs the retransmission timer handle.
+func (a *AbortRetry) Arm(c simnet.CancelFunc) { a.timer = c }
+
+// TimerFired clears the timer handle from inside the expiry callback.
+func (a *AbortRetry) TimerFired() { a.timer = nil }
+
+// Stop cancels a pending retransmission timer.
+func (a *AbortRetry) Stop() {
+	if a.timer != nil {
+		a.timer()
+		a.timer = nil
+	}
+}
+
+// NextTry consumes one retry; it returns false when the budget is spent and
+// the initiator should give up (the members' lock leases are the backstop).
+func (a *AbortRetry) NextTry() bool {
+	a.Tries++
+	return a.Tries <= MaxAbortTries
+}
+
+// Ack removes one member from the retransmission set and reports whether
+// every member has now acknowledged.
+func (a *AbortRetry) Ack(m graph.NodeID) (done bool) {
+	for i, member := range a.Members {
+		if member == m {
+			a.Members = append(a.Members[:i], a.Members[i+1:]...)
+			break
+		}
+	}
+	return len(a.Members) == 0
+}

@@ -1,0 +1,211 @@
+package txn
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func members(ids ...int) []graph.NodeID {
+	out := make([]graph.NodeID, len(ids))
+	for i, id := range ids {
+		out[i] = graph.NodeID(id)
+	}
+	return out
+}
+
+func TestPhaseProgression(t *testing.T) {
+	tx := New("j1", members(1, 2))
+	if tx.Phase() != Enrolling {
+		t.Fatalf("new txn in phase %v", tx.Phase())
+	}
+	if tx.RecordEnrollment(1, Enrollment{Surplus: 0.5}) {
+		t.Fatal("complete after 1/2 enrollments")
+	}
+	if !tx.RecordEnrollment(2, Enrollment{Surplus: 0.7}) {
+		t.Fatal("not complete after 2/2 enrollments")
+	}
+	if !tx.CloseEnrollment() {
+		t.Fatal("first CloseEnrollment refused")
+	}
+	if tx.CloseEnrollment() {
+		t.Fatal("second CloseEnrollment accepted (double transition)")
+	}
+	if tx.Phase() != Validating {
+		t.Fatalf("phase %v after CloseEnrollment", tx.Phase())
+	}
+	acs := tx.FixACS()
+	if len(acs) != 2 || acs[0] != 1 || acs[1] != 2 {
+		t.Fatalf("ACS %v, want [1 2]", acs)
+	}
+	if e := tx.Enrollment(2); e.Surplus != 0.7 {
+		t.Fatalf("enrollment 2 surplus %v", e.Surplus)
+	}
+
+	tx.BeginValidation()
+	tx.ExpectEndorsement(1)
+	tx.ExpectEndorsement(2)
+	tx.SetEndorsement(0, []int{0})
+	if counted, _ := tx.RecordEndorsement(3, nil); counted {
+		t.Fatal("unexpected member's endorsement counted")
+	}
+	if counted, complete := tx.RecordEndorsement(1, []int{1}); !counted || complete {
+		t.Fatalf("endorsement 1: counted=%v complete=%v", counted, complete)
+	}
+	if counted, complete := tx.RecordEndorsement(2, []int{0, 1}); !counted || !complete {
+		t.Fatalf("endorsement 2: counted=%v complete=%v", counted, complete)
+	}
+	if counted, _ := tx.RecordEndorsement(2, nil); counted {
+		t.Fatal("duplicate endorsement counted")
+	}
+
+	tx.BeginCommit()
+	if tx.Phase() != Committing {
+		t.Fatalf("phase %v after BeginCommit", tx.Phase())
+	}
+	tx.ExpectCommitAck(1)
+	tx.ExpectCommitAck(2)
+	if counted, complete := tx.RecordCommitAck(1, true); !counted || complete {
+		t.Fatalf("commit ack 1: counted=%v complete=%v", counted, complete)
+	}
+	if counted, complete := tx.RecordCommitAck(2, false); !counted || !complete {
+		t.Fatalf("commit ack 2: counted=%v complete=%v", counted, complete)
+	}
+	if !tx.CommitFail {
+		t.Fatal("refused commit did not mark the transaction failed")
+	}
+	if !tx.Finish() {
+		t.Fatal("first Finish refused")
+	}
+	if tx.Finish() {
+		t.Fatal("second Finish accepted (double decision)")
+	}
+	if tx.Phase() != Done {
+		t.Fatalf("phase %v after Finish", tx.Phase())
+	}
+}
+
+func TestMissingEnrollmentsInExpectedOrder(t *testing.T) {
+	tx := New("j", members(5, 3, 8, 1))
+	tx.RecordEnrollment(3, Enrollment{})
+	got := tx.MissingEnrollments()
+	want := members(5, 8, 1)
+	if len(got) != len(want) {
+		t.Fatalf("missing %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("missing %v, want %v (Expected order)", got, want)
+		}
+	}
+}
+
+func TestTimerLifecycle(t *testing.T) {
+	tx := New("j", members(1))
+	cancelled := 0
+	tx.SetTimer(func() bool { cancelled++; return true })
+	tx.StopTimer()
+	tx.StopTimer() // idempotent: handle is nil-ed
+	if cancelled != 1 {
+		t.Fatalf("timer cancelled %d times, want 1", cancelled)
+	}
+	// CloseEnrollment stops an armed window timer exactly once.
+	tx.SetTimer(func() bool { cancelled++; return true })
+	tx.CloseEnrollment()
+	if cancelled != 2 {
+		t.Fatalf("CloseEnrollment left the window timer armed (%d cancels)", cancelled)
+	}
+	// Finish stops the current phase timer.
+	tx.SetTimer(func() bool { cancelled++; return true })
+	tx.Finish()
+	if cancelled != 3 {
+		t.Fatalf("Finish left the phase timer armed (%d cancels)", cancelled)
+	}
+}
+
+func TestValidationTimeoutRace(t *testing.T) {
+	tx := New("j", members(1, 2))
+	tx.RecordEnrollment(1, Enrollment{})
+	tx.RecordEnrollment(2, Enrollment{})
+	tx.CloseEnrollment()
+	tx.FixACS()
+	tx.BeginValidation()
+	tx.ExpectEndorsement(1)
+	tx.ExpectEndorsement(2)
+	tx.RecordEndorsement(1, []int{0})
+
+	missing, fired := tx.TimeoutValidation()
+	if !fired || missing != 1 {
+		t.Fatalf("timeout: missing=%d fired=%v, want 1/true", missing, fired)
+	}
+	if !tx.ValTimedOut {
+		t.Fatal("ValTimedOut not recorded")
+	}
+	if got := tx.Endorse[2]; got != nil {
+		t.Fatalf("silent member endorsement %v, want nil", got)
+	}
+	// The timeout emptied the await set: a second firing is a no-op, and a
+	// straggler ack no longer counts.
+	if _, fired := tx.TimeoutValidation(); fired {
+		t.Fatal("second timeout fired")
+	}
+	if counted, _ := tx.RecordEndorsement(2, []int{1}); counted {
+		t.Fatal("straggler endorsement counted after timeout")
+	}
+}
+
+func TestCommitTimeoutMarksFailure(t *testing.T) {
+	tx := New("j", members(1))
+	tx.RecordEnrollment(1, Enrollment{})
+	tx.CloseEnrollment()
+	tx.FixACS()
+	tx.BeginValidation()
+	tx.BeginCommit()
+	tx.ExpectCommitAck(1)
+	missing, fired := tx.TimeoutCommit()
+	if !fired || missing != 1 {
+		t.Fatalf("commit timeout: missing=%d fired=%v", missing, fired)
+	}
+	if !tx.CommitFail || !tx.ComTimedOut {
+		t.Fatalf("flags after commit timeout: fail=%v timedOut=%v", tx.CommitFail, tx.ComTimedOut)
+	}
+	// Late ack is stale.
+	if counted, _ := tx.RecordCommitAck(1, true); counted {
+		t.Fatal("stale commit ack counted after timeout")
+	}
+	if _, fired := tx.TimeoutCommit(); fired {
+		t.Fatal("second commit timeout fired")
+	}
+}
+
+func TestAbortRetry(t *testing.T) {
+	ar := NewAbortRetry(members(2, 4))
+	for i := 1; i <= MaxAbortTries; i++ {
+		if !ar.NextTry() {
+			t.Fatalf("try %d refused within budget", i)
+		}
+	}
+	if ar.NextTry() {
+		t.Fatalf("try %d accepted beyond MaxAbortTries", MaxAbortTries+1)
+	}
+
+	ar = NewAbortRetry(members(2, 4))
+	if ar.Ack(4) {
+		t.Fatal("done after 1/2 acks")
+	}
+	if ar.Ack(4) {
+		t.Fatal("duplicate ack reported done")
+	}
+	if !ar.Ack(2) {
+		t.Fatal("not done after all acks")
+	}
+
+	cancelled := 0
+	ar = NewAbortRetry(members(1))
+	ar.Arm(func() bool { cancelled++; return true })
+	ar.Stop()
+	ar.Stop()
+	if cancelled != 1 {
+		t.Fatalf("retry timer cancelled %d times, want 1", cancelled)
+	}
+}

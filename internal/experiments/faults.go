@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/scheme"
 	"repro/internal/simnet"
 )
 
@@ -66,42 +66,36 @@ func e12Row(env *runEnv, size Size, seed int64, shard int) ([][]any, error) {
 	var rows [][]any
 	// One topology and arrival sequence per loss level: within a shard the
 	// crash column isolates the effect of dead sites on identical traffic.
-	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
-	spec := stdSpec(size.sites(), size.horizon(), seed+int64(shard*100))
-	arrivals, err := arrivalsForLoad(spec, 0.6)
+	topo := graph.RandomConnected(size.sites(), 3, StdDelays, seed)
+	spec := StdSpec(size.sites(), size.horizon(), seed+int64(shard*100))
+	arrivals, err := ArrivalsForLoad(spec, 0.6)
 	if err != nil {
 		return nil, err
 	}
 	for _, crashes := range e12CrashCounts(size) {
 		plan := e12Plan(seed, shard, crashes, loss, size.horizon(), size.sites())
 
-		cfg := spreadCfg()
-		cfg.Faults = plan
-		rtds, err := env.runRTDS(topo, cfg, arrivals)
+		rtds, err := env.run("rtds", topo, scheme.Config{Faults: plan}, arrivals)
 		if err != nil {
 			return nil, err
 		}
-		bcfg := broadcastCfg(topo)
-		bcfg.Faults = plan
-		bcast, err := env.runRTDS(topo, bcfg, arrivals)
+		bcast, err := env.run("broadcast", topo, scheme.Config{Faults: plan}, arrivals)
 		if err != nil {
 			return nil, err
 		}
-		fabCfg := baseline.DefaultConfig(size.horizon())
-		fabCfg.Faults = plan
-		fabRatio, err := env.runFABWith(topo, fabCfg, arrivals)
+		fab, err := env.run("fab", topo, scheme.Config{Horizon: size.horizon(), Faults: plan}, arrivals)
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, []any{
-			loss, crashes, rtds.GuaranteeRatio, bcast.GuaranteeRatio, fabRatio,
-			rtds.Undecided,
-			rtds.RejectedByStage[core.StageEmptyACS],
-			rtds.RejectedByStage[core.StageValidateTimeout],
-			rtds.RejectedByStage[core.StageCommitTimeout],
-			rtds.RejectedByStage[core.StageCommit],
-			rtds.Dropped,
-			rtds.Disruptions,
+			loss, crashes, rtds.GuaranteeRatio, bcast.GuaranteeRatio, fab.GuaranteeRatio,
+			rtds.Core.Undecided,
+			rtds.Core.RejectedByStage[core.StageEmptyACS],
+			rtds.Core.RejectedByStage[core.StageValidateTimeout],
+			rtds.Core.RejectedByStage[core.StageCommitTimeout],
+			rtds.Core.RejectedByStage[core.StageCommit],
+			rtds.Core.Dropped,
+			rtds.Core.Disruptions,
 		})
 	}
 	return rows, nil

@@ -86,6 +86,8 @@ func Suite() []Named {
 			shards: e11Shards, newTable: e11Table, shardRows: e11Row},
 		{Name: "E12-fault-tolerance", run: e12FaultTolerance,
 			shards: e12Shards, newTable: e12Table, shardRows: e12Row},
+		{Name: "E13-policy-matrix", run: e13PolicyMatrix,
+			shards: e13Shards, newTable: e13Table, shardRows: e13Row},
 	}
 }
 

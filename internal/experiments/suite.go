@@ -6,13 +6,13 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/daggen"
 	"repro/internal/graph"
 	"repro/internal/mapper"
 	"repro/internal/metrics"
+	"repro/internal/scheme"
 	"repro/internal/workload"
 )
 
@@ -42,13 +42,16 @@ func (s Size) horizon() float64 {
 	return 400
 }
 
-// stdDelays are the link delays used throughout the suite: small relative
+// StdDelays are the link delays used throughout the suite: small relative
 // to task durations (0.5–5), as in a loosely coupled LAN/WAN where protocol
-// latency matters but does not dominate execution.
-var stdDelays = graph.DelayRange{Min: 0.05, Max: 0.3}
+// latency matters but does not dominate execution. Exported so the CLIs
+// draw the same workload shape instead of re-hardcoding it.
+var StdDelays = graph.DelayRange{Min: 0.05, Max: 0.3}
 
-// stdSpec is the common workload shape; callers override rate/tightness.
-func stdSpec(sites int, horizon float64, seed int64) workload.Spec {
+// StdSpec is the suite's common workload shape; callers override
+// rate/tightness (the CLIs reuse it so “the suite's workload” means one
+// thing).
+func StdSpec(sites int, horizon float64, seed int64) workload.Spec {
 	return workload.Spec{
 		Sites:       sites,
 		Horizon:     horizon,
@@ -60,84 +63,46 @@ func stdSpec(sites int, horizon float64, seed int64) workload.Spec {
 	}
 }
 
-// runRTDS drives a full cluster run over an arrival sequence, recording the
-// simulation's event count against the enclosing suite task.
-func (env *runEnv) runRTDS(topo *graph.Graph, cfg core.Config, arrivals []workload.Arrival) (core.Summary, error) {
+// runCluster builds a named scheme from the registry, drives a full run
+// over an arrival sequence and records the simulation's event count against
+// the enclosing suite task. The cluster is returned for experiments that
+// read scheme-specific metrics (bootstrap cost, sphere sizes).
+func (env *runEnv) runCluster(name string, topo *graph.Graph, cfg scheme.Config, arrivals []workload.Arrival) (scheme.Cluster, error) {
 	start := time.Now()
-	c, err := core.NewCluster(topo, cfg)
+	c, err := scheme.MustGet(name).Build(topo, cfg)
 	if err != nil {
-		return core.Summary{}, err
+		return nil, err
 	}
 	for _, a := range arrivals {
-		if _, err := c.Submit(a.At, a.Origin, a.Graph, a.Deadline); err != nil {
-			return core.Summary{}, err
+		if err := c.Submit(a.At, a.Origin, a.Graph, a.Deadline); err != nil {
+			return nil, err
 		}
 	}
 	err = c.Run()
 	env.note(c.EventsProcessed(), time.Since(start))
 	if err != nil {
-		return core.Summary{}, err
+		return nil, err
 	}
-	if v := c.Violations(); len(v) > 0 {
-		return core.Summary{}, fmt.Errorf("experiments: causality violations: %v", v[0])
+	return c, nil
+}
+
+// run is runCluster plus the summary — the shape most experiments need.
+func (env *runEnv) run(name string, topo *graph.Graph, cfg scheme.Config, arrivals []workload.Arrival) (scheme.Result, error) {
+	c, err := env.runCluster(name, topo, cfg, arrivals)
+	if err != nil {
+		return scheme.Result{}, err
 	}
 	return c.Summarize(), nil
 }
 
-// runFAB drives the focused addressing + bidding baseline with its default
-// configuration.
-func (env *runEnv) runFAB(topo *graph.Graph, horizon float64, arrivals []workload.Arrival) (ratio, msgsPerJob float64, err error) {
-	return env.runFABCluster(topo, baseline.DefaultConfig(horizon), arrivals)
+// tuned is shorthand for a scheme.Config that only overrides the core
+// configuration (the common case in sweeps).
+func tuned(tune func(*core.Config)) scheme.Config {
+	return scheme.Config{Tune: tune}
 }
 
-// runFABWith drives the baseline with an explicit configuration (the fault
-// sweep passes a fault plan) and reports its guarantee ratio.
-func (env *runEnv) runFABWith(topo *graph.Graph, cfg baseline.Config, arrivals []workload.Arrival) (float64, error) {
-	ratio, _, err := env.runFABCluster(topo, cfg, arrivals)
-	return ratio, err
-}
-
-func (env *runEnv) runFABCluster(topo *graph.Graph, cfg baseline.Config, arrivals []workload.Arrival) (ratio, msgsPerJob float64, err error) {
-	start := time.Now()
-	c, err := baseline.NewCluster(topo, cfg)
-	if err != nil {
-		return 0, 0, err
-	}
-	for _, a := range arrivals {
-		if _, err := c.Submit(a.At, a.Origin, a.Graph, a.Deadline); err != nil {
-			return 0, 0, err
-		}
-	}
-	err = c.Run()
-	env.note(c.EventsProcessed(), time.Since(start))
-	if err != nil {
-		return 0, 0, err
-	}
-	n := len(c.Jobs())
-	if n == 0 {
-		return 0, 0, nil
-	}
-	return c.GuaranteeRatio(), float64(c.Stats().Messages()) / float64(n), nil
-}
-
-// spreadCfg is the standard RTDS configuration of the suite.
-func spreadCfg() core.Config {
-	cfg := core.DefaultConfig()
-	cfg.Radius = 3
-	return cfg
-}
-
-// broadcastCfg makes the sphere cover the whole network: the
-// BroadcastSphere baseline (no locality limit).
-func broadcastCfg(topo *graph.Graph) core.Config {
-	cfg := core.DefaultConfig()
-	// Hop diameter bound: any connected graph's diameter < N.
-	cfg.Radius = topo.Len()
-	return cfg
-}
-
-// arrivalsForLoad draws a workload whose offered load approximates `load`.
-func arrivalsForLoad(spec workload.Spec, load float64) ([]workload.Arrival, error) {
+// ArrivalsForLoad draws a workload whose offered load approximates `load`.
+func ArrivalsForLoad(spec workload.Spec, load float64) ([]workload.Arrival, error) {
 	work := workload.ExpectedWorkPerJob(spec, 200)
 	spec.RatePerSite = workload.RateForLoad(load, work)
 	return workload.Generate(spec)
@@ -158,38 +123,34 @@ func e1Table(size Size) *metrics.Table {
 
 func e1Row(env *runEnv, size Size, seed int64, shard int) ([][]any, error) {
 	load := e1Loads[shard]
-	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
-	spec := stdSpec(size.sites(), size.horizon(), seed+int64(load*100))
-	arrivals, err := arrivalsForLoad(spec, load)
+	topo := graph.RandomConnected(size.sites(), 3, StdDelays, seed)
+	spec := StdSpec(size.sites(), size.horizon(), seed+int64(load*100))
+	arrivals, err := ArrivalsForLoad(spec, load)
 	if err != nil {
 		return nil, err
 	}
-	rtds, err := env.runRTDS(topo, spreadCfg(), arrivals)
+	rtds, err := env.run("rtds", topo, scheme.Config{}, arrivals)
 	if err != nil {
 		return nil, err
 	}
-	localCfg := core.DefaultConfig()
-	localCfg.LocalOnly = true
-	local, err := env.runRTDS(topo, localCfg, arrivals)
+	local, err := env.run("local", topo, scheme.Config{}, arrivals)
 	if err != nil {
 		return nil, err
 	}
-	bcast, err := env.runRTDS(topo, broadcastCfg(topo), arrivals)
+	bcast, err := env.run("broadcast", topo, scheme.Config{}, arrivals)
 	if err != nil {
 		return nil, err
 	}
-	fabRatio, _, err := env.runFAB(topo, size.horizon(), arrivals)
+	fab, err := env.run("fab", topo, scheme.Config{Horizon: size.horizon()}, arrivals)
 	if err != nil {
 		return nil, err
 	}
-	// Clairvoyant centralized upper bound: exact global knowledge, zero
-	// protocol latency and message cost.
-	oracle := baseline.NewOracle(topo)
-	for _, a := range arrivals {
-		oracle.Submit(a.At, a.Origin, a.Graph, a.Deadline)
+	oracle, err := env.run("oracle", topo, scheme.Config{}, arrivals)
+	if err != nil {
+		return nil, err
 	}
-	return [][]any{{load, oracle.GuaranteeRatio(), rtds.GuaranteeRatio,
-		local.GuaranteeRatio, bcast.GuaranteeRatio, fabRatio}}, nil
+	return [][]any{{load, oracle.GuaranteeRatio, rtds.GuaranteeRatio,
+		local.GuaranteeRatio, bcast.GuaranteeRatio, fab.GuaranteeRatio}}, nil
 }
 
 func e1GuaranteeVsLoad(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
@@ -218,9 +179,9 @@ func e2Table(Size) *metrics.Table {
 
 func e2Row(env *runEnv, size Size, seed int64, shard int) ([][]any, error) {
 	n := e2Sizes(size)[shard]
-	topo := graph.RandomConnected(n, 3, stdDelays, seed+int64(n))
-	spec := stdSpec(n, size.horizon(), seed+int64(n))
-	arrivals, err := arrivalsForLoad(spec, 0.6)
+	topo := graph.RandomConnected(n, 3, StdDelays, seed+int64(n))
+	spec := StdSpec(n, size.horizon(), seed+int64(n))
+	arrivals, err := ArrivalsForLoad(spec, 0.6)
 	if err != nil {
 		return nil, err
 	}
@@ -228,8 +189,7 @@ func e2Row(env *runEnv, size Size, seed int64, shard int) ([][]any, error) {
 	// sequence; at 128 sites the broadcast run alone costs seconds, so run
 	// them concurrently instead of back to back — otherwise this one shard
 	// bounds the whole suite's parallel wall time.
-	var rtds, bcast core.Summary
-	var fabMsgs float64
+	var rtds, bcast, fab scheme.Result
 	errs := make([]error, 3)
 	var wg sync.WaitGroup
 	wg.Add(3)
@@ -238,17 +198,15 @@ func e2Row(env *runEnv, size Size, seed int64, shard int) ([][]any, error) {
 		// h=2 keeps the sphere well below the network size at every point
 		// of the sweep, which is the regime the paper's locality argument
 		// addresses.
-		localityCfg := spreadCfg()
-		localityCfg.Radius = 2
-		rtds, errs[0] = env.runRTDS(topo, localityCfg, arrivals)
+		rtds, errs[0] = env.run("rtds", topo, tuned(func(c *core.Config) { c.Radius = 2 }), arrivals)
 	}()
 	go func() {
 		defer wg.Done()
-		bcast, errs[1] = env.runRTDS(topo, broadcastCfg(topo), arrivals)
+		bcast, errs[1] = env.run("broadcast", topo, scheme.Config{}, arrivals)
 	}()
 	go func() {
 		defer wg.Done()
-		_, fabMsgs, errs[2] = env.runFAB(topo, size.horizon(), arrivals)
+		fab, errs[2] = env.run("fab", topo, scheme.Config{Horizon: size.horizon()}, arrivals)
 	}()
 	wg.Wait()
 	for _, err := range errs {
@@ -256,7 +214,7 @@ func e2Row(env *runEnv, size Size, seed int64, shard int) ([][]any, error) {
 			return nil, err
 		}
 	}
-	return [][]any{{n, rtds.MessagesPerJob, bcast.MessagesPerJob, fabMsgs,
+	return [][]any{{n, rtds.MessagesPerJob, bcast.MessagesPerJob, fab.MessagesPerJob,
 		rtds.GuaranteeRatio, bcast.GuaranteeRatio}}, nil
 }
 
@@ -266,9 +224,9 @@ func e2MessagesVsNetworkSize(env *runEnv, size Size, seed int64) (*metrics.Table
 
 // E3SphereRadius: the locality trade-off of the Computing Sphere concept.
 func e3SphereRadius(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
-	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
-	spec := stdSpec(size.sites(), size.horizon(), seed)
-	arrivals, err := arrivalsForLoad(spec, 0.8)
+	topo := graph.RandomConnected(size.sites(), 3, StdDelays, seed)
+	spec := StdSpec(size.sites(), size.horizon(), seed)
+	arrivals, err := ArrivalsForLoad(spec, 0.8)
 	if err != nil {
 		return nil, err
 	}
@@ -276,29 +234,14 @@ func e3SphereRadius(env *runEnv, size Size, seed int64) (*metrics.Table, error) 
 		fmt.Sprintf("E3 — sphere radius trade-off (%d sites, load 0.8)", size.sites()),
 		"h", "ratio", "msgs/job", "mean ACS", "bootstrap msgs")
 	for h := 1; h <= 5; h++ {
-		start := time.Now()
-		cfg := core.DefaultConfig()
-		cfg.Radius = h
-		c, err := core.NewCluster(topo, cfg)
+		h := h
+		c, err := env.runCluster("rtds", topo, tuned(func(cc *core.Config) { cc.Radius = h }), arrivals)
 		if err != nil {
-			return nil, err
-		}
-		for _, a := range arrivals {
-			if _, err := c.Submit(a.At, a.Origin, a.Graph, a.Deadline); err != nil {
-				return nil, err
-			}
-		}
-		err = c.Run()
-		env.note(c.EventsProcessed(), time.Since(start))
-		if err != nil {
-			return nil, err
-		}
-		if v := c.Violations(); len(v) > 0 {
-			return nil, fmt.Errorf("violations at h=%d: %v", h, v[0])
+			return nil, fmt.Errorf("h=%d: %w", h, err)
 		}
 		sum := c.Summarize()
-		bootMsgs, _ := c.BootstrapCost()
-		tbl.AddRow(h, sum.GuaranteeRatio, sum.MessagesPerJob, sum.MeanACSSize, bootMsgs)
+		bootMsgs, _ := c.(scheme.Bootstrapper).BootstrapCost()
+		tbl.AddRow(h, sum.GuaranteeRatio, sum.MessagesPerJob, sum.Core.MeanACSSize, bootMsgs)
 	}
 	return tbl, nil
 }
@@ -317,20 +260,18 @@ func e4Table(size Size) *metrics.Table {
 
 func e4Row(env *runEnv, size Size, seed int64, shard int) ([][]any, error) {
 	tight := e4Tightness[shard]
-	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
-	spec := stdSpec(size.sites(), size.horizon(), seed+int64(tight*10))
+	topo := graph.RandomConnected(size.sites(), 3, StdDelays, seed)
+	spec := StdSpec(size.sites(), size.horizon(), seed+int64(tight*10))
 	spec.Tightness = tight
-	arrivals, err := arrivalsForLoad(spec, 0.6)
+	arrivals, err := ArrivalsForLoad(spec, 0.6)
 	if err != nil {
 		return nil, err
 	}
-	rtds, err := env.runRTDS(topo, spreadCfg(), arrivals)
+	rtds, err := env.run("rtds", topo, scheme.Config{}, arrivals)
 	if err != nil {
 		return nil, err
 	}
-	localCfg := core.DefaultConfig()
-	localCfg.LocalOnly = true
-	local, err := env.runRTDS(topo, localCfg, arrivals)
+	local, err := env.run("local", topo, scheme.Config{}, arrivals)
 	if err != nil {
 		return nil, err
 	}
@@ -411,9 +352,9 @@ func e5LaxityDispatch(env *runEnv, size Size, seed int64) (*metrics.Table, error
 // E6UniformMachines: the §13 related-machines extension — heterogeneous
 // computing powers with the same aggregate capacity.
 func e6UniformMachines(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
-	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
-	spec := stdSpec(size.sites(), size.horizon(), seed)
-	arrivals, err := arrivalsForLoad(spec, 0.7)
+	topo := graph.RandomConnected(size.sites(), 3, StdDelays, seed)
+	spec := StdSpec(size.sites(), size.horizon(), seed)
+	arrivals, err := ArrivalsForLoad(spec, 0.7)
 	if err != nil {
 		return nil, err
 	}
@@ -421,11 +362,11 @@ func e6UniformMachines(env *runEnv, size Size, seed int64) (*metrics.Table, erro
 		"E6 — identical vs uniform (related) machines, equal aggregate capacity",
 		"machines", "ratio", "accepted-dist")
 
-	identical, err := env.runRTDS(topo, spreadCfg(), arrivals)
+	identical, err := env.run("rtds", topo, scheme.Config{}, arrivals)
 	if err != nil {
 		return nil, err
 	}
-	tbl.AddRow("identical", identical.GuaranteeRatio, identical.AcceptedDistributed)
+	tbl.AddRow("identical", identical.GuaranteeRatio, identical.Core.AcceptedDistributed)
 
 	// Heterogeneous powers in [0.5, 1.5], normalized to mean 1.
 	rng := rand.New(rand.NewSource(seed + 7))
@@ -438,22 +379,20 @@ func e6UniformMachines(env *runEnv, size Size, seed int64) (*metrics.Table, erro
 	for i := range powers {
 		powers[i] *= float64(len(powers)) / sum
 	}
-	cfg := spreadCfg()
-	cfg.Powers = powers
-	hetero, err := env.runRTDS(topo, cfg, arrivals)
+	hetero, err := env.run("rtds", topo, tuned(func(c *core.Config) { c.Powers = powers }), arrivals)
 	if err != nil {
 		return nil, err
 	}
-	tbl.AddRow("uniform(0.5-1.5x)", hetero.GuaranteeRatio, hetero.AcceptedDistributed)
+	tbl.AddRow("uniform(0.5-1.5x)", hetero.GuaranteeRatio, hetero.Core.AcceptedDistributed)
 	return tbl, nil
 }
 
 // E7Preemption: the §13 preemptive case against the non-preemptive default.
 func e7Preemption(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
-	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
-	spec := stdSpec(size.sites(), size.horizon(), seed)
+	topo := graph.RandomConnected(size.sites(), 3, StdDelays, seed)
+	spec := StdSpec(size.sites(), size.horizon(), seed)
 	spec.Tightness = 1.8
-	arrivals, err := arrivalsForLoad(spec, 0.8)
+	arrivals, err := ArrivalsForLoad(spec, 0.8)
 	if err != nil {
 		return nil, err
 	}
@@ -461,9 +400,8 @@ func e7Preemption(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
 		"E7 — preemptive vs non-preemptive local scheduler (tightness 1.8, load 0.8)",
 		"scheduler", "ratio", "accepted-local", "accepted-dist")
 	for _, pre := range []bool{false, true} {
-		cfg := spreadCfg()
-		cfg.Preemptive = pre
-		sum, err := env.runRTDS(topo, cfg, arrivals)
+		pre := pre
+		sum, err := env.run("rtds", topo, tuned(func(c *core.Config) { c.Preemptive = pre }), arrivals)
 		if err != nil {
 			return nil, err
 		}
@@ -471,7 +409,7 @@ func e7Preemption(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
 		if pre {
 			name = "preemptive-EDF"
 		}
-		tbl.AddRow(name, sum.GuaranteeRatio, sum.AcceptedLocal, sum.AcceptedDistributed)
+		tbl.AddRow(name, sum.GuaranteeRatio, sum.Core.AcceptedLocal, sum.Core.AcceptedDistributed)
 	}
 	return tbl, nil
 }
@@ -479,9 +417,9 @@ func e7Preemption(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
 // E8MapperHeuristics: §9 says "almost any heuristic can be adapted"; this
 // ablation compares the paper's CP-EFT instance with two naive selectors.
 func e8MapperHeuristics(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
-	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
-	spec := stdSpec(size.sites(), size.horizon(), seed)
-	arrivals, err := arrivalsForLoad(spec, 0.8)
+	topo := graph.RandomConnected(size.sites(), 3, StdDelays, seed)
+	spec := StdSpec(size.sites(), size.horizon(), seed)
+	arrivals, err := ArrivalsForLoad(spec, 0.8)
 	if err != nil {
 		return nil, err
 	}
@@ -490,13 +428,12 @@ func e8MapperHeuristics(env *runEnv, size Size, seed int64) (*metrics.Table, err
 		"heuristic", "ratio", "accepted-dist", "msgs/job")
 	for _, h := range []mapper.Heuristic{mapper.HeuristicCPEFT, mapper.HeuristicMinMin,
 		mapper.HeuristicBestSurplus, mapper.HeuristicRoundRobin} {
-		cfg := spreadCfg()
-		cfg.Heuristic = h
-		sum, err := env.runRTDS(topo, cfg, arrivals)
+		h := h
+		sum, err := env.run("rtds", topo, tuned(func(c *core.Config) { c.Heuristic = h }), arrivals)
 		if err != nil {
 			return nil, err
 		}
-		tbl.AddRow(h.String(), sum.GuaranteeRatio, sum.AcceptedDistributed, sum.MessagesPerJob)
+		tbl.AddRow(h.String(), sum.GuaranteeRatio, sum.Core.AcceptedDistributed, sum.MessagesPerJob)
 	}
 	return tbl, nil
 }
@@ -517,9 +454,9 @@ func e11Table(size Size) *metrics.Table {
 
 func e11Row(env *runEnv, size Size, seed int64, shard int) ([][]any, error) {
 	ccr := e11CCRs[shard]
-	topo := graph.RandomConnected(size.sites(), 3, stdDelays, seed)
-	spec := stdSpec(size.sites(), size.horizon(), seed+int64(ccr*100))
-	arrivals, err := arrivalsForLoad(spec, 0.6)
+	topo := graph.RandomConnected(size.sites(), 3, StdDelays, seed)
+	spec := StdSpec(size.sites(), size.horizon(), seed+int64(ccr*100))
+	arrivals, err := ArrivalsForLoad(spec, 0.6)
 	if err != nil {
 		return nil, err
 	}
@@ -531,19 +468,19 @@ func e11Row(env *runEnv, size Size, seed int64, shard int) ([][]any, error) {
 		decorated[i] = a
 		decorated[i].Graph = withVolumes(a.Graph, ccr*meanC, seed+int64(i))
 	}
-	cfg := spreadCfg()
-	if ccr > 0 {
-		cfg.Throughput = 1
-	}
-	sum, err := env.runRTDS(topo, cfg, decorated)
+	sum, err := env.run("rtds", topo, tuned(func(c *core.Config) {
+		if ccr > 0 {
+			c.Throughput = 1
+		}
+	}), decorated)
 	if err != nil {
 		return nil, err
 	}
 	bytesPerJob := 0.0
-	if sum.Submitted > 0 {
-		bytesPerJob = float64(sum.Bytes) / float64(sum.Submitted)
+	if sum.Jobs > 0 {
+		bytesPerJob = float64(sum.Bytes) / float64(sum.Jobs)
 	}
-	return [][]any{{ccr, sum.GuaranteeRatio, sum.AcceptedDistributed, bytesPerJob}}, nil
+	return [][]any{{ccr, sum.GuaranteeRatio, sum.Core.AcceptedDistributed, bytesPerJob}}, nil
 }
 
 func e11DataVolumes(env *runEnv, size Size, seed int64) (*metrics.Table, error) {
@@ -589,21 +526,20 @@ func e9Table(Size) *metrics.Table {
 
 func e9Row(env *runEnv, size Size, seed int64, shard int) ([][]any, error) {
 	n := e9Sizes(size)[shard]
-	topo := graph.RandomConnected(n, 3, stdDelays, seed+int64(n))
+	topo := graph.RandomConnected(n, 3, StdDelays, seed+int64(n))
 	var rows [][]any
 	for _, h := range []int{1, 2, 3, 4} {
-		start := time.Now()
-		cfg := core.DefaultConfig()
-		cfg.Radius = h
-		c, err := core.NewCluster(topo, cfg)
+		h := h
+		// No arrivals: the experiment measures the bootstrap alone.
+		c, err := env.runCluster("rtds", topo, tuned(func(cc *core.Config) { cc.Radius = h }), nil)
 		if err != nil {
 			return nil, err
 		}
-		env.note(c.EventsProcessed(), time.Since(start))
-		msgs, bytes := c.BootstrapCost()
+		msgs, bytes := c.(scheme.Bootstrapper).BootstrapCost()
+		cluster := c.(scheme.CoreBacked).Core()
 		var sphereSum float64
 		for id := 0; id < n; id++ {
-			sphereSum += float64(len(c.SiteSphere(graph.NodeID(id))))
+			sphereSum += float64(len(cluster.SiteSphere(graph.NodeID(id))))
 		}
 		rows = append(rows, []any{n, h, 2*h - 1, msgs, bytes, sphereSum / float64(n)})
 	}

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var allKinds = []TopologyKind{
+	TopoRing, TopoLine, TopoStar, TopoClique, TopoGrid,
+	TopoTorus, TopoHypercube, TopoTree, TopoRandom, TopoGeometric,
+}
+
+// edgeDump renders a graph's full edge set (with delays) in a canonical
+// order, for determinism comparisons.
+func edgeDump(g *Graph) string {
+	var lines []string
+	for u := 0; u < g.Len(); u++ {
+		for _, e := range g.Neighbors(NodeID(u)) {
+			if NodeID(u) < e.To {
+				lines = append(lines, fmt.Sprintf("%d-%d:%.12g", u, e.To, e.Delay))
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestGenerateEveryKind: every topology kind yields a connected graph with
+// strictly positive, symmetric link delays at several requested sizes —
+// including sizes the generators must round (squares, powers of two).
+func TestGenerateEveryKind(t *testing.T) {
+	delays := DelayRange{Min: 0.05, Max: 0.3}
+	for _, kind := range allKinds {
+		for _, n := range []int{8, 16, 33} {
+			g, err := Generate(kind, n, delays, 7)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", kind, n, err)
+			}
+			if g.Len() < 2 {
+				t.Fatalf("%s n=%d: only %d nodes", kind, n, g.Len())
+			}
+			if !g.Connected() {
+				t.Fatalf("%s n=%d: disconnected", kind, n)
+			}
+			for u := 0; u < g.Len(); u++ {
+				for _, e := range g.Neighbors(NodeID(u)) {
+					if e.Delay <= 0 {
+						t.Fatalf("%s n=%d: edge %d-%d has delay %v", kind, n, u, e.To, e.Delay)
+					}
+					back, err := g.EdgeDelay(e.To, NodeID(u))
+					if err != nil || back != e.Delay {
+						t.Fatalf("%s n=%d: edge %d-%d asymmetric (%v vs %v, %v)",
+							kind, n, u, e.To, e.Delay, back, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateSizeRounding: grid/torus use the nearest square and hypercube
+// rounds down to a power of two; everything else honours n.
+func TestGenerateSizeRounding(t *testing.T) {
+	cases := []struct {
+		kind TopologyKind
+		n    int
+		want int
+	}{
+		{TopoGrid, 16, 16},
+		{TopoTorus, 16, 16},
+		{TopoTorus, 11, 9},      // nearest square side 3
+		{TopoHypercube, 33, 32}, // round down to 2^5
+		{TopoHypercube, 16, 16}, // exact power of two
+		{TopoRing, 17, 17},
+		{TopoGeometric, 17, 17},
+		{TopoRandom, 17, 17},
+	}
+	for _, c := range cases {
+		g, err := Generate(c.kind, c.n, UnitDelay, 1)
+		if err != nil {
+			t.Fatalf("%s n=%d: %v", c.kind, c.n, err)
+		}
+		if g.Len() != c.want {
+			t.Fatalf("%s n=%d: %d nodes, want %d", c.kind, c.n, g.Len(), c.want)
+		}
+	}
+}
+
+// TestGenerateDeterministicPerSeed: the same (kind, n, seed) triple must
+// reproduce the identical graph — node count, edges and delays — and for
+// the randomized kinds a different seed must change it.
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	delays := DelayRange{Min: 0.05, Max: 0.3}
+	for _, kind := range allKinds {
+		a, err := Generate(kind, 16, delays, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(kind, 16, delays, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if edgeDump(a) != edgeDump(b) {
+			t.Fatalf("%s: same seed produced different graphs", kind)
+		}
+	}
+	// Randomized structure or delays: a new seed must show up somewhere.
+	for _, kind := range []TopologyKind{TopoTree, TopoRandom, TopoGeometric, TopoRing} {
+		a, _ := Generate(kind, 16, delays, 5)
+		c, _ := Generate(kind, 16, delays, 6)
+		if edgeDump(a) == edgeDump(c) {
+			t.Fatalf("%s: different seeds produced identical graphs", kind)
+		}
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	if _, err := Generate("moebius", 8, UnitDelay, 1); err == nil {
+		t.Fatal("unknown topology kind accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Package scheme unifies every scheduling algorithm the repository can run
+// — the RTDS protocol and its sphere variants, the broadcast and local-only
+// ablations, the focused-addressing/bidding baseline and the clairvoyant
+// oracle — behind one interface and one registry. Experiment drivers, the
+// command-line tools and the examples construct schemes by name instead of
+// hand-rolling per-scheme configuration and glue.
+package scheme
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/graph"
+	"repro/internal/simnet"
+)
+
+// Config is the scheme-independent run configuration. The zero value is a
+// valid faultless default for the RTDS-core schemes.
+type Config struct {
+	// Horizon is the run's arrival horizon in virtual time. The bidding
+	// baseline sizes its surplus-information windows from it; RTDS-core
+	// schemes ignore it.
+	Horizon float64
+	// Faults arms transport fault injection for schemes that support it
+	// (all of them except the oracle, which has no transport).
+	Faults *simnet.FaultPlan
+	// Tune adjusts an RTDS-core scheme's configuration after the scheme's
+	// own base has been applied — radius sweeps, heuristics, powers,
+	// policies. Ignored by schemes not built on the RTDS core.
+	Tune func(*core.Config)
+}
+
+// Result is the scheme-independent summary of one run.
+type Result struct {
+	Jobs           int
+	GuaranteeRatio float64
+	Messages       int64
+	Bytes          int64
+	MessagesPerJob float64
+	// Core carries the full protocol summary for RTDS-core schemes; nil
+	// for the bidding and oracle baselines.
+	Core *core.Summary
+}
+
+// Cluster is one runnable instance of a scheme over a topology.
+type Cluster interface {
+	// Submit schedules a job arrival `at` time units after the epoch with a
+	// deadline relative to arrival.
+	Submit(at float64, origin graph.NodeID, g *dag.Graph, relDeadline float64) error
+	// Run drains the simulation. RTDS-core schemes additionally fail on
+	// causality violations, so a nil error certifies a sound run.
+	Run() error
+	// Summarize aggregates the run's outcomes; call it after Run.
+	Summarize() Result
+	// EventsProcessed reports the discrete events fired by the underlying
+	// engine (0 for engines without an event queue).
+	EventsProcessed() int64
+}
+
+// Bootstrapper is implemented by scheme clusters with a measurable one-time
+// construction cost (the RTDS PCS bootstrap).
+type Bootstrapper interface {
+	BootstrapCost() (messages, bytes int64)
+}
+
+// CoreBacked is implemented by scheme clusters built on the RTDS protocol
+// core; it exposes the underlying cluster for core-specific metrics
+// (sphere sizes, event traces, per-site reservations).
+type CoreBacked interface {
+	Core() *core.Cluster
+}
+
+// Scheme builds runnable clusters from a topology and a run configuration.
+type Scheme interface {
+	// Name is the registry key, stable across releases.
+	Name() string
+	// Description is a one-line summary for tool listings.
+	Description() string
+	// Build constructs a cluster over the topology; for RTDS-core schemes
+	// this runs the PCS bootstrap to completion.
+	Build(topo *graph.Graph, cfg Config) (Cluster, error)
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+var registry = map[string]Scheme{}
+
+// Register adds a scheme to the global registry; duplicate names panic so
+// wiring mistakes surface at init time.
+func Register(s Scheme) {
+	if _, dup := registry[s.Name()]; dup {
+		panic(fmt.Sprintf("scheme: duplicate registration of %q", s.Name()))
+	}
+	registry[s.Name()] = s
+}
+
+// Get looks a scheme up by name.
+func Get(name string) (Scheme, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// MustGet is Get but panics on unknown names — for experiment code whose
+// scheme names are compile-time constants.
+func MustGet(name string) Scheme {
+	s, ok := registry[name]
+	if !ok {
+		panic(fmt.Sprintf("scheme: unknown scheme %q (have %v)", name, Names()))
+	}
+	return s
+}
+
+// Names lists the registered schemes in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

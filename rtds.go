@@ -1,12 +1,15 @@
 package rtds
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/core/policy"
 	"repro/internal/dag"
 	"repro/internal/graph"
 	"repro/internal/mapper"
+	"repro/internal/scheme"
 	"repro/internal/simnet"
 	"repro/internal/workload"
 )
@@ -55,6 +58,33 @@ type (
 	FaultPlan = simnet.FaultPlan
 	// Crash is one site outage window of a FaultPlan.
 	Crash = simnet.Crash
+
+	// Scheme is one registered scheduling algorithm (rtds, spread,
+	// broadcast, local, fab, oracle); BuildScheme constructs one by name.
+	Scheme = scheme.Scheme
+	// SchemeConfig is the scheme-independent run configuration.
+	SchemeConfig = scheme.Config
+	// SchemeCluster is a runnable scheme instance.
+	SchemeCluster = scheme.Cluster
+	// SchemeResult is the scheme-independent run summary.
+	SchemeResult = scheme.Result
+
+	// PolicySet plugs alternative protocol policies into Config.Policies:
+	// enrollment fan-out, local acceptance, laxity dispatch, mapper choice.
+	PolicySet = policy.Set
+	// SpherePolicy selects the enrollment fan-out (§8).
+	SpherePolicy = policy.Sphere
+	// AcceptancePolicy is the local guarantee test (§5).
+	AcceptancePolicy = policy.Acceptance
+	// FullSphere enrolls the whole sphere (the paper default).
+	FullSphere = policy.FullSphere
+	// KRedundant caps enrollment at the K nearest sphere members.
+	KRedundant = policy.KRedundant
+	// EDFAcceptance is the paper's local test.
+	EDFAcceptance = policy.EDF
+	// LaxityThreshold requires Theta of the window as end-to-end laxity
+	// before accepting locally.
+	LaxityThreshold = policy.LaxityThreshold
 )
 
 // Job outcomes.
@@ -80,6 +110,24 @@ const (
 
 // DefaultConfig returns the configuration the experiments use.
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// SchemeNames lists the registered scheduling schemes in sorted order.
+func SchemeNames() []string { return scheme.Names() }
+
+// GetScheme looks a scheme up by name.
+func GetScheme(name string) (Scheme, bool) { return scheme.Get(name) }
+
+// BuildScheme constructs a runnable cluster of the named scheme over the
+// topology — the one-registry way to compare algorithms:
+//
+//	c, err := rtds.BuildScheme("broadcast", topo, rtds.SchemeConfig{})
+func BuildScheme(name string, topo *Network, cfg SchemeConfig) (SchemeCluster, error) {
+	s, ok := scheme.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("rtds: unknown scheme %q (have %v)", name, scheme.Names())
+	}
+	return s.Build(topo, cfg)
+}
 
 // NewCluster builds a cluster over the topology and runs the one-time PCS
 // construction (paper §7).
