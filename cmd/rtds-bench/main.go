@@ -8,10 +8,16 @@
 // -topo topology: a targeted cell (scheme × topology × load) with wall time
 // and events/sec, without running the whole suite.
 //
+// With -check the tool is the CI benchmark-regression gate: it re-runs the
+// suite at the committed baseline's size and seeds and fails if any
+// per-experiment guarantee ratio drifts from the baseline or suite
+// throughput (events/sec) regresses beyond -evps-tolerance.
+//
 // Usage:
 //
 //	rtds-bench [-quick] [-md] [-seed N] [-trials N] [-workers N] [-json] [-out FILE] [-exp SUBSTR]
 //	rtds-bench -scheme NAME [-topo KIND] [-sites N] [-load F] [-quick] [-seed N]
+//	rtds-bench -check BENCH_suite.json [-workers N] [-evps-tolerance 0.25]
 package main
 
 import (
@@ -41,6 +47,8 @@ func main() {
 	topoKind := flag.String("topo", "random", "topology kind of the -scheme benchmark: ring|line|star|clique|grid|torus|hypercube|tree|random|geometric")
 	sites := flag.Int("sites", 0, "sites of the -scheme benchmark (0 = suite default for the size)")
 	load := flag.Float64("load", 0.6, "offered load of the -scheme benchmark")
+	checkPath := flag.String("check", "", "regression gate: re-run the suite at this baseline's size/seeds and fail on drift")
+	evpsTol := flag.Float64("evps-tolerance", 0.25, "-check: allowed events/sec regression (0.25 = 25%)")
 	flag.Parse()
 
 	size := experiments.Full
@@ -54,12 +62,25 @@ func main() {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 
-	// The two modes accept disjoint flag sets; a flag from the other mode
-	// would be silently ignored, so refuse it loudly instead of letting a
-	// user read suite tables as torus numbers (or wait for a report that
-	// will never be written).
+	// The modes accept disjoint flag sets; a flag from another mode would
+	// be silently ignored, so refuse it loudly instead of letting a user
+	// read suite tables as torus numbers (or wait for a report that will
+	// never be written).
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *checkPath != "" {
+		for _, other := range []string{"scheme", "topo", "sites", "load", "json", "out", "md", "exp", "trials", "quick", "seed"} {
+			if explicit[other] {
+				fmt.Fprintf(os.Stderr, "error: -%s does not apply to -check mode (size and seeds come from the baseline)\n", other)
+				os.Exit(1)
+			}
+		}
+		if err := checkBaseline(*checkPath, *workers, *evpsTol); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *schemeName != "" {
 		for _, suiteOnly := range []string{"json", "out", "md", "exp", "trials", "workers"} {
 			if explicit[suiteOnly] {
@@ -145,6 +166,50 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "suite completed in %v on %d workers (%d tasks)\n",
 		wall.Round(time.Millisecond), *workers, len(tasks))
+}
+
+// checkBaseline is the benchmark-regression gate: re-run the suite exactly
+// as the committed baseline describes (size, seeds), then compare
+// guarantee ratios (exact) and events/sec (within tolerance).
+func checkBaseline(path string, workers int, evpsTol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var baseline experiments.BenchReport
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if len(baseline.Experiments) == 0 || len(baseline.Seeds) == 0 {
+		return fmt.Errorf("baseline %s has no experiments/seeds", path)
+	}
+	size := experiments.Full
+	if baseline.Size == "quick" {
+		size = experiments.Quick
+	}
+	suite := experiments.Suite()
+	var tasks []experiments.Task
+	for _, s := range baseline.Seeds {
+		for _, n := range suite {
+			tasks = append(tasks, experiments.Task{Exp: n, Seed: s})
+		}
+	}
+	fmt.Fprintf(os.Stderr, "regression gate: re-running the %s suite at seeds %v on %d workers\n",
+		baseline.Size, baseline.Seeds, workers)
+	start := time.Now()
+	results := experiments.RunTasks(size, tasks, workers)
+	wall := time.Since(start)
+	if err := experiments.FirstError(results); err != nil {
+		return err
+	}
+	current := experiments.NewBenchReport(size, baseline.Seeds, workers, wall, results)
+	if err := experiments.CompareReports(baseline, current, evpsTol); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"regression gate passed: %d experiments match the baseline, %.0f events/sec (baseline %.0f) in %v\n",
+		len(current.Experiments), current.EventsPerSec, baseline.EventsPerSec, wall.Round(time.Millisecond))
+	return nil
 }
 
 // benchScheme benchmarks one registered scheme on one generated topology:

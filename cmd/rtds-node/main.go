@@ -1,0 +1,155 @@
+// Command rtds-node runs ONE RTDS site as a real networked process: the
+// protocol core over the internal/wire TCP transport, with an HTTP control
+// plane (internal/nodeapi) for job submission, decision polling and
+// metrics. N processes with a shared topology seed form a cluster that
+// reaches the same decisions as the in-process transports.
+//
+// Every process must be given the same -topo/-sites/-seed (they generate
+// the shared topology deterministically) and a -peers map naming each
+// site's protocol address.
+//
+// Usage:
+//
+//	rtds-node -id 0 -sites 8 -topo random -seed 1 \
+//	          -listen 127.0.0.1:7100 \
+//	          -peers 0=127.0.0.1:7100,1=127.0.0.1:7101,... \
+//	          -http 127.0.0.1:8100 \
+//	          [-scheme rtds] [-policy sphere=k6,accept=laxity0.25] \
+//	          [-scale 2ms] [-loss 0.1] [-jitter 0.05]
+//
+// The process exits 0 on SIGINT/SIGTERM after a graceful shutdown (HTTP
+// drained, transport closed).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/nodeapi"
+	"repro/internal/scheme"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+func main() {
+	id := flag.Int("id", -1, "site id of this node (0..sites-1)")
+	sites := flag.Int("sites", 8, "number of sites in the shared topology")
+	topoKind := flag.String("topo", "random", "topology kind: ring|line|star|clique|grid|torus|hypercube|tree|random|geometric")
+	seed := flag.Int64("seed", 1, "topology seed (identical on every node)")
+	listen := flag.String("listen", "", "TCP address for protocol traffic (required)")
+	peers := flag.String("peers", "", "comma-separated id=host:port protocol addresses of all sites (required)")
+	httpAddr := flag.String("http", "", "HTTP address of the control/metrics API (empty = disabled)")
+	schemeName := flag.String("scheme", "rtds", "RTDS-core scheme to run ("+strings.Join(scheme.Names(), "|")+")")
+	policySpec := flag.String("policy", "", "policy overrides, e.g. sphere=k6,accept=laxity0.25,dispatch=weighted")
+	scale := flag.Duration("scale", 2*time.Millisecond, "wall-clock duration of one virtual time unit")
+	slack := flag.Float64("slack", 8, "enrollment slack in virtual units (wall clocks need real headroom)")
+	pad := flag.Float64("pad", 30, "release pad factor (mapper release = now + pad*omega)")
+	loss := flag.Float64("loss", 0, "fault injection: per-traversal loss probability at the socket layer")
+	jitter := flag.Float64("jitter", 0, "fault injection: max extra delay per traversal (virtual units)")
+	bootTimeout := flag.Duration("boot-timeout", 60*time.Second, "how long to wait for the distributed PCS bootstrap")
+	flag.Parse()
+
+	if err := run(*id, *sites, *topoKind, *seed, *listen, *peers, *httpAddr,
+		*schemeName, *policySpec, *scale, *slack, *pad, *loss, *jitter, *bootTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id, sites int, topoKind string, seed int64, listen, peers, httpAddr,
+	schemeName, policySpec string, scale time.Duration, slack, pad, loss, jitter float64,
+	bootTimeout time.Duration) error {
+	if id < 0 || id >= sites {
+		return fmt.Errorf("-id %d out of range [0,%d)", id, sites)
+	}
+	if listen == "" || peers == "" {
+		return fmt.Errorf("-listen and -peers are required")
+	}
+	topo, err := graph.Generate(graph.TopologyKind(topoKind), sites, experiments.StdDelays, seed)
+	if err != nil {
+		return err
+	}
+	peerMap, err := nodeapi.ParseAddrs("peers", peers, sites, false)
+	if err != nil {
+		return err
+	}
+	cfg, err := scheme.CoreConfig(schemeName, topo)
+	if err != nil {
+		return err
+	}
+	cfg.EnrollSlack = slack
+	cfg.ReleasePadFactor = pad
+	if cfg.Policies, err = scheme.ParsePolicies(policySpec); err != nil {
+		return err
+	}
+	if loss > 0 || jitter > 0 {
+		cfg.Faults = &simnet.FaultPlan{Seed: seed, Loss: loss, MaxJitter: jitter}
+	}
+
+	tr, err := wire.Listen(wire.NetConfig{
+		Self:   graph.NodeID(id),
+		Topo:   topo,
+		Listen: listen,
+		Peers:  peerMap,
+		Scale:  scale,
+	})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	node, err := core.NewNode(topo, cfg, tr, graph.NodeID(id))
+	if err != nil {
+		return err
+	}
+
+	api := nodeapi.New(node)
+	var httpSrv *http.Server
+	if httpAddr != "" {
+		httpSrv = &http.Server{Addr: httpAddr, Handler: api}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "http:", err)
+				os.Exit(1)
+			}
+		}()
+	}
+
+	tr.Start()
+	node.StartBootstrap()
+	fmt.Printf("rtds-node %d/%d (%s seed %d): protocol %s, bootstrap over TCP...\n",
+		id, sites, topoKind, seed, tr.Addr())
+	if !node.WaitReady(bootTimeout) {
+		return fmt.Errorf("PCS bootstrap did not complete within %v (are the peers up?)", bootTimeout)
+	}
+	node.Seal()
+	api.SetReady()
+	bm, _ := node.BootstrapCost()
+	fmt.Printf("rtds-node %d: ready (scheme %s, %d bootstrap messages, sphere radius %d)\n",
+		id, schemeName, bm, cfg.Radius)
+
+	// Graceful shutdown on SIGINT/SIGTERM: drain HTTP, close the transport.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("rtds-node %d: shutting down\n", id)
+	if httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}
+	tr.Close()
+	if v := node.Violations(); len(v) > 0 {
+		return fmt.Errorf("causality violations: %v", v)
+	}
+	return nil
+}

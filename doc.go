@@ -48,6 +48,21 @@
 //	if err := c.Run(); err != nil { ... }
 //	fmt.Println(c.Summarize().GuaranteeRatio)
 //
+// # Transports and deployment
+//
+// The protocol core is transport-agnostic (simnet.Transport). Three
+// transports implement it:
+//
+//   - the deterministic discrete-event simulator (internal/simnet.DES),
+//     used by every experiment and benchmark;
+//   - the goroutine-backed live transport (internal/simnet.Live), real
+//     scaled time and genuine concurrency in one process;
+//   - the TCP transport (internal/wire.NetTransport), which frames every
+//     protocol message with the versioned binary codec of internal/wire
+//     and runs one site per operating-system process (internal/core.Node,
+//     deployed by cmd/rtds-node with the HTTP control plane of
+//     internal/nodeapi and driven by cmd/rtds-load).
+//
 // # Quick start
 //
 //	topo := rtds.NewRandomNetwork(16, 3, 42)

@@ -1,7 +1,8 @@
 // Livenet: the same RTDS protocol running on real goroutines and channels
-// instead of the deterministic event simulator — one goroutine per site,
-// one per directed link, real (scaled) time. Demonstrates that the protocol
-// logic is transport-agnostic and survives genuine concurrency.
+// instead of the deterministic event simulator — and then again over real
+// TCP sockets, one site per transport, as the multi-process deployment
+// (cmd/rtds-node) runs it. Demonstrates that the protocol logic is
+// transport-agnostic and survives genuine concurrency.
 package main
 
 import (
@@ -10,24 +11,48 @@ import (
 	"time"
 
 	rtds "repro"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/wire"
 )
 
-func main() {
+func ring() *rtds.Network {
 	topo := rtds.NewNetwork(5)
 	topo.MustAddEdge(0, 1, 0.05)
 	topo.MustAddEdge(1, 2, 0.05)
 	topo.MustAddEdge(2, 3, 0.05)
 	topo.MustAddEdge(3, 4, 0.05)
 	topo.MustAddEdge(4, 0, 0.08)
+	return topo
+}
 
+func burst() *rtds.DAG {
+	// Three independent tasks: needs parallelism under a tight deadline.
+	// 30 units of work, deadline 26: impossible on one site, easy on three.
+	return rtds.NewJob("burst").
+		Task(1, 10).Task(2, 10).Task(3, 10).
+		MustBuild()
+}
+
+func liveConfig() rtds.Config {
 	cfg := rtds.DefaultConfig()
 	// Real message handling takes real time, which the pure-delay timeouts
-	// of the simulator do not model — give the live run generous slack.
+	// of the simulator do not model — give wall-clock runs generous slack.
 	cfg.EnrollSlack = 2
 	cfg.ReleasePadFactor = 30
+	return cfg
+}
 
+func main() {
+	runGoroutines()
+	runTCP()
+}
+
+// runGoroutines: one goroutine per site, one per link, shared memory.
+func runGoroutines() {
 	start := time.Now()
-	cluster, err := rtds.NewLiveCluster(topo, cfg, 2*time.Millisecond)
+	cluster, err := rtds.NewLiveCluster(ring(), liveConfig(), 2*time.Millisecond)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,12 +61,7 @@ func main() {
 	fmt.Printf("live PCS bootstrap over goroutines: %d messages in %v\n",
 		bootMsgs, time.Since(start).Round(time.Millisecond))
 
-	job := rtds.NewJob("burst").
-		Task(1, 10).Task(2, 10).Task(3, 10).
-		MustBuild() // three independent tasks: needs parallelism under a tight deadline
-
-	// 30 units of work, deadline 26: impossible on one site, easy on three.
-	rec, err := cluster.Submit(0, 0, job, 26)
+	rec, err := cluster.Submit(0, 0, burst(), 26)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,4 +74,80 @@ func main() {
 		log.Fatalf("causality violations: %v", v)
 	}
 	fmt.Println("summary:", cluster.Summarize())
+	// Close is idempotent and drains in-flight traffic: the deferred call
+	// above plus this one exercise exactly what cmd/rtds-node relies on.
+	cluster.Close()
+}
+
+// runTCP: the same ring, but every site is its own wire.NetTransport on a
+// loopback TCP socket — the protocol messages travel as length-prefixed
+// binary frames, exactly as between rtds-node processes.
+func runTCP() {
+	topo := ring()
+	cfg := liveConfig()
+	scale := 2 * time.Millisecond
+	start := time.Now()
+
+	trs := make([]*wire.NetTransport, topo.Len())
+	addrs := make(map[graph.NodeID]string)
+	for id := 0; id < topo.Len(); id++ {
+		tr, err := wire.Listen(wire.NetConfig{
+			Self: graph.NodeID(id), Topo: topo, Listen: "127.0.0.1:0", Scale: scale,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		trs[id] = tr
+		addrs[graph.NodeID(id)] = tr.Addr()
+		defer tr.Close()
+	}
+	nodes := make([]*core.Node, topo.Len())
+	for id, tr := range trs {
+		tr.SetPeers(addrs)
+		n, err := core.NewNode(topo, cfg, tr, graph.NodeID(id))
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[id] = n
+	}
+	for _, tr := range trs {
+		tr.Start()
+	}
+	for _, n := range nodes {
+		n.StartBootstrap()
+	}
+	var boot int64
+	for id, n := range nodes {
+		if !n.WaitReady(30 * time.Second) {
+			log.Fatalf("site %d never finished the PCS bootstrap over TCP", id)
+		}
+		n.Seal()
+		m, _ := n.BootstrapCost()
+		boot += m
+	}
+	fmt.Printf("live PCS bootstrap over TCP sockets: %d messages in %v\n",
+		boot, time.Since(start).Round(time.Millisecond))
+
+	if _, err := nodes[0].Submit(0, burst(), 26); err != nil {
+		log.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := nodes[0].JobStatuses()
+		if len(st) == 1 && st[0].Outcome != core.Pending {
+			fmt.Printf("job outcome over TCP: %s (ACS %d sites, |U| = %d), wall time %v\n",
+				st[0].OutcomeName, st[0].ACSSize, st[0].NumProcs,
+				time.Since(start).Round(time.Millisecond))
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("TCP cluster never decided the job")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for id, n := range nodes {
+		if v := n.Violations(); len(v) > 0 {
+			log.Fatalf("site %d causality violations: %v", id, v)
+		}
+	}
 }

@@ -27,6 +27,11 @@ type Cluster struct {
 	bootstrapMessages int64
 	bootstrapBytes    int64
 
+	// nodeMode marks a single-site cluster (see Node): c.sites holds one
+	// non-nil entry, peers live in other processes, and member-side state
+	// for remotely-initiated jobs is reconstructed from protocol messages.
+	nodeMode bool
+
 	mu          sync.Mutex // guards records (needed on the live transport)
 	jobs        []*Job
 	jobIndex    map[string]*Job
@@ -64,11 +69,12 @@ func (c *Cluster) armFaults() {
 			c.engine.AtFixed(c.epoch+detectAt, func() { c.repairAfterCrashes() })
 			continue
 		}
-		// Live transport: no global synchronization point exists, so each
-		// site prunes the dead site inside its own execution context.
+		// Live transport (or node mode): no global synchronization point
+		// exists, so each owned site prunes the dead site inside its own
+		// execution context.
 		dead := cr.Site
 		for _, s := range c.sites {
-			if s.id == dead {
+			if s == nil || s.id == dead {
 				continue
 			}
 			s := s
@@ -219,6 +225,50 @@ func (c *Cluster) Jobs() []*Job {
 	return append([]*Job(nil), c.jobs...)
 }
 
+// JobStatus is a synchronized snapshot of one job's decision state — safe
+// to read while the cluster is still running, unlike the live Job record,
+// whose fields are written by initiator goroutines on wall-clock
+// transports. The node control API and the load harness poll these.
+type JobStatus struct {
+	ID          string       `json:"id"`
+	Origin      graph.NodeID `json:"origin"`
+	Arrival     float64      `json:"arrival"`
+	AbsDeadline float64      `json:"abs_deadline"`
+	Outcome     Outcome      `json:"-"`
+	OutcomeName string       `json:"outcome"`
+	RejectStage string       `json:"reject_stage,omitempty"`
+	DecisionAt  float64      `json:"decision_at"`
+	Done        bool         `json:"done"`
+	CompletedAt float64      `json:"completed_at"`
+	ACSSize     int          `json:"acs_size"`
+	NumProcs    int          `json:"num_procs"`
+}
+
+// JobStatuses snapshots every locally-submitted job under the cluster
+// lock, in submission order.
+func (c *Cluster) JobStatuses() []JobStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]JobStatus, len(c.jobs))
+	for i, j := range c.jobs {
+		out[i] = JobStatus{
+			ID:          j.ID,
+			Origin:      j.Origin,
+			Arrival:     j.Arrival,
+			AbsDeadline: j.AbsDeadline,
+			Outcome:     j.Outcome,
+			OutcomeName: j.Outcome.String(),
+			RejectStage: j.RejectStage,
+			DecisionAt:  j.DecisionAt,
+			Done:        j.Done,
+			CompletedAt: j.CompletedAt,
+			ACSSize:     j.ACSSize,
+			NumProcs:    j.NumProcs,
+		}
+	}
+	return out
+}
+
 // Stats exposes the post-bootstrap communication counters.
 func (c *Cluster) Stats() *simnet.Stats { return c.tr.Stats() }
 
@@ -252,6 +302,9 @@ func (c *Cluster) Violations() []string {
 // with a probe routed through each site's execution context.
 func (c *Cluster) AllIdle() bool {
 	for _, s := range c.sites {
+		if s == nil { // node mode: only the owned site is local
+			continue
+		}
 		if s.locked() || len(s.deferred) > 0 || len(s.txns) > 0 {
 			return false
 		}
@@ -286,6 +339,9 @@ type TaskExecution struct {
 func (c *Cluster) Executions() []TaskExecution {
 	var out []TaskExecution
 	for _, s := range c.sites {
+		if s == nil { // node mode: only the owned site is local
+			continue
+		}
 		// Preemptive bounds come from the plan's fragments.
 		type bounds struct{ start, end float64 }
 		var fragBounds map[string]map[int]bounds
@@ -347,6 +403,21 @@ func (c *Cluster) jobByID(id string) *Job {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.jobIndex[id]
+}
+
+// noteJobACS and noteJobProcs record a job's mapping shape under the
+// record lock: on wall-clock transports these fields are written by the
+// initiator's goroutine while status snapshots read them concurrently.
+func (c *Cluster) noteJobACS(job *Job, n int) {
+	c.mu.Lock()
+	job.ACSSize = n
+	c.mu.Unlock()
+}
+
+func (c *Cluster) noteJobProcs(job *Job, n int) {
+	c.mu.Lock()
+	job.NumProcs = n
+	c.mu.Unlock()
 }
 
 func (c *Cluster) recordDecision(job *Job, outcome Outcome, stage string, at float64) {

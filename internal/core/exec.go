@@ -59,7 +59,7 @@ func (s *Site) beginExecution(job *Job, taskSites map[dag.TaskID]graph.NodeID, t
 		e.reservations[id] = pl
 		startDelay := math.Max(0, pl.Start-now)
 		e.timers = append(e.timers,
-			s.after(startDelay, func() { s.onTaskStart(e, id, false) }),
+			s.after(startDelay, func() { s.onTaskStart(e, id, 0) }),
 			s.after(math.Max(0, pl.End-now), func() { s.onTaskComplete(e, id, pl.End) }),
 		)
 	}
@@ -129,12 +129,26 @@ func (s *Site) rescheduleAllExec() {
 	}
 }
 
+// Wall-clock transports (live goroutines, TCP) fire same-deadline timers
+// with runtime scheduling skew: a predecessor's completion timer and its
+// successor's start timer share an instant, and either may win. The
+// causality assertion therefore retries for up to one virtual time unit
+// before declaring a violation on those transports; a genuinely missing
+// input (a result that was never produced) persists past every retry and
+// is still reported. The DES keeps the single zero-delay recheck: its
+// event order is deterministic, so one hop resolves legitimate ties and
+// anything else is a real protocol bug.
+const (
+	startRecheckDelay = 0.05
+	startRecheckMax   = 20
+)
+
 // onTaskStart asserts that every predecessor's data is available when a
 // reserved slot begins — the end-to-end check that ω over-estimation plus
 // the adjusted windows make distributed execution causally sound. A result
 // arriving at exactly the start instant is delivered first by re-checking
 // after a zero-delay hop.
-func (s *Site) onTaskStart(e *execJob, id dag.TaskID, rechecked bool) {
+func (s *Site) onTaskStart(e *execJob, id dag.TaskID, tries int) {
 	if e.cancelled || e.completed[id] {
 		return
 	}
@@ -142,9 +156,14 @@ func (s *Site) onTaskStart(e *execJob, id dag.TaskID, rechecked bool) {
 	if len(missing) == 0 {
 		return
 	}
-	if !rechecked {
+	if tries == 0 {
 		e.timers = append(e.timers,
-			s.after(0, func() { s.onTaskStart(e, id, true) }))
+			s.after(0, func() { s.onTaskStart(e, id, 1) }))
+		return
+	}
+	if s.cluster.engine == nil && tries < startRecheckMax {
+		e.timers = append(e.timers,
+			s.after(startRecheckDelay, func() { s.onTaskStart(e, id, tries+1) }))
 		return
 	}
 	s.cluster.recordViolation(fmt.Sprintf(
@@ -196,14 +215,14 @@ func (s *Site) onTaskComplete(e *execJob, id dag.TaskID, at float64) {
 			// message serves every consumer on the destination site.
 			if !sent[dest] {
 				sent[dest] = true
-				s.sendTo(dest, resultMsg{Job: e.job.ID, Task: id, Bytes: s.cluster.cfg.ResultBytes})
+				s.sendTo(dest, ResultMsg{Job: e.job.ID, Task: id, Bytes: s.cluster.cfg.ResultBytes})
 			}
 			continue
 		}
 		// §13 data volumes: each edge's transfer is serialized for
 		// volume/throughput before it travels, and is addressed to its
 		// consumer since volumes differ per edge.
-		msg := resultMsg{Job: e.job.ID, Task: id, For: succ,
+		msg := ResultMsg{Job: e.job.ID, Task: id, For: succ,
 			Bytes: s.cluster.cfg.ResultBytes + int(vol)}
 		e.timers = append(e.timers, s.after(vol/th, func() {
 			if !e.cancelled {
@@ -214,12 +233,12 @@ func (s *Site) onTaskComplete(e *execJob, id dag.TaskID, at float64) {
 	if e.job.Origin == s.id {
 		s.cluster.recordTaskDone(e.job, id, at)
 	} else {
-		s.sendTo(e.job.Origin, doneMsg{Job: e.job.ID, Task: id, At: at})
+		s.sendTo(e.job.Origin, DoneMsg{Job: e.job.ID, Task: id, At: at})
 	}
 }
 
 // onResult records an incoming predecessor result (§13).
-func (s *Site) onResult(m resultMsg) {
+func (s *Site) onResult(m ResultMsg) {
 	e, ok := s.exec[m.Job]
 	if !ok || e.cancelled {
 		return
@@ -237,7 +256,7 @@ func (s *Site) onResult(m resultMsg) {
 }
 
 // onDone records a remote task completion at the job's initiator.
-func (s *Site) onDone(m doneMsg) {
+func (s *Site) onDone(m DoneMsg) {
 	if j := s.cluster.jobByID(m.Job); j != nil {
 		s.cluster.recordTaskDone(j, m.Task, m.At)
 	}

@@ -21,7 +21,7 @@ func ring5() *graph.Graph {
 }
 
 // TestEnrollTimeoutTieRace forces the enrollment expiry timer and the final
-// enrollAck onto the same instant, in both orders, and requires that the
+// EnrollAck onto the same instant, in both orders, and requires that the
 // enrollment window closes exactly once either way (regression for the
 // double-enrollDone race: the ack path must cancel the timer and both paths
 // must guard on the phase).

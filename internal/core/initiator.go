@@ -32,7 +32,7 @@ func (s *Site) startTxn(job *Job) {
 	s.txns[job.ID] = t
 	timeout := 2*s.enrollDiam + s.cluster.cfg.EnrollSlack
 	for _, m := range expected {
-		s.sendTo(m, enrollReq{Job: job.ID, Initiator: s.id, Window: timeout})
+		s.sendTo(m, EnrollReq{Job: job.ID, Initiator: s.id, Window: timeout})
 	}
 	t.SetTimer(s.after(timeout, func() { s.enrollDone(t) }))
 }
@@ -40,10 +40,10 @@ func (s *Site) startTxn(job *Job) {
 // onEnrollAck collects members at the initiator. Acks for finished
 // transactions (stragglers that were deferred past the enrollment window)
 // get an immediate unlock so the member is not stranded.
-func (s *Site) onEnrollAck(m enrollAck) {
+func (s *Site) onEnrollAck(m EnrollAck) {
 	t, ok := s.txns[m.Job]
 	if !ok || t.Phase() != txn.Enrolling {
-		s.sendTo(m.Member, unlockMsg{Job: m.Job, From: s.id})
+		s.sendTo(m.Member, UnlockMsg{Job: m.Job, From: s.id})
 		return
 	}
 	if t.RecordEnrollment(m.Member, txn.Enrollment{Surplus: m.Surplus, Power: m.Power, Dists: m.Dists}) {
@@ -57,7 +57,7 @@ func (s *Site) onEnrollAck(m enrollAck) {
 }
 
 // enrollDone closes the enrollment window: the ACS is fixed (§8) and the
-// mapper runs (§9, §12). It is reachable from both the final enrollAck and
+// mapper runs (§9, §12). It is reachable from both the final EnrollAck and
 // the expiry timer; the txn phase guard makes the second entry a no-op
 // whichever path wins the race.
 func (s *Site) enrollDone(t *activeTxn) {
@@ -73,7 +73,7 @@ func (s *Site) enrollDone(t *activeTxn) {
 	// the existing straggler path unlocks it when the late ack arrives.
 	if s.cluster.faultsOn() && t.Enrollments() < len(t.Expected) {
 		for _, m := range t.MissingEnrollments() {
-			s.sendTo(m, unlockMsg{Job: job.ID, From: s.id})
+			s.sendTo(m, UnlockMsg{Job: job.ID, From: s.id})
 		}
 	}
 
@@ -87,7 +87,7 @@ func (s *Site) enrollDone(t *activeTxn) {
 	}
 
 	acs := t.FixACS()
-	job.ACSSize = len(acs) + 1 // initiator included
+	s.cluster.noteJobACS(job, len(acs)+1) // initiator included
 	s.cluster.event(s.id, job.ID, EvACSFixed, fmt.Sprintf("acs=%d", job.ACSSize))
 
 	omega := s.acsDiameter(t)
@@ -104,7 +104,7 @@ func (s *Site) enrollDone(t *activeTxn) {
 		return
 	}
 	t.TM = tm
-	job.NumProcs = tm.NumProcs()
+	s.cluster.noteJobProcs(job, tm.NumProcs())
 	s.cluster.event(s.id, job.ID, EvMapped,
 		fmt.Sprintf("procs=%d case=%s M=%.3g M*=%.3g", tm.NumProcs(), tm.Case, tm.Makespan, tm.IdealMakespan))
 
@@ -116,7 +116,7 @@ func (s *Site) enrollDone(t *activeTxn) {
 	t.BeginValidation()
 	for _, m := range acs {
 		t.ExpectEndorsement(m)
-		s.sendTo(m, validateReq{Job: job.ID, Initiator: s.id, NumProcs: tm.NumProcs(), Windows: windows})
+		s.sendTo(m, ValidateReq{Job: job.ID, Initiator: s.id, NumProcs: tm.NumProcs(), Windows: windows})
 	}
 	t.SetEndorsement(s.id, s.endorsable(job.ID, windows))
 	if t.Awaiting() == 0 {
@@ -125,7 +125,7 @@ func (s *Site) enrollDone(t *activeTxn) {
 	}
 	// Validation timeout, mirroring the enrollment window: the round trip
 	// inside the ACS is bounded by 2ω, so on a faultless cluster this timer
-	// is always cancelled; a lost validateReq or ack turns into a reject
+	// is always cancelled; a lost ValidateReq or ack turns into a reject
 	// instead of a wedged initiator.
 	t.SetTimer(s.after(2*omega+s.cluster.cfg.EnrollSlack, func() { s.validateTimeout(t) }))
 }
@@ -232,7 +232,7 @@ func clampSurplus(v float64) float64 {
 
 // onValidateAck collects endorsements at the initiator; when all ACS members
 // have answered it computes the maximum coupling (§10).
-func (s *Site) onValidateAck(m validateAck) {
+func (s *Site) onValidateAck(m ValidateAck) {
 	t, ok := s.txns[m.Job]
 	if !ok {
 		return
@@ -300,7 +300,7 @@ func (s *Site) finishValidation(t *activeTxn) {
 
 	for _, m := range t.ACS {
 		proc := procOf[m]
-		msg := commitMsg{Job: t.job.ID, Initiator: s.id, Proc: proc}
+		msg := CommitMsg{Job: t.job.ID, Initiator: s.id, Proc: proc}
 		if proc >= 0 {
 			n := len(t.TM.Tasks(t.job.Graph, proc))
 			msg.Graph = t.job.Graph
@@ -317,7 +317,7 @@ func (s *Site) finishValidation(t *activeTxn) {
 		return
 	}
 	// Commit timeout, mirroring the enrollment window: a lost commit or
-	// commitAck resolves the transaction as a failed commit (abort
+	// CommitAck resolves the transaction as a failed commit (abort
 	// everywhere) instead of wedging the initiator's lock forever.
 	t.SetTimer(s.after(2*t.Omega+s.cluster.cfg.EnrollSlack, func() { s.commitTimeout(t) }))
 }
@@ -341,7 +341,7 @@ func (s *Site) commitTimeout(t *activeTxn) {
 
 // onCommitAck finalizes the transaction at the initiator once every
 // executing member confirmed (or refused) its insertion.
-func (s *Site) onCommitAck(m commitAck) {
+func (s *Site) onCommitAck(m CommitAck) {
 	t, ok := s.txns[m.Job]
 	if !ok {
 		return
@@ -360,7 +360,7 @@ func (s *Site) commitResolved(t *activeTxn) {
 	if t.CommitFail {
 		// Abort everywhere: members cancel any reservations of the job.
 		for _, m := range t.ACS {
-			s.sendTo(m, unlockMsg{Job: t.job.ID, From: s.id, Abort: true})
+			s.sendTo(m, UnlockMsg{Job: t.job.ID, From: s.id, Abort: true})
 		}
 		if s.cluster.faultsOn() {
 			s.trackAbort(t)
@@ -427,13 +427,13 @@ func (s *Site) abortRetryFire(job string, ar *txn.AbortRetry) {
 	s.cluster.event(s.id, job, EvAbortRetry,
 		fmt.Sprintf("try %d to %d members", ar.Tries, len(ar.Members)))
 	for _, m := range ar.Members {
-		s.sendTo(m, unlockMsg{Job: job, From: s.id, Abort: true})
+		s.sendTo(m, UnlockMsg{Job: job, From: s.id, Abort: true})
 	}
 	s.scheduleAbortRetry(job, ar)
 }
 
 // onUnlockAck clears one member from an abort's retransmission set.
-func (s *Site) onUnlockAck(m unlockAck) {
+func (s *Site) onUnlockAck(m UnlockAck) {
 	ar := s.aborts[m.Job]
 	if ar == nil {
 		return
@@ -457,7 +457,7 @@ func (s *Site) finishTxn(t *activeTxn, outcome Outcome, stage string) {
 		// also covers a commit that failed at the initiator itself before
 		// anything was dispatched.
 		for _, m := range t.ACS {
-			s.sendTo(m, unlockMsg{Job: t.job.ID, From: s.id})
+			s.sendTo(m, UnlockMsg{Job: t.job.ID, From: s.id})
 		}
 		delete(s.memberTickets, t.job.ID)
 	}

@@ -16,7 +16,7 @@ import (
 // onEnroll handles an enrollment request at a member (§8): lock for the
 // initiator and report surplus, power and the distance vector; defer if
 // already locked.
-func (s *Site) onEnroll(src graph.NodeID, m enrollReq) {
+func (s *Site) onEnroll(src graph.NodeID, m EnrollReq) {
 	if s.locked() {
 		s.deferWork(func() { s.onEnroll(src, m) })
 		return
@@ -25,7 +25,7 @@ func (s *Site) onEnroll(src graph.NodeID, m enrollReq) {
 	if s.cluster.faultsOn() {
 		s.startLockLease(m)
 	}
-	s.sendTo(m.Initiator, enrollAck{
+	s.sendTo(m.Initiator, EnrollAck{
 		Job:     m.Job,
 		Member:  s.id,
 		Surplus: s.plan.Surplus(s.now(), s.cluster.cfg.SurplusWindow),
@@ -41,7 +41,7 @@ func (s *Site) onEnroll(src graph.NodeID, m enrollReq) {
 // and the lock is released unilaterally. The lease is deliberately generous
 // — firing early only converts one admission into a conservative rejection,
 // but it must still be bounded so faulty runs terminate.
-func (s *Site) startLockLease(m enrollReq) {
+func (s *Site) startLockLease(m EnrollReq) {
 	jitter := 0.0
 	if f := s.cluster.cfg.Faults; f != nil {
 		jitter = f.MaxJitter
@@ -91,16 +91,16 @@ func (s *Site) endorsable(jobID string, windows [][]mapper.TaskWindow) []int {
 }
 
 // onValidate handles the mapping broadcast at a member (§10).
-func (s *Site) onValidate(m validateReq) {
+func (s *Site) onValidate(m ValidateReq) {
 	if s.lockedBy != m.Initiator || s.lockJob != m.Job {
 		// Defensive: the lock should always match (validation is only sent
 		// to enrolled members), but an empty endorsement keeps the initiator
 		// from waiting forever if it ever does not.
-		s.sendTo(m.Initiator, validateAck{Job: m.Job, Member: s.id})
+		s.sendTo(m.Initiator, ValidateAck{Job: m.Job, Member: s.id})
 		return
 	}
 	end := s.endorsable(m.Job, m.Windows)
-	s.sendTo(m.Initiator, validateAck{Job: m.Job, Member: s.id, Endorsable: end})
+	s.sendTo(m.Initiator, ValidateAck{Job: m.Job, Member: s.id, Endorsable: end})
 }
 
 // commitShare commits this site's cached ticket for a logical processor and
@@ -142,12 +142,12 @@ func placementFor(tk *schedule.Ticket, task int) *schedule.Reservation {
 // onCommit handles the permutation at an ACS member (§11): endorse the
 // assigned logical processor (or be released), then unlock — "the lock of j
 // is immediately released after the insertion of all tasks of Ti".
-func (s *Site) onCommit(m commitMsg) {
+func (s *Site) onCommit(m CommitMsg) {
 	if s.lockedBy != m.Initiator || s.lockJob != m.Job {
 		// Defensive: refuse rather than stay silent so the initiator's
 		// commit phase always resolves.
 		if m.Proc >= 0 {
-			s.sendTo(m.Initiator, commitAck{Job: m.Job, Member: s.id, OK: false})
+			s.sendTo(m.Initiator, CommitAck{Job: m.Job, Member: s.id, OK: false})
 		}
 		return
 	}
@@ -157,29 +157,34 @@ func (s *Site) onCommit(m commitMsg) {
 		return
 	}
 	job := s.cluster.jobByID(m.Job)
+	if job == nil && s.cluster.nodeMode && m.Graph != nil {
+		// Multi-process deployment: the initiator's record lives in another
+		// process, so reconstruct the member's view from the message itself.
+		job = s.cluster.adoptRemoteJob(m.Job, m.Graph, m.Initiator)
+	}
 	if job == nil {
 		// The job record is gone (possible only under injected faults, when
 		// messages survive their transaction). Refuse instead of crashing.
 		s.cluster.protocolDrop(s.id, fmt.Sprintf(
 			"site %d: commit for unknown job %s", s.id, m.Job))
-		s.sendTo(m.Initiator, commitAck{Job: m.Job, Member: s.id, OK: false})
+		s.sendTo(m.Initiator, CommitAck{Job: m.Job, Member: s.id, OK: false})
 		s.unlock()
 		return
 	}
 	ok := s.commitShare(job, m.Proc, m.Graph, m.TaskSites)
-	s.sendTo(m.Initiator, commitAck{Job: m.Job, Member: s.id, OK: ok})
+	s.sendTo(m.Initiator, CommitAck{Job: m.Job, Member: s.id, OK: ok})
 	s.unlock()
 }
 
 // onUnlock releases a member (rejection path) or aborts a committed share.
 // On faulty clusters aborts are acknowledged so the initiator can stop
 // retransmitting; the handler is idempotent, so duplicates are harmless.
-func (s *Site) onUnlock(m unlockMsg) {
+func (s *Site) onUnlock(m UnlockMsg) {
 	if m.Abort {
 		s.cancelExecution(m.Job)
 		s.plan.CancelJob(m.Job)
 		if s.cluster.faultsOn() {
-			s.sendTo(m.From, unlockAck{Job: m.Job, Member: s.id})
+			s.sendTo(m.From, UnlockAck{Job: m.Job, Member: s.id})
 		}
 	}
 	delete(s.memberTickets, m.Job)

@@ -30,49 +30,49 @@ func (r Routed) Kind() string { return r.Inner.Kind() }
 // SizeBytes implements simnet.Payload: inner payload plus routing header.
 func (r Routed) SizeBytes() int { return 8 + r.Inner.SizeBytes() }
 
-// enrollReq asks a PCS member to join the ACS for a job (§8). Window is the
+// EnrollReq asks a PCS member to join the ACS for a job (§8). Window is the
 // initiator's enrollment window; members use it to size the lock lease they
 // arm on faulty clusters (the initiator's sphere diameter, which the window
 // encodes, bounds every later phase's round trip).
-type enrollReq struct {
+type EnrollReq struct {
 	Job       string
 	Initiator graph.NodeID
 	Window    float64
 }
 
-func (enrollReq) Kind() string     { return "rtds.enroll" }
-func (e enrollReq) SizeBytes() int { return msgHeader + 8 }
+func (EnrollReq) Kind() string     { return "rtds.enroll" }
+func (e EnrollReq) SizeBytes() int { return msgHeader + 8 }
 
-// distEntry is one line of the distance vector an enrollee reports, letting
+// DistEntry is one line of the distance vector an enrollee reports, letting
 // the initiator compute the exact ACS delay diameter (DESIGN.md §6.3). It
 // aliases the txn package's representation so enrollment reports flow into
 // the state machine without conversion.
-type distEntry = txn.DistEntry
+type DistEntry = txn.DistEntry
 
-// enrollAck accepts enrollment: the member is now locked for the initiator
+// EnrollAck accepts enrollment: the member is now locked for the initiator
 // and reports its surplus (§8) plus its distance vector and computing power.
-type enrollAck struct {
+type EnrollAck struct {
 	Job     string
 	Member  graph.NodeID
 	Surplus float64
 	Power   float64
-	Dists   []distEntry
+	Dists   []DistEntry
 }
 
-func (enrollAck) Kind() string     { return "rtds.enroll-ack" }
-func (a enrollAck) SizeBytes() int { return msgHeader + 16 + 12*len(a.Dists) }
+func (EnrollAck) Kind() string     { return "rtds.enroll-ack" }
+func (a EnrollAck) SizeBytes() int { return msgHeader + 16 + 12*len(a.Dists) }
 
-// validateReq broadcasts the trial mapping M in the ACS (§10). Every member
+// ValidateReq broadcasts the trial mapping M in the ACS (§10). Every member
 // receives all logical processors' task windows and tries to endorse each.
-type validateReq struct {
+type ValidateReq struct {
 	Job       string
 	Initiator graph.NodeID
 	NumProcs  int
 	Windows   [][]mapper.TaskWindow // indexed by logical processor
 }
 
-func (validateReq) Kind() string { return "rtds.validate" }
-func (v validateReq) SizeBytes() int {
+func (ValidateReq) Kind() string { return "rtds.validate" }
+func (v ValidateReq) SizeBytes() int {
 	n := 0
 	for _, w := range v.Windows {
 		n += len(w)
@@ -81,21 +81,21 @@ func (v validateReq) SizeBytes() int {
 	return msgHeader + 4 + 28*n
 }
 
-// validateAck reports the logical processors the sender could endorse.
-type validateAck struct {
+// ValidateAck reports the logical processors the sender could endorse.
+type ValidateAck struct {
 	Job        string
 	Member     graph.NodeID
 	Endorsable []int
 }
 
-func (validateAck) Kind() string     { return "rtds.validate-ack" }
-func (a validateAck) SizeBytes() int { return msgHeader + 4*len(a.Endorsable) }
+func (ValidateAck) Kind() string     { return "rtds.validate-ack" }
+func (a ValidateAck) SizeBytes() int { return msgHeader + 4*len(a.Endorsable) }
 
-// commitMsg carries the §11 permutation outcome to one ACS member. Proc < 0
+// CommitMsg carries the §11 permutation outcome to one ACS member. Proc < 0
 // releases the member without work; otherwise the member endorses logical
 // processor Proc and receives the task codes, the precedence structure and
 // the task→site map it needs to send results during execution.
-type commitMsg struct {
+type CommitMsg struct {
 	Job       string
 	Initiator graph.NodeID
 	Proc      int
@@ -104,69 +104,69 @@ type commitMsg struct {
 	CodeBytes int                         // accounted size of the shipped task codes
 }
 
-func (commitMsg) Kind() string { return "rtds.commit" }
-func (c commitMsg) SizeBytes() int {
+func (CommitMsg) Kind() string { return "rtds.commit" }
+func (c CommitMsg) SizeBytes() int {
 	if c.Proc < 0 {
 		return msgHeader
 	}
 	return msgHeader + c.CodeBytes + 8*len(c.TaskSites)
 }
 
-// commitAck confirms (or refuses) the insertion of Ti into the member's
+// CommitAck confirms (or refuses) the insertion of Ti into the member's
 // scheduling plan.
-type commitAck struct {
+type CommitAck struct {
 	Job    string
 	Member graph.NodeID
 	OK     bool
 }
 
-func (commitAck) Kind() string   { return "rtds.commit-ack" }
-func (commitAck) SizeBytes() int { return msgHeader + 1 }
+func (CommitAck) Kind() string   { return "rtds.commit-ack" }
+func (CommitAck) SizeBytes() int { return msgHeader + 1 }
 
-// unlockMsg releases an ACS member after a rejection (§10) or aborts an
+// UnlockMsg releases an ACS member after a rejection (§10) or aborts an
 // already-committed job after a commit failure. From identifies the
 // initiator so abort receipts can be acknowledged when the cluster runs
 // with fault injection (the initiator retransmits unacknowledged aborts —
 // a lost abort must not leave reservations of a rejected job behind).
-type unlockMsg struct {
+type UnlockMsg struct {
 	Job   string
 	From  graph.NodeID
 	Abort bool // also cancel any reservations of Job
 }
 
-func (unlockMsg) Kind() string   { return "rtds.unlock" }
-func (unlockMsg) SizeBytes() int { return msgHeader + 4 + 1 } // initiator id + abort flag
+func (UnlockMsg) Kind() string   { return "rtds.unlock" }
+func (UnlockMsg) SizeBytes() int { return msgHeader + 4 + 1 } // initiator id + abort flag
 
-// unlockAck acknowledges an abort unlock; only sent on faulty clusters.
-type unlockAck struct {
+// UnlockAck acknowledges an abort unlock; only sent on faulty clusters.
+type UnlockAck struct {
 	Job    string
 	Member graph.NodeID
 }
 
-func (unlockAck) Kind() string   { return "rtds.unlock-ack" }
-func (unlockAck) SizeBytes() int { return msgHeader }
+func (UnlockAck) Kind() string   { return "rtds.unlock-ack" }
+func (UnlockAck) SizeBytes() int { return msgHeader }
 
-// resultMsg models a predecessor task's result travelling to the site of a
+// ResultMsg models a predecessor task's result travelling to the site of a
 // successor task during distributed execution (§13 "Communication Delays").
 // For identifies the consuming task when edges carry distinct data volumes;
 // 0 means the result serves every local successor of Task.
-type resultMsg struct {
+type ResultMsg struct {
 	Job   string
 	Task  dag.TaskID
 	For   dag.TaskID
 	Bytes int
 }
 
-func (resultMsg) Kind() string     { return "rtds.result" }
-func (m resultMsg) SizeBytes() int { return msgHeader + m.Bytes }
+func (ResultMsg) Kind() string     { return "rtds.result" }
+func (m ResultMsg) SizeBytes() int { return msgHeader + m.Bytes }
 
-// doneMsg reports a completed task to the job's initiator so it can record
+// DoneMsg reports a completed task to the job's initiator so it can record
 // end-to-end completion.
-type doneMsg struct {
+type DoneMsg struct {
 	Job  string
 	Task dag.TaskID
 	At   float64
 }
 
-func (doneMsg) Kind() string   { return "rtds.done" }
-func (doneMsg) SizeBytes() int { return msgHeader + 12 }
+func (DoneMsg) Kind() string   { return "rtds.done" }
+func (DoneMsg) SizeBytes() int { return msgHeader + 12 }

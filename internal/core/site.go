@@ -54,10 +54,10 @@ type Site struct {
 	enrollDiam float64
 	// distVec is the site's distance vector, precomputed once when the
 	// (immutable after bootstrap) table is final. It is shared by reference
-	// in every enrollAck this site sends; receivers treat Dists as
+	// in every EnrollAck this site sends; receivers treat Dists as
 	// read-only, so rebuilding/sorting it per enrollment would only burn
 	// the protocol's hottest path.
-	distVec []distEntry
+	distVec []DistEntry
 
 	// Lock (§8): while locked the site defers all other scheduling activity.
 	lockedBy graph.NodeID
@@ -143,7 +143,7 @@ func (s *Site) adoptTable(t *routing.Table) {
 	s.distVec = nil
 	for _, dest := range t.Destinations() {
 		if dest != s.id {
-			s.distVec = append(s.distVec, distEntry{Dest: dest, Dist: t.Dist(dest)})
+			s.distVec = append(s.distVec, DistEntry{Dest: dest, Dist: t.Dist(dest)})
 		}
 	}
 	// Resolve the sphere policy's enrollment fan-out once per table. The
@@ -191,25 +191,25 @@ func (s *Site) handle(from graph.NodeID, p simnet.Payload) {
 
 func (s *Site) dispatch(src graph.NodeID, p simnet.Payload) {
 	switch m := p.(type) {
-	case enrollReq:
+	case EnrollReq:
 		s.onEnroll(src, m)
-	case enrollAck:
+	case EnrollAck:
 		s.onEnrollAck(m)
-	case validateReq:
+	case ValidateReq:
 		s.onValidate(m)
-	case validateAck:
+	case ValidateAck:
 		s.onValidateAck(m)
-	case commitMsg:
+	case CommitMsg:
 		s.onCommit(m)
-	case commitAck:
+	case CommitAck:
 		s.onCommitAck(m)
-	case unlockMsg:
+	case UnlockMsg:
 		s.onUnlock(m)
-	case unlockAck:
+	case UnlockAck:
 		s.onUnlockAck(m)
-	case resultMsg:
+	case ResultMsg:
 		s.onResult(m)
-	case doneMsg:
+	case DoneMsg:
 		s.onDone(m)
 	default:
 		panic(fmt.Sprintf("core: site %d got unknown payload %q", s.id, p.Kind()))
@@ -313,7 +313,7 @@ func (s *Site) jobArrives(job *Job) {
 		}
 		s.cluster.event(s.id, job.ID, EvLocalOK, "")
 		s.cluster.recordDecision(job, AcceptedLocal, "", s.now())
-		job.NumProcs = 1
+		s.cluster.noteJobProcs(job, 1)
 		allLocal := make(map[dag.TaskID]graph.NodeID, job.Graph.Len())
 		for _, id := range job.Graph.TaskIDs() {
 			allLocal[id] = s.id

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ratioTolerance bounds acceptable guarantee-ratio drift in the regression
+// gate. The suite is deterministic — same code, same seed, same table — so
+// anything beyond float formatting noise is a behavior change that must be
+// accompanied by a regenerated baseline.
+const ratioTolerance = 1e-9
+
+// CompareReports checks a freshly-run suite report against the committed
+// baseline (the cmd/rtds-bench -check gate):
+//
+//   - every baseline experiment must be present with the same row count;
+//   - every per-experiment guarantee ratio must match to within float
+//     formatting noise — the suite is seeded and deterministic, so drift
+//     means the protocol's behavior changed and the baseline must be
+//     regenerated deliberately;
+//   - suite throughput (events/sec) must not regress by more than
+//     evpsTolerance (0.25 = fail when more than 25% slower).
+//
+// All problems are reported together so one CI run shows the full damage.
+func CompareReports(baseline, current BenchReport, evpsTolerance float64) error {
+	var problems []string
+	if baseline.Size != current.Size {
+		problems = append(problems, fmt.Sprintf(
+			"suite size %q does not match the baseline's %q", current.Size, baseline.Size))
+	}
+	cur := make(map[string]BenchExperiment, len(current.Experiments))
+	for _, e := range current.Experiments {
+		cur[fmt.Sprintf("%s@%d", e.Name, e.Seed)] = e
+	}
+	base := make(map[string]bool, len(baseline.Experiments))
+	for _, b := range baseline.Experiments {
+		base[fmt.Sprintf("%s@%d", b.Name, b.Seed)] = true
+	}
+	// Symmetric coverage: an experiment the run produced but the baseline
+	// never pinned means the suite grew without regenerating the baseline —
+	// exactly the change most likely to move ratios unguarded.
+	for _, e := range current.Experiments {
+		if key := fmt.Sprintf("%s@%d", e.Name, e.Seed); !base[key] {
+			problems = append(problems, fmt.Sprintf(
+				"experiment %s absent from the baseline (regenerate it)", key))
+		}
+	}
+	for _, b := range baseline.Experiments {
+		key := fmt.Sprintf("%s@%d", b.Name, b.Seed)
+		c, ok := cur[key]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("experiment %s missing from the run", key))
+			continue
+		}
+		if c.Rows != b.Rows {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %d table rows, baseline has %d", key, c.Rows, b.Rows))
+		}
+		for col, want := range b.GuaranteeRatios {
+			got, ok := c.GuaranteeRatios[col]
+			if !ok {
+				problems = append(problems, fmt.Sprintf(
+					"%s: ratio column %q missing from the run", key, col))
+				continue
+			}
+			if math.Abs(got-want) > ratioTolerance {
+				problems = append(problems, fmt.Sprintf(
+					"%s: guarantee ratio %q drifted %+.6f (baseline %.6f, run %.6f)",
+					key, col, got-want, want, got))
+			}
+		}
+		for col := range c.GuaranteeRatios {
+			if _, ok := b.GuaranteeRatios[col]; !ok {
+				problems = append(problems, fmt.Sprintf(
+					"%s: ratio column %q absent from the baseline (regenerate it)", key, col))
+			}
+		}
+	}
+	if evpsTolerance > 0 && baseline.EventsPerSec > 0 && current.EventsPerSec > 0 {
+		floor := baseline.EventsPerSec * (1 - evpsTolerance)
+		if current.EventsPerSec < floor {
+			problems = append(problems, fmt.Sprintf(
+				"throughput regressed: %.0f events/sec vs baseline %.0f (floor %.0f at %.0f%% tolerance)",
+				current.EventsPerSec, baseline.EventsPerSec, floor, evpsTolerance*100))
+		}
+	}
+	if len(problems) == 0 {
+		return nil
+	}
+	return fmt.Errorf("benchmark regression gate failed:\n  %s", strings.Join(problems, "\n  "))
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func gateReports() (BenchReport, BenchReport) {
+	base := BenchReport{
+		Size:         "quick",
+		EventsPerSec: 100000,
+		Experiments: []BenchExperiment{
+			{Name: "E1", Seed: 1, Rows: 6, GuaranteeRatios: map[string]float64{"rtds": 0.8, "oracle": 0.95}},
+			{Name: "E2", Seed: 1, Rows: 4},
+		},
+	}
+	cur := BenchReport{
+		Size:         "quick",
+		EventsPerSec: 98000,
+		Experiments: []BenchExperiment{
+			{Name: "E1", Seed: 1, Rows: 6, GuaranteeRatios: map[string]float64{"rtds": 0.8, "oracle": 0.95}},
+			{Name: "E2", Seed: 1, Rows: 4},
+		},
+	}
+	return base, cur
+}
+
+func TestCompareReportsPasses(t *testing.T) {
+	base, cur := gateReports()
+	if err := CompareReports(base, cur, 0.25); err != nil {
+		t.Fatalf("identical reports failed the gate: %v", err)
+	}
+}
+
+func TestCompareReportsCatchesRatioDrift(t *testing.T) {
+	base, cur := gateReports()
+	cur.Experiments[0].GuaranteeRatios["rtds"] = 0.79
+	err := CompareReports(base, cur, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "drifted") {
+		t.Fatalf("ratio drift not caught: %v", err)
+	}
+}
+
+func TestCompareReportsCatchesMissingExperiment(t *testing.T) {
+	base, cur := gateReports()
+	cur.Experiments = cur.Experiments[:1]
+	err := CompareReports(base, cur, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing experiment not caught: %v", err)
+	}
+}
+
+func TestCompareReportsCatchesRowCountChange(t *testing.T) {
+	base, cur := gateReports()
+	cur.Experiments[1].Rows = 5
+	err := CompareReports(base, cur, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "rows") {
+		t.Fatalf("row count change not caught: %v", err)
+	}
+}
+
+func TestCompareReportsCatchesThroughputRegression(t *testing.T) {
+	base, cur := gateReports()
+	cur.EventsPerSec = 70000 // 30% below baseline, tolerance 25%
+	err := CompareReports(base, cur, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "throughput") {
+		t.Fatalf("throughput regression not caught: %v", err)
+	}
+	// Inside tolerance passes.
+	cur.EventsPerSec = 80000
+	if err := CompareReports(base, cur, 0.25); err != nil {
+		t.Fatalf("25%% tolerance rejected a 20%% slowdown: %v", err)
+	}
+}
+
+func TestCompareReportsCatchesNewRatioColumn(t *testing.T) {
+	base, cur := gateReports()
+	cur.Experiments[0].GuaranteeRatios["new-scheme"] = 0.5
+	err := CompareReports(base, cur, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "absent from the baseline") {
+		t.Fatalf("new ratio column not caught: %v", err)
+	}
+}
+
+func TestCompareReportsCatchesNewExperiment(t *testing.T) {
+	base, cur := gateReports()
+	cur.Experiments = append(cur.Experiments, BenchExperiment{Name: "E99", Seed: 1, Rows: 2})
+	err := CompareReports(base, cur, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "absent from the baseline") {
+		t.Fatalf("unpinned new experiment not caught: %v", err)
+	}
+}
+
+func TestCompareReportsSizeMismatch(t *testing.T) {
+	base, cur := gateReports()
+	cur.Size = "full"
+	err := CompareReports(base, cur, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "size") {
+		t.Fatalf("size mismatch not caught: %v", err)
+	}
+}

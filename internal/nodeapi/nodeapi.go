@@ -1,0 +1,237 @@
+// Package nodeapi is the control and observability plane of one deployed
+// RTDS site (cmd/rtds-node): a small JSON-over-HTTP API for job
+// submission, decision polling and leak checking, plus an expvar endpoint
+// whose statistics (decision-latency percentiles from internal/metrics,
+// transport counters) feed dashboards and the load harness.
+//
+// Endpoints:
+//
+//	GET  /healthz       process liveness
+//	GET  /readyz        200 once the PCS bootstrap completed and the epoch is sealed
+//	POST /submit        {"at":0,"deadline":40,"graph":{dag json}} -> {"id":"j1@3"}
+//	GET  /jobs          {"jobs":[{id,outcome,arrival,decision_at,...}]}
+//	GET  /stats         transport counters + decision-latency percentiles
+//	GET  /reservations  {"jobs":["j1@3",...]} — job IDs with committed plan reservations
+//	GET  /idle          {"idle":true} — lock released, no deferred work, no open txns
+//	GET  /debug/vars    expvar (includes the rtds map below)
+package nodeapi
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// Server serves the control API of one core.Node.
+type Server struct {
+	node  *core.Node
+	ready atomic.Bool
+	mux   *http.ServeMux
+}
+
+// New builds the API server for a node. Call SetReady once the node's
+// bootstrap has been sealed.
+func New(node *core.Node) *Server {
+	s := &Server{node: node, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			http.Error(w, "bootstrapping", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	s.mux.HandleFunc("POST /submit", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /reservations", s.handleReservations)
+	s.mux.HandleFunc("GET /idle", s.handleIdle)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	registerExpvar(s)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetReady marks the node ready (bootstrap sealed); /readyz flips to 200
+// and submissions are accepted.
+func (s *Server) SetReady() { s.ready.Store(true) }
+
+// SubmitRequest is the body of POST /submit. The graph uses the dag
+// package's JSON schema; At is epoch-relative virtual time (0 = now) and
+// Deadline is relative to arrival.
+type SubmitRequest struct {
+	At       float64         `json:"at"`
+	Deadline float64         `json:"deadline"`
+	Graph    json.RawMessage `json:"graph"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		http.Error(w, "node is still bootstrapping", http.StatusServiceUnavailable)
+		return
+	}
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	g, err := dag.UnmarshalGraph(req.Graph)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	job, err := s.node.Submit(req.At, g, req.Deadline)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]string{"id": job.ID})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"jobs": s.node.JobStatuses()})
+}
+
+// StatsReply is the GET /stats schema.
+type StatsReply struct {
+	Site               int              `json:"site"`
+	Ready              bool             `json:"ready"`
+	Messages           int64            `json:"messages"`
+	Bytes              int64            `json:"bytes"`
+	Dropped            int64            `json:"dropped"`
+	ByKind             map[string]int64 `json:"by_kind,omitempty"`
+	BootstrapMessages  int64            `json:"bootstrap_messages"`
+	BootstrapBytes     int64            `json:"bootstrap_bytes"`
+	Jobs               int              `json:"jobs"`
+	Decided            int              `json:"decided"`
+	Accepted           int              `json:"accepted"`
+	Violations         int              `json:"violations"`
+	Disruptions        int              `json:"disruptions"`
+	DecisionLatencyP50 float64          `json:"decision_latency_p50"`
+	DecisionLatencyP99 float64          `json:"decision_latency_p99"`
+}
+
+func (s *Server) stats() StatsReply {
+	st := s.node.Stats()
+	bm, bb := s.node.BootstrapCost()
+	reply := StatsReply{
+		Site:              int(s.node.Self()),
+		Ready:             s.ready.Load(),
+		Messages:          st.Messages(),
+		Bytes:             st.Bytes(),
+		Dropped:           st.Dropped(),
+		ByKind:            st.ByKind(),
+		BootstrapMessages: bm,
+		BootstrapBytes:    bb,
+		Violations:        len(s.node.Violations()),
+		Disruptions:       s.node.FaultDisruptions(),
+	}
+	var latency metrics.Sample
+	for _, j := range s.node.JobStatuses() {
+		reply.Jobs++
+		if j.Outcome == core.Pending {
+			continue
+		}
+		reply.Decided++
+		if j.Outcome == core.AcceptedLocal || j.Outcome == core.AcceptedDistributed {
+			reply.Accepted++
+		}
+		latency.Add(j.DecisionAt - j.Arrival)
+	}
+	reply.DecisionLatencyP50 = latency.Percentile(50)
+	reply.DecisionLatencyP99 = latency.Percentile(99)
+	return reply
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.stats())
+}
+
+func (s *Server) handleReservations(w http.ResponseWriter, r *http.Request) {
+	jobs := s.node.ReservationJobIDs()
+	if jobs == nil {
+		jobs = []string{}
+	}
+	writeJSON(w, map[string][]string{"jobs": jobs})
+}
+
+func (s *Server) handleIdle(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]bool{"idle": s.node.Idle()})
+}
+
+// ParseAddrs parses a deployment address list of the form
+// "0=host:port,1=host:port,...", shared by the -peers flag of rtds-node
+// and the -nodes flag of rtds-load. flagName only shapes error messages.
+// With requireAll every site in [0,sites) must be present.
+func ParseAddrs(flagName, spec string, sites int, requireAll bool) (map[graph.NodeID]string, error) {
+	out := make(map[graph.NodeID]string)
+	for _, tok := range strings.Split(spec, ",") {
+		idStr, addr, found := strings.Cut(strings.TrimSpace(tok), "=")
+		if !found {
+			return nil, fmt.Errorf("-%s token %q is not id=host:port", flagName, tok)
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil || id < 0 || id >= sites {
+			return nil, fmt.Errorf("-%s id %q out of range [0,%d)", flagName, idStr, sites)
+		}
+		out[graph.NodeID(id)] = addr
+	}
+	if requireAll {
+		for id := 0; id < sites; id++ {
+			if out[graph.NodeID(id)] == "" {
+				return nil, fmt.Errorf("-%s is missing site %d", flagName, id)
+			}
+		}
+	}
+	return out, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// ---------------------------------------------------------------------------
+// expvar
+
+// expvar names are global per process; a test may host several node API
+// servers, so the published "rtds" variable aggregates every live server
+// keyed by site id.
+var (
+	expvarOnce sync.Once
+	expvarMu   sync.Mutex
+	servers    = map[int]*Server{}
+)
+
+func registerExpvar(s *Server) {
+	expvarMu.Lock()
+	servers[int(s.node.Self())] = s
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("rtds", expvar.Func(func() any {
+			expvarMu.Lock()
+			defer expvarMu.Unlock()
+			out := make(map[string]StatsReply, len(servers))
+			for id, srv := range servers {
+				out[fmt.Sprintf("site_%d", id)] = srv.stats()
+			}
+			return out
+		}))
+	})
+}

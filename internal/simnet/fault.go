@@ -130,3 +130,21 @@ func (f *faultState) perturb(from, to graph.NodeID, at, delay float64) (float64,
 	}
 	return delay, false
 }
+
+// Injector applies a FaultPlan for transports implemented outside this
+// package (the wire package's TCP transport perturbs traversals at the
+// socket layer with exactly the semantics the DES and live transports
+// implement). Safe for concurrent use.
+type Injector struct{ st *faultState }
+
+// NewInjector arms a fault plan whose times are relative to epoch.
+func NewInjector(plan FaultPlan, epoch float64) *Injector {
+	return &Injector{st: newFaultState(plan, epoch)}
+}
+
+// Perturb decides the fate of one link traversal sent at time `at` with
+// base delay `delay`: it returns the (possibly jittered) delay and whether
+// the traversal is dropped.
+func (i *Injector) Perturb(from, to graph.NodeID, at, delay float64) (float64, bool) {
+	return i.st.perturb(from, to, at, delay)
+}

@@ -29,10 +29,16 @@ type Live struct {
 	faults   *faultState
 	started  bool
 	closed   bool
+	torndown chan struct{} // closed once the teardown (queue close) is done
 
 	pending atomic.Int64 // in-flight messages + handlers + pending timers
 	wg      sync.WaitGroup
 }
+
+// closeDrainGrace bounds how long Close waits for in-flight traffic to
+// drain before tearing the goroutines down. A transport that has already
+// quiesced pays only a few polling intervals.
+const closeDrainGrace = 250 * time.Millisecond
 
 type liveNode struct {
 	inbox *fifo[func()]
@@ -62,6 +68,7 @@ func NewLive(topo *graph.Graph, scale time.Duration) *Live {
 		handlers: make(map[graph.NodeID]Handler),
 		links:    make(map[[2]graph.NodeID]*liveLink),
 		nodes:    make(map[graph.NodeID]*liveNode),
+		torndown: make(chan struct{}),
 	}
 }
 
@@ -84,6 +91,9 @@ func (l *Live) Start() {
 	defer l.mu.Unlock()
 	if l.started {
 		panic("simnet: Start called twice")
+	}
+	if l.closed {
+		panic("simnet: Start after Close")
 	}
 	l.started = true
 	l.start = time.Now()
@@ -136,10 +146,17 @@ func (l *Live) SetFaults(plan FaultPlan, epoch float64) {
 	l.faults = newFaultState(plan, epoch)
 }
 
-// Send implements Transport.
+// Send implements Transport. On a closed (or closing) transport the message
+// is silently dropped instead of failing: a handler still draining when
+// Close is called must be able to finish its send cascade without
+// panicking the protocol layer, whose Send errors are wiring bugs.
 func (l *Live) Send(from, to graph.NodeID, p Payload) error {
 	l.mu.Lock()
-	if !l.started || l.closed {
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	if !l.started {
 		l.mu.Unlock()
 		return fmt.Errorf("simnet: live transport not running")
 	}
@@ -159,12 +176,12 @@ func (l *Live) Send(from, to graph.NodeID, p Payload) error {
 		base := float64(lk.delay) / float64(l.scale)
 		jittered, dropped := faults.perturb(from, to, l.Now(), base)
 		if dropped {
-			l.stats.drop()
+			l.stats.Drop()
 			return nil
 		}
 		delay = time.Duration(jittered * float64(l.scale))
 	}
-	l.stats.record(p)
+	l.stats.Record(p)
 	l.pending.Add(1)
 	lk.queue.push(linkItem{
 		deliverAt: time.Now().Add(delay),
@@ -237,24 +254,42 @@ func (l *Live) WaitIdle(timeout time.Duration) bool {
 	return false
 }
 
-// Close shuts the transport down and waits for all goroutines to exit.
-// In-flight messages may be dropped; call WaitIdle first if delivery
-// matters.
+// Close shuts the transport down: new Sends are dropped, in-flight
+// deliveries are given a bounded grace period to drain, then the per-node
+// and per-link goroutines are torn down. Close is idempotent and safe to
+// call from several goroutines concurrently — every call blocks until the
+// teardown has completed, whichever call performed it, so a caller
+// returning from Close may safely free or reuse the sites behind the
+// handlers. Traffic that outlives the grace period is dropped; call
+// WaitIdle first if delivery matters.
 func (l *Live) Close() {
 	l.mu.Lock()
-	if l.closed || !l.started {
+	if !l.started {
+		// Nothing ever ran; just make future Start/Send refusals permanent.
 		l.closed = true
 		l.mu.Unlock()
 		return
 	}
+	first := !l.closed
 	l.closed = true
-	for _, n := range l.nodes {
-		n.inbox.close()
-	}
-	for _, lk := range l.links {
-		lk.queue.close()
-	}
 	l.mu.Unlock()
+	if first {
+		// Drain: messages already on a link — and the handler work they
+		// trigger — complete instead of vanishing mid-cascade. Bounded, so
+		// a cluster with far-future timers still closes promptly.
+		l.WaitIdle(closeDrainGrace)
+		l.mu.Lock()
+		for _, n := range l.nodes {
+			n.inbox.close()
+		}
+		for _, lk := range l.links {
+			lk.queue.close()
+		}
+		l.mu.Unlock()
+		close(l.torndown)
+	} else {
+		<-l.torndown
+	}
 	l.wg.Wait()
 }
 

@@ -6,13 +6,15 @@
 // reorder a link) and fail-silent site crash windows — the adverse
 // conditions of an arbitrary wide network.
 //
-// Two implementations are provided:
+// Two implementations live in this package, and a third outside it:
 //
 //   - DES: built on internal/sim — fully deterministic, used by all
 //     experiments and benchmarks;
 //   - Live: one goroutine per site and real (scaled) time — demonstrates the
 //     protocol under genuine concurrency (examples/livenet) and backs the
-//     transport-equivalence tests.
+//     transport-equivalence tests;
+//   - internal/wire.NetTransport: the same interface over TCP with a binary
+//     wire codec, one site per process (cmd/rtds-node).
 //
 // Only adjacent sites can exchange messages directly; multi-hop delivery is
 // the protocol layer's job (it forwards along routing-table next hops), so
@@ -82,7 +84,9 @@ func NewStats() *Stats {
 	return &Stats{byKind: make(map[string]int64)}
 }
 
-func (s *Stats) record(p Payload) {
+// Record counts one sent payload (exported for transports implemented
+// outside this package, e.g. the wire package's TCP transport).
+func (s *Stats) Record(p Payload) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.messages++
@@ -90,9 +94,9 @@ func (s *Stats) record(p Payload) {
 	s.byKind[p.Kind()]++
 }
 
-// drop counts a traversal the fault injector discarded. Dropped traversals
+// Drop counts a traversal the fault injector discarded. Dropped traversals
 // are not counted as messages: they never crossed the link.
-func (s *Stats) drop() {
+func (s *Stats) Drop() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.dropped++
@@ -208,11 +212,11 @@ func (d *DES) Send(from, to graph.NodeID, p Payload) error {
 	if d.faults != nil {
 		var dropped bool
 		if delay, dropped = d.faults.perturb(from, to, d.engine.Now(), delay); dropped {
-			d.stats.drop()
+			d.stats.Drop()
 			return nil
 		}
 	}
-	d.stats.record(p)
+	d.stats.Record(p)
 	// Deliveries are fire-and-forget: the protocol never cancels an in-flight
 	// message, so skip the engine's cancellation index on this hot path.
 	d.engine.AfterFixed(delay, func() {

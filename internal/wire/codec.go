@@ -1,0 +1,412 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/core/txn"
+	"repro/internal/dag"
+	"repro/internal/graph"
+	"repro/internal/mapper"
+	"repro/internal/routing"
+	"repro/internal/simnet"
+)
+
+// Encode frames a protocol payload: every payload type exchanged by RTDS
+// sites — the Routed multi-hop wrapper, the PCS bootstrap tables and the
+// ten core protocol messages — has a stable kind tag and a hand-rolled
+// body encoding (see the package comment for the format).
+func Encode(p simnet.Payload) ([]byte, error) {
+	return AppendFrame(nil, p)
+}
+
+// AppendFrame appends the framed encoding of p to buf and returns the
+// extended slice. Unknown payload types are an error: a payload that cannot
+// cross the wire must fail loudly at the sender, not vanish.
+func AppendFrame(buf []byte, p simnet.Payload) ([]byte, error) {
+	e := enc{b: buf}
+	// Reserve the length prefix; patched after the body is known.
+	start := len(e.b)
+	e.b = append(e.b, 0, 0, 0, 0)
+	e.u8(Version)
+	if err := encodePayload(&e, p); err != nil {
+		return buf, err
+	}
+	n := len(e.b) - start - 4
+	if n > MaxFrame {
+		return buf, fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", n)
+	}
+	e.b[start] = byte(n)
+	e.b[start+1] = byte(n >> 8)
+	e.b[start+2] = byte(n >> 16)
+	e.b[start+3] = byte(n >> 24)
+	return e.b, nil
+}
+
+// Decode parses one framed payload. Trailing bytes after the frame are an
+// error here (the stream reader consumes exactly one frame at a time);
+// trailing bytes *inside* a message body are ignored for forward
+// compatibility.
+func Decode(buf []byte) (simnet.Payload, error) {
+	p, n, err := DecodeFrame(buf)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after frame", len(buf)-n)
+	}
+	return p, nil
+}
+
+// DecodeFrame parses the first frame in buf, returning the payload and the
+// number of bytes consumed.
+func DecodeFrame(buf []byte) (simnet.Payload, int, error) {
+	if len(buf) < headerLen {
+		return nil, 0, fmt.Errorf("wire: frame header truncated (%d bytes)", len(buf))
+	}
+	n := int(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24)
+	if n < 2 {
+		return nil, 0, fmt.Errorf("wire: frame length %d below minimum", n)
+	}
+	if n > MaxFrame {
+		return nil, 0, fmt.Errorf("wire: frame length %d exceeds MaxFrame", n)
+	}
+	if len(buf) < 4+n {
+		return nil, 0, fmt.Errorf("wire: frame truncated (%d of %d bytes)", len(buf)-4, n)
+	}
+	version, kind := buf[4], buf[5]
+	if version != Version {
+		return nil, 0, fmt.Errorf("wire: version %d, want %d", version, Version)
+	}
+	p, err := decodePayload(kind, buf[6:4+n])
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, 4 + n, nil
+}
+
+func encodePayload(e *enc, p simnet.Payload) error {
+	switch m := p.(type) {
+	case core.Routed:
+		e.u8(kindRouted)
+		e.varint(int64(m.Src))
+		e.varint(int64(m.Dest))
+		e.varint(int64(m.TTL))
+		// The inner payload extends to the end of the frame: one routed
+		// message carries exactly one protocol message.
+		return encodePayload(e, m.Inner)
+	case routing.TableMsg:
+		e.u8(kindTable)
+		e.varint(int64(m.Round))
+		e.uvarint(uint64(len(m.Entries)))
+		for _, r := range m.Entries {
+			e.varint(int64(r.Dest))
+			e.f64(r.Dist)
+			e.varint(int64(r.PathHops))
+			e.varint(int64(r.MinHops))
+		}
+	case core.EnrollReq:
+		e.u8(kindEnrollReq)
+		e.str(m.Job)
+		e.varint(int64(m.Initiator))
+		e.f64(m.Window)
+	case core.EnrollAck:
+		e.u8(kindEnrollAck)
+		e.str(m.Job)
+		e.varint(int64(m.Member))
+		e.f64(m.Surplus)
+		e.f64(m.Power)
+		e.uvarint(uint64(len(m.Dists)))
+		for _, d := range m.Dists {
+			e.varint(int64(d.Dest))
+			e.f64(d.Dist)
+		}
+	case core.ValidateReq:
+		e.u8(kindValidateReq)
+		e.str(m.Job)
+		e.varint(int64(m.Initiator))
+		e.varint(int64(m.NumProcs))
+		e.uvarint(uint64(len(m.Windows)))
+		for _, wins := range m.Windows {
+			e.uvarint(uint64(len(wins)))
+			for _, w := range wins {
+				e.varint(int64(w.Task))
+				e.f64(w.Complexity)
+				e.f64(w.Release)
+				e.f64(w.Deadline)
+			}
+		}
+	case core.ValidateAck:
+		e.u8(kindValidateAck)
+		e.str(m.Job)
+		e.varint(int64(m.Member))
+		e.uvarint(uint64(len(m.Endorsable)))
+		for _, proc := range m.Endorsable {
+			e.varint(int64(proc))
+		}
+	case core.CommitMsg:
+		e.u8(kindCommit)
+		e.str(m.Job)
+		e.varint(int64(m.Initiator))
+		e.varint(int64(m.Proc))
+		e.varint(int64(m.CodeBytes))
+		if m.Graph == nil {
+			e.bool(false)
+		} else {
+			e.bool(true)
+			encodeGraph(e, m.Graph)
+		}
+		e.uvarint(uint64(len(m.TaskSites)))
+		for _, task := range sortedTaskIDs(m.TaskSites) {
+			e.varint(int64(task))
+			e.varint(int64(m.TaskSites[task]))
+		}
+	case core.CommitAck:
+		e.u8(kindCommitAck)
+		e.str(m.Job)
+		e.varint(int64(m.Member))
+		e.bool(m.OK)
+	case core.UnlockMsg:
+		e.u8(kindUnlock)
+		e.str(m.Job)
+		e.varint(int64(m.From))
+		e.bool(m.Abort)
+	case core.UnlockAck:
+		e.u8(kindUnlockAck)
+		e.str(m.Job)
+		e.varint(int64(m.Member))
+	case core.ResultMsg:
+		e.u8(kindResult)
+		e.str(m.Job)
+		e.varint(int64(m.Task))
+		e.varint(int64(m.For))
+		e.varint(int64(m.Bytes))
+	case core.DoneMsg:
+		e.u8(kindDone)
+		e.str(m.Job)
+		e.varint(int64(m.Task))
+		e.f64(m.At)
+	default:
+		return fmt.Errorf("wire: cannot encode payload type %T (kind %q)", p, p.Kind())
+	}
+	return nil
+}
+
+func decodePayload(kind byte, body []byte) (simnet.Payload, error) {
+	d := &dec{b: body}
+	var p simnet.Payload
+	switch kind {
+	case kindRouted:
+		m := core.Routed{}
+		m.Src = graph.NodeID(d.varint())
+		m.Dest = graph.NodeID(d.varint())
+		m.TTL = int(d.varint())
+		if d.err != nil {
+			return nil, d.err
+		}
+		if len(d.b) < 1 {
+			return nil, fmt.Errorf("wire: routed frame without inner payload")
+		}
+		innerKind := d.b[0]
+		if innerKind == kindRouted {
+			return nil, fmt.Errorf("wire: nested routed payloads are not allowed")
+		}
+		inner, err := decodePayload(innerKind, d.b[1:])
+		if err != nil {
+			return nil, err
+		}
+		m.Inner = inner
+		return m, nil
+	case kindTable:
+		m := routing.TableMsg{}
+		m.Round = int(d.varint())
+		n := d.count(2)
+		for i := 0; i < n && d.err == nil; i++ {
+			m.Entries = append(m.Entries, routing.WireRoute{
+				Dest:     graph.NodeID(d.varint()),
+				Dist:     d.f64(),
+				PathHops: int(d.varint()),
+				MinHops:  int(d.varint()),
+			})
+		}
+		p = m
+	case kindEnrollReq:
+		p = core.EnrollReq{
+			Job:       d.str(),
+			Initiator: graph.NodeID(d.varint()),
+			Window:    d.f64(),
+		}
+	case kindEnrollAck:
+		m := core.EnrollAck{
+			Job:     d.str(),
+			Member:  graph.NodeID(d.varint()),
+			Surplus: d.f64(),
+			Power:   d.f64(),
+		}
+		n := d.count(2)
+		for i := 0; i < n && d.err == nil; i++ {
+			m.Dists = append(m.Dists, txn.DistEntry{
+				Dest: graph.NodeID(d.varint()),
+				Dist: d.f64(),
+			})
+		}
+		p = m
+	case kindValidateReq:
+		m := core.ValidateReq{
+			Job:       d.str(),
+			Initiator: graph.NodeID(d.varint()),
+			NumProcs:  int(d.varint()),
+		}
+		procs := d.count(1)
+		for i := 0; i < procs && d.err == nil; i++ {
+			wins := d.count(4)
+			var ws []mapper.TaskWindow
+			for k := 0; k < wins && d.err == nil; k++ {
+				ws = append(ws, mapper.TaskWindow{
+					Task:       dag.TaskID(d.varint()),
+					Complexity: d.f64(),
+					Release:    d.f64(),
+					Deadline:   d.f64(),
+				})
+			}
+			m.Windows = append(m.Windows, ws)
+		}
+		p = m
+	case kindValidateAck:
+		m := core.ValidateAck{
+			Job:    d.str(),
+			Member: graph.NodeID(d.varint()),
+		}
+		n := d.count(1)
+		for i := 0; i < n && d.err == nil; i++ {
+			m.Endorsable = append(m.Endorsable, int(d.varint()))
+		}
+		p = m
+	case kindCommit:
+		m := core.CommitMsg{
+			Job:       d.str(),
+			Initiator: graph.NodeID(d.varint()),
+			Proc:      int(d.varint()),
+			CodeBytes: int(d.varint()),
+		}
+		if d.bool() {
+			g, err := decodeGraph(d)
+			if err != nil {
+				return nil, err
+			}
+			m.Graph = g
+		}
+		n := d.count(2)
+		if n > 0 {
+			m.TaskSites = make(map[dag.TaskID]graph.NodeID, n)
+		}
+		for i := 0; i < n && d.err == nil; i++ {
+			task := dag.TaskID(d.varint())
+			m.TaskSites[task] = graph.NodeID(d.varint())
+		}
+		p = m
+	case kindCommitAck:
+		p = core.CommitAck{
+			Job:    d.str(),
+			Member: graph.NodeID(d.varint()),
+			OK:     d.bool(),
+		}
+	case kindUnlock:
+		p = core.UnlockMsg{
+			Job:   d.str(),
+			From:  graph.NodeID(d.varint()),
+			Abort: d.bool(),
+		}
+	case kindUnlockAck:
+		p = core.UnlockAck{
+			Job:    d.str(),
+			Member: graph.NodeID(d.varint()),
+		}
+	case kindResult:
+		p = core.ResultMsg{
+			Job:   d.str(),
+			Task:  dag.TaskID(d.varint()),
+			For:   dag.TaskID(d.varint()),
+			Bytes: int(d.varint()),
+		}
+	case kindDone:
+		p = core.DoneMsg{
+			Job:  d.str(),
+			Task: dag.TaskID(d.varint()),
+			At:   d.f64(),
+		}
+	default:
+		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	// Bytes left in d.b are fields appended by a newer peer: ignored.
+	return p, nil
+}
+
+// encodeGraph writes a job DAG: window, tasks and edges with data volumes.
+// The builder-facing decode re-validates everything (acyclicity, positive
+// complexities), so a forged graph cannot enter the scheduler.
+func encodeGraph(e *enc, g *dag.Graph) {
+	e.str(g.Name)
+	e.f64(g.Release)
+	e.f64(g.Deadline)
+	tasks := g.Tasks()
+	e.uvarint(uint64(len(tasks)))
+	for _, t := range tasks {
+		e.varint(int64(t.ID))
+		e.f64(t.Complexity)
+		e.str(t.Label)
+	}
+	e.uvarint(uint64(g.NumEdges()))
+	for _, t := range tasks {
+		for _, s := range g.Successors(t.ID) {
+			e.varint(int64(t.ID))
+			e.varint(int64(s))
+			e.f64(g.EdgeVolume(t.ID, s))
+		}
+	}
+}
+
+func decodeGraph(d *dec) (*dag.Graph, error) {
+	name := d.str()
+	release := d.f64()
+	deadline := d.f64()
+	b := dag.NewBuilder(name).SetWindow(release, deadline)
+	nTasks := d.count(10)
+	for i := 0; i < nTasks && d.err == nil; i++ {
+		id := dag.TaskID(d.varint())
+		complexity := d.f64()
+		label := d.str()
+		b.AddLabeledTask(id, complexity, label)
+	}
+	nEdges := d.count(10)
+	for i := 0; i < nEdges && d.err == nil; i++ {
+		from := dag.TaskID(d.varint())
+		to := dag.TaskID(d.varint())
+		vol := d.f64()
+		b.AddDataEdge(from, to, vol)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("wire: invalid graph on the wire: %w", err)
+	}
+	return g, nil
+}
+
+func sortedTaskIDs(m map[dag.TaskID]graph.NodeID) []dag.TaskID {
+	out := make([]dag.TaskID, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: maps are small
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# soak.sh — launch an N-process rtds-node cluster on localhost and drive it
+# with rtds-load. Used by the nightly CI soak and for manual acceptance runs.
+#
+#   scripts/soak.sh [sites] [jobs] [extra rtds-load args...]
+#
+# Examples:
+#   scripts/soak.sh 3 120                       # small smoke soak
+#   scripts/soak.sh 8 600 -verify-live -min-agreement 1.0 \
+#       -load 0.25 -tightness 8 -infeasible 0.3 # the acceptance run
+#
+# The acceptance run uses a margin-robust workload (clearly feasible or
+# clearly infeasible deadlines): wall-clock transports cannot pin decisions
+# whose margin is below scheduling noise — two runs of the in-process live
+# transport disagree on those — so "identical decisions" is demonstrated
+# where it is well-defined. The DES suite pins razor-edge decisions.
+set -euo pipefail
+
+SITES="${1:-3}"; shift || true
+JOBS="${1:-120}"; shift || true
+
+TOPO="${TOPO:-random}"
+SEED="${SEED:-1}"
+SCALE="${SCALE:-2ms}"
+PORT_BASE="${PORT_BASE:-7400}"
+HTTP_BASE="${HTTP_BASE:-8400}"
+OUT="${OUT:-soak-report.json}"
+
+cd "$(dirname "$0")/.."
+bin=$(mktemp -d)
+trap 'rm -rf "$bin"' EXIT
+go build -o "$bin/rtds-node" ./cmd/rtds-node
+go build -o "$bin/rtds-load" ./cmd/rtds-load
+
+peers=""
+nodes=""
+for ((i = 0; i < SITES; i++)); do
+  peers+="${peers:+,}$i=127.0.0.1:$((PORT_BASE + i))"
+  nodes+="${nodes:+,}$i=127.0.0.1:$((HTTP_BASE + i))"
+done
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+  for pid in "${pids[@]}"; do wait "$pid" 2>/dev/null || true; done
+  rm -rf "$bin"
+}
+trap cleanup EXIT
+
+for ((i = 0; i < SITES; i++)); do
+  "$bin/rtds-node" -id "$i" -sites "$SITES" -topo "$TOPO" -seed "$SEED" \
+    -listen "127.0.0.1:$((PORT_BASE + i))" -peers "$peers" \
+    -http "127.0.0.1:$((HTTP_BASE + i))" -scale "$SCALE" &
+  pids+=($!)
+done
+
+"$bin/rtds-load" -nodes "$nodes" -sites "$SITES" -topo "$TOPO" -seed "$SEED" \
+  -jobs "$JOBS" -scale "$SCALE" -json "$OUT" "$@"
+
+echo "soak OK: $SITES sites, $JOBS jobs -> $OUT"
