@@ -12,10 +12,21 @@
 //	          -sites 8 -topo random -seed 1 \
 //	          [-jobs 600] [-load 0.6] [-horizon 400] [-scale 2ms] \
 //	          [-tightness 5] [-infeasible 0.3] \
-//	          [-verify-live] [-min-agreement 1.0] [-json report.json]
+//	          [-verify-live] [-min-agreement 1.0] [-json report.json] \
+//	          [-optional-sites 3] [-joiner 3]
 //
 // The topology flags must match the nodes'; -verify-live also needs the
 // nodes' -scheme/-policy/-slack/-pad to replicate their configuration.
+//
+// Churn soaks (scripts/soak.sh CHURN=1) kill one node mid-run and join a
+// replacement on the same addresses. -optional-sites names the sites that
+// may vanish: submissions to them are tolerated-skipped while they are
+// down, their pre-kill jobs are written off (they died with the process),
+// and unreachable polls do not fail the run. -joiner asserts the
+// replacement actually served: it must have answered at least one
+// enrollment and accepted at least one job of its own, or the run fails.
+// -verify-live cannot be combined with churn (lost jobs break the
+// per-origin pairing).
 package main
 
 import (
@@ -57,6 +68,8 @@ func main() {
 	pad := flag.Float64("pad", 30, "release pad factor of the deployed nodes (for -verify-live)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "how long to wait for all decisions")
 	jsonOut := flag.String("json", "", "write the machine-readable report to this path")
+	optionalSites := flag.String("optional-sites", "", "comma-separated site ids that may be down or replaced mid-run (churn mode)")
+	joiner := flag.Int("joiner", -1, "site id that must have joined and served by the end of the run")
 	flag.Parse()
 
 	if err := run(opts{
@@ -66,6 +79,7 @@ func main() {
 		verifyLive: *verifyLive, minAgreement: *minAgreement,
 		schemeName: *schemeName, policySpec: *policySpec, slack: *slack, pad: *pad,
 		timeout: *timeout, jsonOut: *jsonOut,
+		optionalSpec: *optionalSites, joiner: *joiner,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
@@ -90,7 +104,13 @@ type opts struct {
 	slack, pad   float64
 	timeout      time.Duration
 	jsonOut      string
+	optionalSpec string
+	joiner       int
+
+	optional map[graph.NodeID]bool // parsed optionalSpec
 }
+
+func (o opts) churn() bool { return len(o.optional) > 0 }
 
 // Report is the load run's machine-readable result.
 type Report struct {
@@ -110,6 +130,16 @@ type Report struct {
 	LeakedReservations []string `json:"leaked_reservations"`
 	SubmitWallSeconds  float64  `json:"submit_wall_seconds"`
 	TotalWallSeconds   float64  `json:"total_wall_seconds"`
+	// Churn mode: submissions skipped because an optional site was down,
+	// jobs written off because they died with a killed node (submitted
+	// successfully but never visible again), reservations held for jobs no
+	// reachable node remembers (informational — the job record died with
+	// its initiator), and the joiner's served work.
+	SkippedSubmissions int      `json:"skipped_submissions,omitempty"`
+	LostJobs           int      `json:"lost_jobs,omitempty"`
+	OrphanReservations []string `json:"orphan_reservations,omitempty"`
+	JoinerEnrollAcks   int64    `json:"joiner_enroll_acks,omitempty"`
+	JoinerAccepted     int      `json:"joiner_accepted,omitempty"`
 	// LiveVerified records whether -verify-live ran; without it an
 	// agreement of 0.0 (total disagreement) would be indistinguishable
 	// from "not verified" in the JSON. LiveAgreement is the fraction of
@@ -132,6 +162,18 @@ func run(o opts) error {
 	if err != nil {
 		return err
 	}
+	if o.optionalSpec != "" {
+		if o.optional, err = nodeapi.ParseSites("optional-sites", o.optionalSpec, o.sites); err != nil {
+			return err
+		}
+	}
+	if o.verifyLive && o.churn() {
+		return fmt.Errorf("-verify-live cannot be combined with -optional-sites: " +
+			"jobs lost with a killed node break the per-origin pairing")
+	}
+	if o.joiner >= o.sites {
+		return fmt.Errorf("-joiner %d out of range [0,%d)", o.joiner, o.sites)
+	}
 	arrivals, err := buildWorkload(o)
 	if err != nil {
 		return err
@@ -142,6 +184,10 @@ func run(o opts) error {
 	client := &http.Client{Timeout: 10 * time.Second}
 	for id := 0; id < o.sites; id++ {
 		if err := waitReady(client, nodes[graph.NodeID(id)], 60*time.Second); err != nil {
+			if o.optional[graph.NodeID(id)] {
+				fmt.Printf("rtds-load: optional site %d not ready, continuing\n", id)
+				continue
+			}
 			return fmt.Errorf("node %d: %w", id, err)
 		}
 	}
@@ -151,6 +197,9 @@ func run(o opts) error {
 	for id := 0; id < o.sites; id++ {
 		jobs, err := fetchJobs(client, nodes[graph.NodeID(id)])
 		if err != nil {
+			if o.optional[graph.NodeID(id)] {
+				continue
+			}
 			return fmt.Errorf("node %d: %w", id, err)
 		}
 		if len(jobs) > 0 {
@@ -159,30 +208,45 @@ func run(o opts) error {
 	}
 
 	// Submit at the target rate: one serial pacer preserves per-origin
-	// submission order (the equivalence pairing depends on it).
+	// submission order (the equivalence pairing depends on it). In churn
+	// mode a submission to a down optional site is skipped, not fatal —
+	// the node was killed, or its replacement is not ready yet.
 	start := time.Now()
+	skipped := 0
+	submitted := make(map[graph.NodeID]int)
 	for i, a := range arrivals {
 		due := time.Duration(a.At * float64(o.scale))
 		if d := due - time.Since(start); d > 0 {
 			time.Sleep(d)
 		}
 		if err := submit(client, nodes[a.Origin], a); err != nil {
+			if o.optional[a.Origin] {
+				skipped++
+				continue
+			}
 			return fmt.Errorf("submit %d to site %d: %w", i, a.Origin, err)
 		}
+		submitted[a.Origin]++
 	}
 	submitWall := time.Since(start)
-	fmt.Printf("rtds-load: all %d jobs submitted in %v, waiting for decisions...\n",
-		len(arrivals), submitWall.Round(time.Millisecond))
+	fmt.Printf("rtds-load: %d of %d jobs submitted in %v (%d skipped), waiting for decisions...\n",
+		len(arrivals)-skipped, len(arrivals), submitWall.Round(time.Millisecond), skipped)
 
-	statuses, err := waitDecided(client, nodes, o.sites, len(arrivals), o.timeout)
+	statuses, err := waitDecided(client, nodes, o, submitted)
 	if err != nil {
 		return err
 	}
 	wall := time.Since(start)
 
-	rep, err := buildReport(client, nodes, o.sites, statuses)
+	rep, err := buildReport(client, nodes, o, statuses)
 	if err != nil {
 		return err
+	}
+	rep.SkippedSubmissions = skipped
+	for id, n := range submitted {
+		if lost := n - len(statuses[id]); lost > 0 {
+			rep.LostJobs += lost
+		}
 	}
 	rep.SubmitWallSeconds = submitWall.Seconds()
 	rep.TotalWallSeconds = wall.Seconds()
@@ -192,12 +256,25 @@ func run(o opts) error {
 			return err
 		}
 	}
+	if o.joiner >= 0 {
+		if err := checkJoiner(client, nodes[graph.NodeID(o.joiner)], &rep); err != nil {
+			return err
+		}
+	}
 
 	fmt.Printf("guarantee ratio %.3f (%d/%d accepted), latency p50 %.2f p99 %.2f units, %.1f msgs/job\n",
 		rep.GuaranteeRatio, rep.Accepted, rep.Jobs,
 		rep.DecisionLatencyP50, rep.DecisionLatencyP99, rep.MsgsPerJob)
 	if rep.Dropped > 0 || rep.Disruptions > 0 {
 		fmt.Printf("faults: %d traversals dropped, %d disruptions\n", rep.Dropped, rep.Disruptions)
+	}
+	if o.churn() {
+		fmt.Printf("churn: %d submissions skipped, %d jobs lost with killed nodes, %d orphan reservations\n",
+			rep.SkippedSubmissions, rep.LostJobs, len(rep.OrphanReservations))
+	}
+	if o.joiner >= 0 {
+		fmt.Printf("joiner %d: %d enroll-acks served, %d own jobs accepted\n",
+			o.joiner, rep.JoinerEnrollAcks, rep.JoinerAccepted)
 	}
 	if o.verifyLive {
 		fmt.Printf("live-transport agreement: %.4f on the guarantee decision (%.4f incl. local-vs-distributed), %d mismatches\n",
@@ -226,6 +303,32 @@ func run(o opts) error {
 		return fmt.Errorf("%d causality violations", rep.Violations)
 	case o.verifyLive && rep.LiveAgreement < o.minAgreement:
 		return fmt.Errorf("live agreement %.4f below -min-agreement %.4f", rep.LiveAgreement, o.minAgreement)
+	case o.joiner >= 0 && rep.JoinerEnrollAcks == 0:
+		return fmt.Errorf("joiner %d never answered an enrollment", o.joiner)
+	case o.joiner >= 0 && rep.JoinerAccepted == 0:
+		return fmt.Errorf("joiner %d accepted none of its own jobs", o.joiner)
+	}
+	return nil
+}
+
+// checkJoiner verifies the replacement node actually served: membership
+// says it joined, it answered at least one enrollment, and it accepted at
+// least one of its own submissions. The hard gating happens in run's final
+// switch; this only collects the evidence.
+func checkJoiner(client *http.Client, addr string, rep *Report) error {
+	var st nodeapi.StatsReply
+	if err := getJSON(client, "http://"+addr+"/stats", &st); err != nil {
+		return fmt.Errorf("joiner stats: %w", err)
+	}
+	rep.JoinerEnrollAcks = st.ByKind["rtds.enroll-ack"]
+	jobs, err := fetchJobs(client, addr)
+	if err != nil {
+		return fmt.Errorf("joiner jobs: %w", err)
+	}
+	for _, j := range jobs {
+		if j.OutcomeName == "accepted-local" || j.OutcomeName == "accepted-distributed" {
+			rep.JoinerAccepted++
+		}
 	}
 	return nil
 }
@@ -327,43 +430,66 @@ func fetchJobs(client *http.Client, addr string) ([]core.JobStatus, error) {
 	return reply.Jobs, nil
 }
 
-// waitDecided polls every node until all submitted jobs are decided AND
+// waitDecided polls every node until the submitted jobs are decided AND
 // every node reports idle (lock released, transactions closed — so the
 // abort unlocks of rejected jobs have been processed and the subsequent
 // /reservations leak check does not race in-flight cleanup), returning
 // each node's job list in submission order.
-func waitDecided(client *http.Client, nodes map[graph.NodeID]string, sites, total int, timeout time.Duration) (map[graph.NodeID][]core.JobStatus, error) {
-	deadline := time.Now().Add(timeout)
+//
+// Required sites must report every successful submission decided. Optional
+// sites (churn mode) are weaker by nature: an unreachable one is skipped,
+// and a reachable one only needs every job it still REMEMBERS decided —
+// jobs submitted to a node that was later killed died with it and cannot
+// be waited for.
+func waitDecided(client *http.Client, nodes map[graph.NodeID]string, o opts,
+	submitted map[graph.NodeID]int) (map[graph.NodeID][]core.JobStatus, error) {
+	deadline := time.Now().Add(o.timeout)
 	for {
-		statuses := make(map[graph.NodeID][]core.JobStatus, sites)
+		statuses := make(map[graph.NodeID][]core.JobStatus, o.sites)
+		done := true
 		decided, seen := 0, 0
-		for id := 0; id < sites; id++ {
-			jobs, err := fetchJobs(client, nodes[graph.NodeID(id)])
+		for id := 0; id < o.sites; id++ {
+			site := graph.NodeID(id)
+			jobs, err := fetchJobs(client, nodes[site])
 			if err != nil {
+				if o.optional[site] {
+					continue
+				}
 				return nil, fmt.Errorf("node %d: %w", id, err)
 			}
-			statuses[graph.NodeID(id)] = jobs
+			statuses[site] = jobs
 			seen += len(jobs)
+			siteDecided := 0
 			for _, j := range jobs {
 				if j.OutcomeName != "pending" {
-					decided++
+					siteDecided++
 				}
 			}
+			decided += siteDecided
+			if siteDecided < len(jobs) {
+				done = false
+			}
+			if !o.optional[site] && len(jobs) < submitted[site] {
+				done = false
+			}
 		}
-		if seen >= total && decided == seen && allIdle(client, nodes, sites) {
+		if done && allIdle(client, nodes, o) {
 			return statuses, nil
 		}
 		if time.Now().After(deadline) {
-			return statuses, fmt.Errorf("timeout: %d of %d jobs decided after %v", decided, total, timeout)
+			return statuses, fmt.Errorf("timeout: %d of %d visible jobs decided after %v", decided, seen, o.timeout)
 		}
 		time.Sleep(200 * time.Millisecond)
 	}
 }
 
-func allIdle(client *http.Client, nodes map[graph.NodeID]string, sites int) bool {
-	for id := 0; id < sites; id++ {
+func allIdle(client *http.Client, nodes map[graph.NodeID]string, o opts) bool {
+	for id := 0; id < o.sites; id++ {
 		resp, err := client.Get("http://" + nodes[graph.NodeID(id)] + "/idle")
 		if err != nil {
+			if o.optional[graph.NodeID(id)] {
+				continue
+			}
 			return false
 		}
 		var reply struct {
@@ -379,16 +505,27 @@ func allIdle(client *http.Client, nodes map[graph.NodeID]string, sites int) bool
 }
 
 // buildReport aggregates the nodes' stats and runs the leak check. Every
-// fetch failure is an error, not a skip: a node whose /reservations answer
-// was lost must not silently pass the gate this tool exists to enforce.
-func buildReport(client *http.Client, nodes map[graph.NodeID]string, sites int,
+// fetch failure is an error, not a skip — a node whose /reservations
+// answer was lost must not silently pass the gate this tool exists to
+// enforce — except on optional sites in churn mode, which may simply be
+// gone.
+//
+// The leak check distinguishes two cases. A reservation of a job some
+// node REMEMBERS rejecting is a leak: the abort path failed. A
+// reservation of a job no reachable node remembers at all can only happen
+// in churn mode (the job record died with its killed initiator after the
+// commit went out); it is reported as an orphan, not a failure — the
+// member executed a share in good faith and its slots expire with time.
+func buildReport(client *http.Client, nodes map[graph.NodeID]string, o opts,
 	statuses map[graph.NodeID][]core.JobStatus) (Report, error) {
-	rep := Report{Sites: sites, LeakedReservations: []string{}}
+	rep := Report{Sites: o.sites, LeakedReservations: []string{}}
 	var latency metrics.Sample
 	accepted := make(map[string]bool)
-	for id := 0; id < sites; id++ {
+	known := make(map[string]bool)
+	for id := 0; id < o.sites; id++ {
 		for _, j := range statuses[graph.NodeID(id)] {
 			rep.Jobs++
+			known[j.ID] = true
 			switch j.OutcomeName {
 			case "pending":
 				rep.Undecided++
@@ -405,10 +542,14 @@ func buildReport(client *http.Client, nodes map[graph.NodeID]string, sites int,
 	}
 	rep.DecisionLatencyP50 = latency.Percentile(50)
 	rep.DecisionLatencyP99 = latency.Percentile(99)
-	for id := 0; id < sites; id++ {
-		addr := nodes[graph.NodeID(id)]
+	for id := 0; id < o.sites; id++ {
+		site := graph.NodeID(id)
+		addr := nodes[site]
 		var st nodeapi.StatsReply
 		if err := getJSON(client, "http://"+addr+"/stats", &st); err != nil {
+			if o.optional[site] {
+				continue
+			}
 			return rep, fmt.Errorf("node %d stats: %w", id, err)
 		}
 		rep.Messages += st.Messages
@@ -420,11 +561,19 @@ func buildReport(client *http.Client, nodes map[graph.NodeID]string, sites int,
 			Jobs []string `json:"jobs"`
 		}
 		if err := getJSON(client, "http://"+addr+"/reservations", &r); err != nil {
+			if o.optional[site] {
+				continue
+			}
 			return rep, fmt.Errorf("node %d reservations: %w", id, err)
 		}
 		for _, jobID := range r.Jobs {
-			if !accepted[jobID] {
+			switch {
+			case accepted[jobID]:
+			case known[jobID] || !o.churn():
 				rep.LeakedReservations = append(rep.LeakedReservations,
+					fmt.Sprintf("site %d: %s", id, jobID))
+			default:
+				rep.OrphanReservations = append(rep.OrphanReservations,
 					fmt.Sprintf("site %d: %s", id, jobID))
 			}
 		}

@@ -15,7 +15,15 @@
 //	          -peers 0=127.0.0.1:7100,1=127.0.0.1:7101,... \
 //	          -http 127.0.0.1:8100 \
 //	          [-scheme rtds] [-policy sphere=k6,accept=laxity0.25] \
-//	          [-scale 2ms] [-loss 0.1] [-jitter 0.05]
+//	          [-scale 2ms] [-loss 0.1] [-jitter 0.05] \
+//	          [-hb 25] [-suspect 100] [-join]
+//
+// Membership (heartbeats, failure detection, epoch-tagged route repair) is
+// on by default; -hb 0 disables it. With -join the process enters a
+// RUNNING cluster instead of bootstrapping with it: it skips the §7 PCS
+// construction and asks its topology neighbors for admission — the shape a
+// replacement for a crashed site uses. In join mode -peers only needs to
+// name reachable seed peers among the site's topology neighbors.
 //
 // The process exits 0 on SIGINT/SIGTERM after a graceful shutdown (HTTP
 // drained, transport closed).
@@ -33,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/core/membership"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/nodeapi"
@@ -56,52 +65,85 @@ func main() {
 	pad := flag.Float64("pad", 30, "release pad factor (mapper release = now + pad*omega)")
 	loss := flag.Float64("loss", 0, "fault injection: per-traversal loss probability at the socket layer")
 	jitter := flag.Float64("jitter", 0, "fault injection: max extra delay per traversal (virtual units)")
+	hb := flag.Float64("hb", 25, "membership heartbeat period in virtual units (0 = membership off)")
+	suspect := flag.Float64("suspect", 0, "membership suspicion timeout in virtual units (0 = 3x the heartbeat)")
+	join := flag.Bool("join", false, "enter a running cluster via the join handshake instead of bootstrapping")
 	bootTimeout := flag.Duration("boot-timeout", 60*time.Second, "how long to wait for the distributed PCS bootstrap")
 	flag.Parse()
 
-	if err := run(*id, *sites, *topoKind, *seed, *listen, *peers, *httpAddr,
-		*schemeName, *policySpec, *scale, *slack, *pad, *loss, *jitter, *bootTimeout); err != nil {
+	if err := run(runOpts{
+		id: *id, sites: *sites, topoKind: *topoKind, seed: *seed,
+		listen: *listen, peers: *peers, httpAddr: *httpAddr,
+		schemeName: *schemeName, policySpec: *policySpec,
+		scale: *scale, slack: *slack, pad: *pad, loss: *loss, jitter: *jitter,
+		hb: *hb, suspect: *suspect, join: *join, bootTimeout: *bootTimeout,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id, sites int, topoKind string, seed int64, listen, peers, httpAddr,
-	schemeName, policySpec string, scale time.Duration, slack, pad, loss, jitter float64,
-	bootTimeout time.Duration) error {
+type runOpts struct {
+	id, sites              int
+	topoKind               string
+	seed                   int64
+	listen, peers          string
+	httpAddr               string
+	schemeName, policySpec string
+	scale                  time.Duration
+	slack, pad             float64
+	loss, jitter           float64
+	hb, suspect            float64
+	join                   bool
+	bootTimeout            time.Duration
+}
+
+func run(o runOpts) error {
+	id, sites, seed := o.id, o.sites, o.seed
 	if id < 0 || id >= sites {
 		return fmt.Errorf("-id %d out of range [0,%d)", id, sites)
 	}
-	if listen == "" || peers == "" {
+	if o.listen == "" || o.peers == "" {
 		return fmt.Errorf("-listen and -peers are required")
 	}
-	topo, err := graph.Generate(graph.TopologyKind(topoKind), sites, experiments.StdDelays, seed)
+	if o.join && o.hb <= 0 {
+		return fmt.Errorf("-join requires membership (-hb > 0)")
+	}
+	topo, err := graph.Generate(graph.TopologyKind(o.topoKind), sites, experiments.StdDelays, seed)
 	if err != nil {
 		return err
 	}
-	peerMap, err := nodeapi.ParseAddrs("peers", peers, sites, false)
+	peerMap, err := nodeapi.ParseAddrs("peers", o.peers, sites, false)
 	if err != nil {
 		return err
 	}
-	cfg, err := scheme.CoreConfig(schemeName, topo)
+	cfg, err := scheme.CoreConfig(o.schemeName, topo)
 	if err != nil {
 		return err
 	}
-	cfg.EnrollSlack = slack
-	cfg.ReleasePadFactor = pad
-	if cfg.Policies, err = scheme.ParsePolicies(policySpec); err != nil {
+	cfg.EnrollSlack = o.slack
+	cfg.ReleasePadFactor = o.pad
+	if cfg.Policies, err = scheme.ParsePolicies(o.policySpec); err != nil {
 		return err
 	}
-	if loss > 0 || jitter > 0 {
-		cfg.Faults = &simnet.FaultPlan{Seed: seed, Loss: loss, MaxJitter: jitter}
+	if o.loss > 0 || o.jitter > 0 {
+		cfg.Faults = &simnet.FaultPlan{Seed: seed, Loss: o.loss, MaxJitter: o.jitter}
+	}
+	if o.hb > 0 {
+		cfg.Membership = membership.Config{
+			Enabled:        true,
+			HeartbeatEvery: o.hb,
+			SuspectAfter:   o.suspect, // 0 defaults to 3x the heartbeat
+		}
 	}
 
 	tr, err := wire.Listen(wire.NetConfig{
 		Self:   graph.NodeID(id),
 		Topo:   topo,
-		Listen: listen,
+		Listen: o.listen,
 		Peers:  peerMap,
-		Scale:  scale,
+		Scale:  o.scale,
+		Seed:   seed*1000 + int64(id), // deterministic reconnect jitter per node
 	})
 	if err != nil {
 		return err
@@ -114,8 +156,8 @@ func run(id, sites int, topoKind string, seed int64, listen, peers, httpAddr,
 
 	api := nodeapi.New(node)
 	var httpSrv *http.Server
-	if httpAddr != "" {
-		httpSrv = &http.Server{Addr: httpAddr, Handler: api}
+	if o.httpAddr != "" {
+		httpSrv = &http.Server{Addr: o.httpAddr, Handler: api}
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "http:", err)
@@ -125,17 +167,33 @@ func run(id, sites int, topoKind string, seed int64, listen, peers, httpAddr,
 	}
 
 	tr.Start()
-	node.StartBootstrap()
-	fmt.Printf("rtds-node %d/%d (%s seed %d): protocol %s, bootstrap over TCP...\n",
-		id, sites, topoKind, seed, tr.Addr())
-	if !node.WaitReady(bootTimeout) {
-		return fmt.Errorf("PCS bootstrap did not complete within %v (are the peers up?)", bootTimeout)
+	if o.join {
+		if err := node.StartJoin(); err != nil {
+			return err
+		}
+		fmt.Printf("rtds-node %d/%d (%s seed %d): protocol %s, joining the running cluster...\n",
+			id, sites, o.topoKind, seed, tr.Addr())
+		if !node.WaitReady(o.bootTimeout) {
+			return fmt.Errorf("join handshake did not complete within %v (are the seed peers up?)", o.bootTimeout)
+		}
+		node.Seal()
+		api.SetReady()
+		snap := node.Membership()
+		fmt.Printf("rtds-node %d: joined (scheme %s, incarnation %d, epoch %#x)\n",
+			id, o.schemeName, snap.Inc, snap.Epoch)
+	} else {
+		node.StartBootstrap()
+		fmt.Printf("rtds-node %d/%d (%s seed %d): protocol %s, bootstrap over TCP...\n",
+			id, sites, o.topoKind, seed, tr.Addr())
+		if !node.WaitReady(o.bootTimeout) {
+			return fmt.Errorf("PCS bootstrap did not complete within %v (are the peers up?)", o.bootTimeout)
+		}
+		node.Seal()
+		api.SetReady()
+		bm, _ := node.BootstrapCost()
+		fmt.Printf("rtds-node %d: ready (scheme %s, %d bootstrap messages, sphere radius %d, membership %v)\n",
+			id, o.schemeName, bm, cfg.Radius, o.hb > 0)
 	}
-	node.Seal()
-	api.SetReady()
-	bm, _ := node.BootstrapCost()
-	fmt.Printf("rtds-node %d: ready (scheme %s, %d bootstrap messages, sphere radius %d)\n",
-		id, schemeName, bm, cfg.Radius)
 
 	// Graceful shutdown on SIGINT/SIGTERM: drain HTTP, close the transport.
 	sig := make(chan os.Signal, 1)

@@ -30,6 +30,20 @@
 // members and crashed initiators degrade into rejections instead of
 // wedged locks.
 //
+// # Membership
+//
+// Failure knowledge belongs to the protocol, not a harness: the
+// membership layer (internal/core/membership) runs one manager per site
+// that heartbeats its topology neighbors, declares a silent neighbor dead
+// after a suspicion timeout, floods incarnation-guarded death and
+// resurrection notices, and repairs routing tables through epoch-tagged
+// re-floods bounded like the bootstrap — stale-epoch tables are rejected
+// so routes computed under different membership views never mix. A
+// JoinReq/JoinAck handshake lets a fresh process for a crashed site enter
+// a running cluster and start serving enrollments (Node.StartJoin,
+// rtds-node -join). Membership arms automatically when a fault plan
+// injects crashes, replacing the scripted DetectDelay oracle.
+//
 // # Policies and schemes
 //
 // The protocol's decision points are pluggable (Config.Policies, the

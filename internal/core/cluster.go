@@ -5,9 +5,9 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/core/membership"
 	"repro/internal/dag"
 	"repro/internal/graph"
-	"repro/internal/routing"
 	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -18,6 +18,7 @@ import (
 // are then submitted at times relative to the post-bootstrap epoch.
 type Cluster struct {
 	cfg    Config
+	mcfg   membership.Config // resolved membership configuration
 	topo   *graph.Graph
 	engine *sim.Engine
 	tr     simnet.Transport
@@ -48,64 +49,59 @@ func (c *Cluster) faultsOn() bool {
 	return c.cfg.Faults != nil && c.cfg.Faults.Enabled()
 }
 
-// armFaults activates the configured fault plan once the bootstrap is done:
-// plan times are relative to the epoch, and permanent crashes additionally
-// schedule the failure-detection repair of the survivors' routing tables.
-// Shared by the DES and live constructors.
+// membershipOn reports whether the membership layer (heartbeats, flooded
+// notices, epoch-tagged repairs, runtime join) runs on this cluster.
+func (c *Cluster) membershipOn() bool { return c.mcfg.Enabled }
+
+// resilient reports whether the cluster runs under injected adversity —
+// transport faults or membership churn. Resilient clusters arm the
+// protocol's defensive machinery (member lock leases, retransmitted
+// aborts, eager straggler unlocks) and account graceful-degradation drops
+// as disruptions instead of violations: a message lost against a dead or
+// mid-repair site is an expected consequence of churn, not a protocol bug.
+func (c *Cluster) resilient() bool { return c.faultsOn() || c.membershipOn() }
+
+// armFaults activates the configured fault plan once the bootstrap is done;
+// plan times are relative to the epoch. Failure *detection* is no longer
+// scripted here: the membership layer's heartbeats and suspicion timeouts
+// (armMembership) discover crashes through the protocol itself.
 func (c *Cluster) armFaults() {
 	if !c.faultsOn() {
 		return
 	}
 	c.tr.SetFaults(*c.cfg.Faults, c.epoch)
-	for _, cr := range c.cfg.Faults.Crashes {
-		if !cr.Permanent() {
+}
+
+// armMembership starts each owned site's membership manager inside that
+// site's execution context. Shared by the DES and live constructors and by
+// Node.Seal.
+func (c *Cluster) armMembership() {
+	if !c.membershipOn() {
+		return
+	}
+	for _, s := range c.sites {
+		if s == nil || s.member == nil {
 			continue
 		}
-		detectAt := cr.At + c.cfg.Faults.DetectDelay
-		if c.engine != nil {
-			// DES: one synchronous repair event rebuilds every survivor's
-			// table over the alive subgraph (RebuildAlive), the closest
-			// deterministic stand-in for a §7 re-flood.
-			c.engine.AtFixed(c.epoch+detectAt, func() { c.repairAfterCrashes() })
-			continue
+		m := s.member
+		if m.Started() || m.Joining() {
+			continue // the join path started it during the handshake
 		}
-		// Live transport (or node mode): no global synchronization point
-		// exists, so each owned site prunes the dead site inside its own
-		// execution context.
-		dead := cr.Site
-		for _, s := range c.sites {
-			if s == nil || s.id == dead {
-				continue
-			}
-			s := s
-			c.tr.After(s.id, detectAt, func() { s.pruneDeadSite(dead) })
-		}
+		c.tr.After(s.id, 0, m.Start)
 	}
 }
 
-// repairAfterCrashes rebuilds every surviving site's routing table around
-// the sites whose permanent crashes have been detected by now, so later
-// jobs enroll and route around them.
-func (c *Cluster) repairAfterCrashes() {
-	now := c.tr.Now()
-	dead := make(map[graph.NodeID]bool)
-	for _, cr := range c.cfg.Faults.Crashes {
-		if cr.Permanent() && now >= c.epoch+cr.At+c.cfg.Faults.DetectDelay-1e-9 {
-			dead[cr.Site] = true
-		}
-	}
-	if len(dead) == 0 {
-		return
-	}
-	tables := routing.RebuildAlive(c.topo, routing.RoundsForRadius(c.cfg.Radius),
-		func(id graph.NodeID) bool { return !dead[id] })
+// MembershipSnapshots reports each owned site's membership view. Only safe
+// once the cluster has quiesced (sites own their managers); experiments
+// and tests call it after Run.
+func (c *Cluster) MembershipSnapshots() []membership.Snapshot {
+	var out []membership.Snapshot
 	for _, s := range c.sites {
-		if dead[s.id] {
-			continue
+		if s != nil && s.member != nil {
+			out = append(out, s.member.Snapshot())
 		}
-		s.adoptTable(tables[s.id])
-		c.event(s.id, "", EvRouteRepair, fmt.Sprintf("%d sites dead", len(dead)))
 	}
+	return out
 }
 
 // protocolDrop reports an anomaly on a graceful-degradation path (a dropped
@@ -114,7 +110,7 @@ func (c *Cluster) repairAfterCrashes() {
 // injected faults and only counted; on a faultless cluster they indicate a
 // protocol bug and are reported as violations so tests fail loudly.
 func (c *Cluster) protocolDrop(site graph.NodeID, msg string) {
-	if !c.faultsOn() {
+	if !c.resilient() {
 		c.recordViolation(msg)
 		return
 	}
@@ -141,10 +137,16 @@ func NewCluster(topo *graph.Graph, cfg Config) (*Cluster, error) {
 	if !topo.Connected() {
 		return nil, fmt.Errorf("core: topology is not connected")
 	}
+	mcfg := cfg.membershipConfig()
+	if mcfg.Enabled && mcfg.Horizon <= 0 {
+		return nil, fmt.Errorf("core: membership on a discrete-event cluster needs " +
+			"Config.Membership.Horizon, or the heartbeat timers keep the event queue alive forever")
+	}
 	engine := sim.New()
 	engine.SetEventLimit(200_000_000)
 	c := &Cluster{
 		cfg:      cfg,
+		mcfg:     mcfg,
 		topo:     topo,
 		engine:   engine,
 		tr:       simnet.NewDES(engine, topo),
@@ -172,6 +174,7 @@ func NewCluster(topo *graph.Graph, cfg Config) (*Cluster, error) {
 	c.bootstrapBytes = c.tr.Stats().Bytes()
 	c.tr.Stats().Reset()
 	c.armFaults()
+	c.armMembership()
 	return c, nil
 }
 
@@ -459,11 +462,11 @@ func (c *Cluster) recordTaskDone(job *Job, task dag.TaskID, at float64) {
 }
 
 func (c *Cluster) recordViolation(msg string) {
-	if c.faultsOn() {
-		// Under injected faults a causality miss (a slot firing without its
-		// lost inputs) is an expected disruption, not a protocol bug; keep
-		// Violations reserved for genuine correctness failures so faulty
-		// experiment runs remain checkable.
+	if c.resilient() {
+		// Under injected faults or membership churn a causality miss (a
+		// slot firing without its lost inputs) is an expected disruption,
+		// not a protocol bug; keep Violations reserved for genuine
+		// correctness failures so faulty experiment runs remain checkable.
 		c.mu.Lock()
 		c.disruptions++
 		c.mu.Unlock()
@@ -490,7 +493,9 @@ type Summary struct {
 	MeanACSSize          float64 // over distributed attempts
 	Messages             int64
 	Bytes                int64
-	MessagesPerJob       float64
+	MessagesPerJob       float64 // per-job protocol traffic (control excluded)
+	ControlMessages      int64   // membership + route-repair traversals (included in Messages)
+	ControlBytes         int64
 	Dropped              int64 // traversals discarded by the fault injector
 	Disruptions          int   // fault-attributed protocol anomalies
 }
@@ -537,7 +542,11 @@ func (c *Cluster) Summarize() Summary {
 	}
 	if s.Submitted > 0 {
 		s.GuaranteeRatio = float64(s.AcceptedLocal+s.AcceptedDistributed) / float64(s.Submitted)
-		s.MessagesPerJob = float64(c.tr.Stats().Messages()) / float64(s.Submitted)
+		// Per-job cost excludes control-plane traffic: heartbeats scale with
+		// time and topology, not with jobs, and folding them in would let a
+		// quiet cluster look expensive per job.
+		s.MessagesPerJob = float64(c.tr.Stats().Messages()-c.tr.Stats().ControlMessages()) /
+			float64(s.Submitted)
 	}
 	if latencyN > 0 {
 		s.MeanDecisionLatency = latencySum / float64(latencyN)
@@ -547,6 +556,8 @@ func (c *Cluster) Summarize() Summary {
 	}
 	s.Messages = c.tr.Stats().Messages()
 	s.Bytes = c.tr.Stats().Bytes()
+	s.ControlMessages = c.tr.Stats().ControlMessages()
+	s.ControlBytes = c.tr.Stats().ControlBytes()
 	s.Dropped = c.tr.Stats().Dropped()
 	s.Disruptions = c.disruptions
 	return s
@@ -566,6 +577,9 @@ func (s Summary) String() string {
 		s.CompletedOnTime, s.CompletedLate, s.Messages, s.Bytes, s.MessagesPerJob)
 	if s.Undecided > 0 {
 		out += fmt.Sprintf(" undecided=%d", s.Undecided)
+	}
+	if s.ControlMessages > 0 {
+		out += fmt.Sprintf(" control=%d", s.ControlMessages)
 	}
 	if s.Dropped > 0 {
 		out += fmt.Sprintf(" dropped=%d", s.Dropped)

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/core/membership"
 	"repro/internal/core/policy"
 	"repro/internal/mapper"
+	"repro/internal/routing"
 	"repro/internal/simnet"
 )
 
@@ -67,6 +69,15 @@ type Config struct {
 	// wrappers over the legacy LaxityMode/Heuristic knobs — which replay
 	// the hard-wired behavior event for event.
 	Policies policy.Set
+	// Membership arms the distributed membership layer: per-site heartbeats
+	// with suspicion timeouts, flooded death/resurrection notices,
+	// epoch-tagged routing re-floods and the runtime join handshake. When
+	// not explicitly enabled but the fault plan injects crashes, a
+	// configuration is derived from the plan (SuspectAfter from the legacy
+	// DetectDelay, a horizon covering every planned crash) so failure
+	// detection happens through the protocol instead of the old scripted
+	// oracle. Disabled clusters run the faultless paper model untouched.
+	Membership membership.Config
 }
 
 // DefaultConfig returns the configuration used by the experiments unless a
@@ -105,7 +116,60 @@ func (c Config) validate(n int) error {
 			return err
 		}
 	}
+	if err := c.Membership.Validate(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// membershipConfig resolves the effective membership configuration: the
+// explicit Config.Membership when enabled, otherwise a configuration
+// derived from a crash-injecting fault plan — heartbeat and suspicion
+// timing from the plan's DetectDelay, the flood budget from the sphere
+// radius (the repair re-flood obeys the same interruption bound as the
+// bootstrap), and a horizon that covers detecting every planned crash and
+// recovery, so discrete-event runs drain once the last repair settles.
+func (c Config) membershipConfig() membership.Config {
+	m := c.Membership
+	if !m.Enabled {
+		if c.Faults == nil || len(c.Faults.Crashes) == 0 {
+			return membership.Config{}
+		}
+		m = membership.Config{Enabled: true}
+		if d := c.Faults.DetectDelay; d > 0 {
+			m.SuspectAfter = d
+			m.HeartbeatEvery = d / 3
+		}
+	}
+	if m.FloodRounds == 0 {
+		if r := routing.RoundsForRadius(c.Radius); r > 0 {
+			m.FloodRounds = r
+		}
+	}
+	if m.Horizon == 0 && c.Faults != nil && len(c.Faults.Crashes) > 0 {
+		// Heartbeats must outlive the last planned crash (or recovery) long
+		// enough to detect it and settle the repair.
+		var last float64
+		for _, cr := range c.Faults.Crashes {
+			end := cr.At
+			if !cr.Permanent() {
+				end += cr.For
+			}
+			if end > last {
+				last = end
+			}
+		}
+		hb := m.HeartbeatEvery
+		if hb <= 0 {
+			hb = 1
+		}
+		suspect := m.SuspectAfter
+		if suspect <= 0 {
+			suspect = 3 * hb
+		}
+		m.Horizon = last + suspect + 10*hb
+	}
+	return m
 }
 
 func (c Config) power(site int) float64 {

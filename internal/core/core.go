@@ -16,6 +16,11 @@
 //   - internal/core/policy names the protocol's decision points (enrollment
 //     fan-out, local acceptance, laxity dispatching, mapper heuristic) as
 //     interfaces, resolved from Config.Policies with paper defaults;
+//   - internal/core/membership owns liveness: per-site heartbeats with
+//     suspicion timeouts, incarnation-guarded death/resurrection notices,
+//     epoch-tagged routing re-floods that repair tables after churn, and
+//     the runtime join handshake — armed via Config.Membership (or
+//     automatically by a crash-injecting fault plan);
 //   - this package owns the I/O: transports, routing, locks, plans and the
 //     member-side handlers, split by role across site.go (transport entry,
 //     locking, arrival), initiator.go (txn driving), member.go (enrollment,

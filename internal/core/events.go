@@ -31,7 +31,17 @@ const (
 	EvMsgDropped   EventKind = "msg-dropped"   // protocol layer dropped a message (no route / TTL)
 	EvExecAborted  EventKind = "exec-aborted"  // execution torn down outside the normal abort path
 	EvAbortRetry   EventKind = "abort-retry"   // abort unlock retransmitted (or given up)
-	EvRouteRepair  EventKind = "route-repair"  // routing table repaired after a site death
+
+	// Membership events (only on clusters with the membership layer armed).
+	// The kind strings match what the membership manager emits.
+	EvRouteRepair   EventKind = "route-repair"   // table rebuilt/merged after a membership change
+	EvRepairSettled EventKind = "repair-settled" // re-flood quiesced; deferred enrollments resume
+	EvMemberDead    EventKind = "member-dead"    // a site declared (or learned) dead
+	EvMemberAlive   EventKind = "member-alive"   // a site resurrected
+	EvMemberRefute  EventKind = "member-refute"  // this site refuted its own death notice
+	EvMemberJoin    EventKind = "member-join"    // a joiner admitted by this site
+	EvJoined        EventKind = "joined"         // this site completed its join handshake
+	EvJoinFailed    EventKind = "join-failed"    // the join handshake ran out of retries
 )
 
 // Event is one timeline entry. Events are recorded only when

@@ -66,12 +66,13 @@ func (s *Site) enrollDone(t *activeTxn) {
 	}
 	job := t.job
 
-	// On a faulty cluster an expected member may be locked for us while its
-	// ack was lost in transit: release the stragglers eagerly (their lock
-	// lease is the backstop if this unlock is lost too). Faultless clusters
-	// skip this — a missing ack there only means the member deferred, and
-	// the existing straggler path unlocks it when the late ack arrives.
-	if s.cluster.faultsOn() && t.Enrollments() < len(t.Expected) {
+	// On a resilient cluster an expected member may be locked for us while
+	// its ack was lost in transit: release the stragglers eagerly (their
+	// lock lease is the backstop if this unlock is lost too). Faultless
+	// clusters skip this — a missing ack there only means the member
+	// deferred, and the existing straggler path unlocks it when the late
+	// ack arrives.
+	if s.cluster.resilient() && t.Enrollments() < len(t.Expected) {
 		for _, m := range t.MissingEnrollments() {
 			s.sendTo(m, UnlockMsg{Job: job.ID, From: s.id})
 		}
@@ -362,7 +363,7 @@ func (s *Site) commitResolved(t *activeTxn) {
 		for _, m := range t.ACS {
 			s.sendTo(m, UnlockMsg{Job: t.job.ID, From: s.id, Abort: true})
 		}
-		if s.cluster.faultsOn() {
+		if s.cluster.resilient() {
 			s.trackAbort(t)
 		}
 		s.cancelExecution(t.job.ID)

@@ -31,6 +31,7 @@ func NewLiveCluster(topo *graph.Graph, cfg Config, scale time.Duration) (*LiveCl
 	live := simnet.NewLive(topo, scale)
 	c := &Cluster{
 		cfg:      cfg,
+		mcfg:     cfg.membershipConfig(),
 		topo:     topo,
 		tr:       live,
 		jobIndex: make(map[string]*Job),
@@ -63,6 +64,7 @@ func NewLiveCluster(topo *graph.Graph, cfg Config, scale time.Duration) (*LiveCl
 	c.bootstrapBytes = live.Stats().Bytes()
 	live.Stats().Reset()
 	c.armFaults()
+	c.armMembership()
 	return lc, nil
 }
 

@@ -22,7 +22,7 @@ func (s *Site) onEnroll(src graph.NodeID, m EnrollReq) {
 		return
 	}
 	s.lock(m.Initiator, m.Job)
-	if s.cluster.faultsOn() {
+	if s.cluster.resilient() {
 		s.startLockLease(m)
 	}
 	s.sendTo(m.Initiator, EnrollAck{
@@ -34,7 +34,7 @@ func (s *Site) onEnroll(src graph.NodeID, m EnrollReq) {
 	})
 }
 
-// startLockLease arms the member-side backstop on faulty clusters: if the
+// startLockLease arms the member-side backstop on resilient clusters: if the
 // transaction has not released this lock by the time every fault-free
 // protocol schedule would have (enrollment window plus the validation and
 // commit round trips, with jitter headroom), the initiator is presumed dead
@@ -183,7 +183,7 @@ func (s *Site) onUnlock(m UnlockMsg) {
 	if m.Abort {
 		s.cancelExecution(m.Job)
 		s.plan.CancelJob(m.Job)
-		if s.cluster.faultsOn() {
+		if s.cluster.resilient() {
 			s.sendTo(m.From, UnlockAck{Job: m.Job, Member: s.id})
 		}
 	}

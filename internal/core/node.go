@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/core/membership"
 	"repro/internal/dag"
 	"repro/internal/graph"
 	"repro/internal/simnet"
@@ -47,6 +48,7 @@ func NewNode(topo *graph.Graph, cfg Config, tr simnet.Transport, self graph.Node
 	}
 	c := &Cluster{
 		cfg:      cfg,
+		mcfg:     cfg.membershipConfig(),
 		topo:     topo,
 		tr:       tr,
 		jobIndex: make(map[string]*Job),
@@ -68,6 +70,38 @@ func (n *Node) Self() graph.NodeID { return n.site.id }
 // have been exchanged.
 func (n *Node) StartBootstrap() {
 	n.c.tr.After(n.site.id, 0, func() { n.site.rnode.Start() })
+}
+
+// StartJoin enters a RUNNING cluster instead of bootstrapping with it: the
+// membership layer's JoinReq/JoinAck handshake admits this site at a fresh
+// incarnation, installs its start-condition table and re-floods routes, so
+// a replacement process for a crashed site becomes schedulable without
+// restarting the cluster. Requires membership to be enabled in the config.
+// WaitReady reports success exactly as for the bootstrap path.
+func (n *Node) StartJoin() error {
+	if n.site.member == nil {
+		return fmt.Errorf("core: join requires Config.Membership.Enabled")
+	}
+	n.c.tr.After(n.site.id, 0, n.site.member.StartJoin)
+	return nil
+}
+
+// Membership probes the site's membership view through its execution
+// context. Returns the zero snapshot when membership is disabled or the
+// transport is closed.
+func (n *Node) Membership() membership.Snapshot {
+	s := n.site
+	if s.member == nil {
+		return membership.Snapshot{}
+	}
+	done := make(chan membership.Snapshot, 1)
+	n.c.tr.After(s.id, 0, func() { done <- s.member.Snapshot() })
+	select {
+	case v := <-done:
+		return v
+	case <-time.After(probeTimeout):
+		return membership.Snapshot{}
+	}
 }
 
 // probeTimeout bounds every execution-context probe: on a closed
@@ -103,8 +137,10 @@ func (n *Node) WaitReady(timeout time.Duration) bool {
 }
 
 // Seal marks the end of the bootstrap phase: the epoch is fixed, the
-// bootstrap communication cost is recorded, the per-job counters are zeroed
-// and the configured fault plan is armed. Call once, after WaitReady.
+// bootstrap communication cost is recorded, the per-job counters are
+// zeroed, the configured fault plan is armed and the membership layer
+// starts heartbeating. Call once, after WaitReady — on the join path the
+// membership manager is already running and is left alone.
 func (n *Node) Seal() {
 	c := n.c
 	c.epoch = c.tr.Now()
@@ -112,6 +148,7 @@ func (n *Node) Seal() {
 	c.bootstrapBytes = c.tr.Stats().Bytes()
 	c.tr.Stats().Reset()
 	c.armFaults()
+	c.armMembership()
 }
 
 // Submit injects a job arriving at this site `at` virtual time units after

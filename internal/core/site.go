@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core/membership"
 	"repro/internal/core/policy"
 	"repro/internal/core/txn"
 	"repro/internal/dag"
@@ -39,6 +40,11 @@ type Site struct {
 	acceptPol   policy.Acceptance
 	dispatchPol policy.Dispatch
 	mapperPol   policy.Mapper
+
+	// Membership layer: heartbeats, suspicion, epoch-tagged route repair
+	// and the join handshake. Nil when the cluster runs the faultless
+	// paper model (membership disabled).
+	member *membership.Manager
 
 	// PCS bootstrap (§7)
 	rnode      *routing.Node
@@ -114,14 +120,22 @@ func newSite(id graph.NodeID, c *Cluster) *Site {
 		exec:          make(map[string]*execJob),
 	}
 	rounds := routing.RoundsForRadius(c.cfg.Radius)
-	s.rnode = routing.NewNode(id, c.topo.Neighbors(id), rounds,
-		func(to graph.NodeID, p simnet.Payload) {
-			if err := c.tr.Send(id, to, p); err != nil {
-				panic(err)
-			}
-		},
-		s.adoptTable,
-	)
+	directSend := func(to graph.NodeID, p simnet.Payload) {
+		if err := c.tr.Send(id, to, p); err != nil {
+			panic(err)
+		}
+	}
+	s.rnode = routing.NewNode(id, c.topo.Neighbors(id), rounds, directSend, s.adoptTable)
+	if c.mcfg.Enabled {
+		s.member = membership.New(id, c.topo.Neighbors(id), c.mcfg, membership.Hooks{
+			Now:     s.now,
+			After:   s.after,
+			Send:    directSend,
+			Adopt:   s.adoptTable,
+			Current: func() *routing.Table { return s.table },
+			Event:   func(kind, detail string) { c.event(s.id, "", EventKind(kind), detail) },
+		})
+	}
 	return s
 }
 
@@ -162,22 +176,38 @@ func (s *Site) adoptTable(t *routing.Table) {
 	}
 }
 
-// pruneDeadSite is the local half of route repair: drop the dead site and
-// every route through it, then rebuild the derived state. The DES cluster
-// follows up with a RebuildAlive pass that re-learns detours; the live
-// cluster runs only this local pruning (each site repairs inside its own
-// execution context).
-func (s *Site) pruneDeadSite(dead graph.NodeID) {
-	removed := s.table.RemoveSite(dead)
-	s.adoptTable(s.table)
-	s.cluster.event(s.id, "", EvRouteRepair, fmt.Sprintf("site %d dead, %d routes dropped", dead, removed))
-}
-
-// handle is the single transport entry point.
+// handle is the single transport entry point. Routing-table messages are
+// offered to the membership layer first: epoch-tagged repair floods belong
+// to it, the epoch-0 bootstrap to the §7 state machine. Membership beacons
+// and notices travel unwrapped (they are strictly neighbor-to-neighbor,
+// like bootstrap tables).
 func (s *Site) handle(from graph.NodeID, p simnet.Payload) {
 	switch m := p.(type) {
 	case routing.TableMsg:
+		if s.member != nil && s.member.HandleTable(from, m) {
+			return
+		}
 		s.rnode.HandleTable(from, m)
+	case membership.Heartbeat:
+		if s.member != nil {
+			s.member.HandleHeartbeat(from, m)
+		}
+	case membership.DeadNotice:
+		if s.member != nil {
+			s.member.HandleDead(from, m)
+		}
+	case membership.AliveNotice:
+		if s.member != nil {
+			s.member.HandleAlive(from, m)
+		}
+	case membership.JoinReq:
+		if s.member != nil {
+			s.member.HandleJoinReq(from, m)
+		}
+	case membership.JoinAck:
+		if s.member != nil {
+			s.member.HandleJoinAck(from, m)
+		}
 	case Routed:
 		if m.Dest != s.id {
 			s.forward(m)
@@ -323,6 +353,16 @@ func (s *Site) jobArrives(job *Job) {
 	}
 	if s.cluster.cfg.LocalOnly {
 		s.cluster.recordDecision(job, Rejected, StageLocalOnly, s.now())
+		return
+	}
+	if s.member != nil && s.member.Repairing() {
+		// A route repair is still settling: enrolling against a
+		// half-repaired table would fan out along routes that are about to
+		// change. Re-run the arrival once the flood quiesces — by then the
+		// sphere may have shrunk (a death) or grown back (a join), and the
+		// local test gets a fresh chance too.
+		s.cluster.event(s.id, job.ID, EvDeferred, "route repair settling")
+		s.member.WhenSettled(func() { s.jobArrives(job) })
 		return
 	}
 	if len(s.pcs) == 0 {

@@ -88,6 +88,8 @@ func Suite() []Named {
 			shards: e12Shards, newTable: e12Table, shardRows: e12Row},
 		{Name: "E13-policy-matrix", run: e13PolicyMatrix,
 			shards: e13Shards, newTable: e13Table, shardRows: e13Row},
+		{Name: "E14-churn", run: e14Churn,
+			shards: e14Shards, newTable: e14Table, shardRows: e14Row},
 	}
 }
 

@@ -13,6 +13,7 @@
 //	GET  /stats         transport counters + decision-latency percentiles
 //	GET  /reservations  {"jobs":["j1@3",...]} — job IDs with committed plan reservations
 //	GET  /idle          {"idle":true} — lock released, no deferred work, no open txns
+//	GET  /membership    membership view: epoch, incarnation, per-site liveness, repair state
 //	GET  /debug/vars    expvar (includes the rtds map below)
 package nodeapi
 
@@ -58,6 +59,7 @@ func New(node *core.Node) *Server {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /reservations", s.handleReservations)
 	s.mux.HandleFunc("GET /idle", s.handleIdle)
+	s.mux.HandleFunc("GET /membership", s.handleMembership)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	registerExpvar(s)
 	return s
@@ -173,6 +175,13 @@ func (s *Server) handleIdle(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]bool{"idle": s.node.Idle()})
 }
 
+// handleMembership exposes the node's membership view. With membership
+// disabled the zero snapshot (started=false, no sites) is returned, so
+// dashboards can tell "off" from "alone".
+func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.node.Membership())
+}
+
 // ParseAddrs parses a deployment address list of the form
 // "0=host:port,1=host:port,...", shared by the -peers flag of rtds-node
 // and the -nodes flag of rtds-load. flagName only shapes error messages.
@@ -196,6 +205,20 @@ func ParseAddrs(flagName, spec string, sites int, requireAll bool) (map[graph.No
 				return nil, fmt.Errorf("-%s is missing site %d", flagName, id)
 			}
 		}
+	}
+	return out, nil
+}
+
+// ParseSites parses a comma-separated site-id list ("3" or "1,4") into a
+// set, validating the range. Used by rtds-load's churn flags.
+func ParseSites(flagName, spec string, sites int) (map[graph.NodeID]bool, error) {
+	out := make(map[graph.NodeID]bool)
+	for _, tok := range strings.Split(spec, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || id < 0 || id >= sites {
+			return nil, fmt.Errorf("-%s id %q out of range [0,%d)", flagName, tok, sites)
+		}
+		out[graph.NodeID(id)] = true
 	}
 	return out, nil
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/core/membership"
 	"repro/internal/dag"
 	"repro/internal/graph"
 	"repro/internal/wire"
@@ -24,6 +25,7 @@ func startPair(t *testing.T) (srv0, srv1 *httptest.Server, cleanup func()) {
 	cfg := core.DefaultConfig()
 	cfg.EnrollSlack = 4
 	cfg.ReleasePadFactor = 30
+	cfg.Membership = membership.Config{Enabled: true, HeartbeatEvery: 25, SuspectAfter: 100}
 	scale := time.Millisecond
 
 	trs := make([]*wire.NetTransport, 2)
@@ -184,6 +186,29 @@ func TestControlPlane(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("bad submit %q: status %d, want 400", bad, resp.StatusCode)
 		}
+	}
+
+	// Membership view: the layer is armed, heartbeating, and the peer is
+	// alive (snapshot fields are stable even while beacons keep flowing).
+	var mem membership.Snapshot
+	getJSON(t, srv0.URL+"/membership", &mem)
+	if !mem.Started || mem.Joining {
+		t.Fatalf("membership snapshot %+v, want started and not joining", mem)
+	}
+	foundPeer := false
+	for _, st := range mem.Sites {
+		if st.Site == 1 {
+			foundPeer = true
+			if st.Dead {
+				t.Fatal("healthy peer reported dead")
+			}
+			if !st.Neighbor {
+				t.Fatal("direct peer not flagged as neighbor")
+			}
+		}
+	}
+	if !foundPeer {
+		t.Fatalf("membership snapshot misses the peer: %+v", mem.Sites)
 	}
 
 	// expvar surface exists and carries the rtds map.

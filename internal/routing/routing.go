@@ -173,6 +173,18 @@ func (t *Table) merge(from graph.NodeID, linkDelay float64, entries []WireRoute)
 	return changed
 }
 
+// Merge integrates a neighbor's table snapshot received over a link of the
+// given delay, reporting whether anything changed. It is the receiving half
+// of both the §7 bootstrap (via Node) and the membership layer's epoch-
+// tagged repair floods, which drive it directly.
+func (t *Table) Merge(from graph.NodeID, linkDelay float64, entries []WireRoute) bool {
+	return t.merge(from, linkDelay, entries)
+}
+
+// Snapshot copies the table into its on-the-wire form, sorted by
+// destination — the payload of a bootstrap round or a repair re-flood.
+func (t *Table) Snapshot() []WireRoute { return t.snapshot() }
+
 // snapshot copies the table for transmission, sorted by destination.
 func (t *Table) snapshot() []WireRoute {
 	out := make([]WireRoute, 0, len(t.routes))
@@ -221,9 +233,15 @@ type WireRoute struct {
 // destination (4), distance (8), two hop counters (2+2).
 const wireRouteBytes = 16
 
-// TableMsg is the payload exchanged in each phase of PCS construction.
+// TableMsg is the payload exchanged in each phase of PCS construction and,
+// epoch-tagged, in the incremental re-floods that repair tables after a
+// membership change. Epoch 0 is the §7 bootstrap (routed to the per-node
+// protocol state machine); a positive epoch names the membership view the
+// entries were computed under, and receivers on a different epoch discard
+// the message instead of mixing routes across inconsistent views.
 type TableMsg struct {
 	Round   int
+	Epoch   uint64
 	Entries []WireRoute
 }
 

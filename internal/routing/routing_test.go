@@ -374,6 +374,113 @@ func TestRebuildAliveRoutesAroundDeadSite(t *testing.T) {
 	}
 }
 
+// TestRebuildAliveDisconnectedSurvivors: when the dead site was a cut
+// vertex, the survivors on each side keep tables covering only their own
+// component — the stranded destinations drop out instead of retaining
+// routes through the corpse.
+func TestRebuildAliveDisconnectedSurvivors(t *testing.T) {
+	// Star: hub 0 connects leaves 1..4. Killing the hub isolates every leaf.
+	topo := graph.New(5)
+	for i := 1; i < 5; i++ {
+		topo.MustAddEdge(0, graph.NodeID(i), 1)
+	}
+	tables := RebuildAlive(topo, RoundsForRadius(3), func(id graph.NodeID) bool { return id != 0 })
+	if tables[0] != nil {
+		t.Fatal("dead hub received a table")
+	}
+	for i := 1; i < 5; i++ {
+		tb := tables[i]
+		if tb.Len() != 1 {
+			t.Fatalf("isolated leaf %d knows %d destinations, want 1 (self)", i, tb.Len())
+		}
+		if len(tb.Sphere(3)) != 1 {
+			t.Fatalf("isolated leaf %d has sphere %v, want self only", i, tb.Sphere(3))
+		}
+	}
+	// A dumbbell 0-1-2-3: killing 1 leaves {0} and {2,3} as components.
+	dumb := lineN(4)
+	tables = RebuildAlive(dumb, RoundsForRadius(3), func(id graph.NodeID) bool { return id != 1 })
+	if got := tables[0].Len(); got != 1 {
+		t.Fatalf("stranded node 0 knows %d destinations, want 1", got)
+	}
+	if _, ok := tables[2].NextHop(3); !ok {
+		t.Fatal("surviving component lost its internal route 2 -> 3")
+	}
+	if _, ok := tables[2].Route(0); ok {
+		t.Fatal("node 2 kept a route to the unreachable side")
+	}
+}
+
+// TestRebuildAliveRoundBudgetLimitsDetour: a detour longer than the round
+// budget allows is not re-learned — the interrupted protocol's locality
+// bound applies to repairs exactly as to the bootstrap.
+func TestRebuildAliveRoundBudgetLimitsDetour(t *testing.T) {
+	// 6-ring, node 1 dead: 0 reaches 2 only via 0-5-4-3-2 (4 edges).
+	topo := ringN(6)
+	alive := func(id graph.NodeID) bool { return id != 1 }
+	// rounds=3 discovers paths of at most 4 edges: detour found.
+	if _, ok := RebuildAlive(topo, 3, alive)[0].Route(2); !ok {
+		t.Fatal("4-edge detour not found with a 4-edge budget")
+	}
+	// rounds=2 caps paths at 3 edges: destination 2 drops out at node 0.
+	if _, ok := RebuildAlive(topo, 2, alive)[0].Route(2); ok {
+		t.Fatal("detour beyond the round budget was learned")
+	}
+}
+
+// TestRemoveSiteRepeatedIdempotence: removing dead sites repeatedly, in any
+// order, converges to the same table and never touches self.
+func TestRemoveSiteRepeatedIdempotence(t *testing.T) {
+	tables, _, err := Build(ringN(6), RoundsForRadius(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tables[0].Clone()
+	b := tables[0].Clone()
+	a.RemoveSite(2)
+	a.RemoveSite(4)
+	a.RemoveSite(2) // repeat
+	b.RemoveSite(4)
+	b.RemoveSite(2)
+	b.RemoveSite(4) // repeat
+	if a.Len() != b.Len() {
+		t.Fatalf("order-dependent removal: %d vs %d destinations", a.Len(), b.Len())
+	}
+	for _, d := range a.Destinations() {
+		ra, _ := a.Route(d)
+		rb, ok := b.Route(d)
+		if !ok || ra != rb {
+			t.Fatalf("route to %d diverged: %+v vs %+v", d, ra, rb)
+		}
+	}
+	if a.Dist(0) != 0 {
+		t.Fatal("self route lost across repeated removals")
+	}
+	if a.RemoveSite(2)+a.RemoveSite(4) != 0 {
+		t.Fatal("repeated removal still found routes")
+	}
+}
+
+// TestMergeSnapshotRoundTrip: the exported Merge/Snapshot pair (the repair
+// re-flood primitives) reproduces what the bootstrap protocol computes.
+func TestMergeSnapshotRoundTrip(t *testing.T) {
+	topo := lineN(3)
+	t0 := NewTable(0, topo.Neighbors(0))
+	t1 := NewTable(1, topo.Neighbors(1))
+	if !t0.Merge(1, 1, t1.Snapshot()) {
+		t.Fatal("merge of new information reported no change")
+	}
+	if d := t0.Dist(2); d != 2 {
+		t.Fatalf("dist to 2 after merge = %v, want 2", d)
+	}
+	if nh, _ := t0.NextHop(2); nh != 1 {
+		t.Fatalf("next hop to 2 = %v, want 1", nh)
+	}
+	if t0.Merge(1, 1, t1.Snapshot()) {
+		t.Fatal("idempotent re-merge reported a change")
+	}
+}
+
 func TestRebuildAliveMatchesBuildWhenNobodyDied(t *testing.T) {
 	topo := ringN(6)
 	rounds := RoundsForRadius(2)

@@ -36,9 +36,12 @@ type FaultPlan struct {
 	MaxJitter float64
 	// Crashes lists site outage windows.
 	Crashes []Crash
-	// DetectDelay is how long after a permanent crash the surviving sites
-	// learn of it and repair their routing tables (the failure-detector
-	// latency of the protocol layer; the transport itself ignores it).
+	// DetectDelay sizes the failure-detector latency the protocol layer
+	// derives its membership timing from when the plan injects crashes but
+	// no explicit membership configuration was given: the suspicion
+	// timeout becomes DetectDelay (heartbeats a third of it). Detection
+	// itself is no longer scripted — survivors discover crashes through
+	// the membership layer's missed heartbeats. The transport ignores it.
 	DetectDelay float64
 }
 

@@ -25,6 +25,7 @@ package simnet
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/graph"
@@ -72,16 +73,27 @@ type Transport interface {
 
 // Stats accumulates communication counters. Safe for concurrent use.
 type Stats struct {
-	mu       sync.Mutex
-	messages int64
-	bytes    int64
-	dropped  int64
-	byKind   map[string]int64
+	mu          sync.Mutex
+	messages    int64
+	bytes       int64
+	controlMsgs int64
+	controlB    int64
+	dropped     int64
+	byKind      map[string]int64
 }
 
 // NewStats returns zeroed counters.
 func NewStats() *Stats {
 	return &Stats{byKind: make(map[string]int64)}
+}
+
+// controlKind classifies control-plane traffic — membership heartbeats,
+// death/alive notices, join handshakes ("member.*") and routing-table
+// floods ("pcs.*", the bootstrap and the epoch-tagged repairs). Control
+// traversals count toward the totals AND the control counters, so per-job
+// protocol cost (total − control) can be reported without heartbeat noise.
+func controlKind(kind string) bool {
+	return strings.HasPrefix(kind, "member.") || strings.HasPrefix(kind, "pcs.")
 }
 
 // Record counts one sent payload (exported for transports implemented
@@ -92,6 +104,26 @@ func (s *Stats) Record(p Payload) {
 	s.messages++
 	s.bytes += int64(p.SizeBytes())
 	s.byKind[p.Kind()]++
+	if controlKind(p.Kind()) {
+		s.controlMsgs++
+		s.controlB += int64(p.SizeBytes())
+	}
+}
+
+// ControlMessages reports how many traversals carried control-plane
+// payloads (membership and routing-table traffic); ControlBytes is their
+// byte volume. Both are included in Messages/Bytes.
+func (s *Stats) ControlMessages() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.controlMsgs
+}
+
+// ControlBytes reports the byte volume of control-plane traversals.
+func (s *Stats) ControlBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.controlB
 }
 
 // Drop counts a traversal the fault injector discarded. Dropped traversals
@@ -140,6 +172,7 @@ func (s *Stats) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.messages, s.bytes, s.dropped = 0, 0, 0
+	s.controlMsgs, s.controlB = 0, 0
 	s.byKind = make(map[string]int64)
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/core/membership"
 	"repro/internal/core/txn"
 	"repro/internal/dag"
 	"repro/internal/graph"
@@ -98,13 +99,8 @@ func encodePayload(e *enc, p simnet.Payload) error {
 	case routing.TableMsg:
 		e.u8(kindTable)
 		e.varint(int64(m.Round))
-		e.uvarint(uint64(len(m.Entries)))
-		for _, r := range m.Entries {
-			e.varint(int64(r.Dest))
-			e.f64(r.Dist)
-			e.varint(int64(r.PathHops))
-			e.varint(int64(r.MinHops))
-		}
+		e.uvarint(m.Epoch)
+		encodeRoutes(e, m.Entries)
 	case core.EnrollReq:
 		e.u8(kindEnrollReq)
 		e.str(m.Job)
@@ -186,6 +182,27 @@ func encodePayload(e *enc, p simnet.Payload) error {
 		e.str(m.Job)
 		e.varint(int64(m.Task))
 		e.f64(m.At)
+	case membership.Heartbeat:
+		e.u8(kindHeartbeat)
+		e.uvarint(m.Inc)
+		encodeEntries(e, m.Digest)
+	case membership.DeadNotice:
+		e.u8(kindDead)
+		e.varint(int64(m.Site))
+		e.uvarint(m.Inc)
+	case membership.AliveNotice:
+		e.u8(kindAlive)
+		e.varint(int64(m.Site))
+		e.uvarint(m.Inc)
+	case membership.JoinReq:
+		e.u8(kindJoinReq)
+		e.uvarint(m.Inc)
+	case membership.JoinAck:
+		e.u8(kindJoinAck)
+		e.uvarint(m.Inc)
+		e.uvarint(m.Epoch)
+		encodeEntries(e, m.Digest)
+		encodeRoutes(e, m.Table)
 	default:
 		return fmt.Errorf("wire: cannot encode payload type %T (kind %q)", p, p.Kind())
 	}
@@ -220,15 +237,8 @@ func decodePayload(kind byte, body []byte) (simnet.Payload, error) {
 	case kindTable:
 		m := routing.TableMsg{}
 		m.Round = int(d.varint())
-		n := d.count(2)
-		for i := 0; i < n && d.err == nil; i++ {
-			m.Entries = append(m.Entries, routing.WireRoute{
-				Dest:     graph.NodeID(d.varint()),
-				Dist:     d.f64(),
-				PathHops: int(d.varint()),
-				MinHops:  int(d.varint()),
-			})
-		}
+		m.Epoch = d.uvarint()
+		m.Entries = decodeRoutes(d)
 		p = m
 	case kindEnrollReq:
 		p = core.EnrollReq{
@@ -335,6 +345,27 @@ func decodePayload(kind byte, body []byte) (simnet.Payload, error) {
 			Task: dag.TaskID(d.varint()),
 			At:   d.f64(),
 		}
+	case kindHeartbeat:
+		m := membership.Heartbeat{Inc: d.uvarint()}
+		m.Digest = decodeEntries(d)
+		p = m
+	case kindDead:
+		p = membership.DeadNotice{
+			Site: graph.NodeID(d.varint()),
+			Inc:  d.uvarint(),
+		}
+	case kindAlive:
+		p = membership.AliveNotice{
+			Site: graph.NodeID(d.varint()),
+			Inc:  d.uvarint(),
+		}
+	case kindJoinReq:
+		p = membership.JoinReq{Inc: d.uvarint()}
+	case kindJoinAck:
+		m := membership.JoinAck{Inc: d.uvarint(), Epoch: d.uvarint()}
+		m.Digest = decodeEntries(d)
+		m.Table = decodeRoutes(d)
+		p = m
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
 	}
@@ -396,6 +427,57 @@ func decodeGraph(d *dec) (*dag.Graph, error) {
 		return nil, fmt.Errorf("wire: invalid graph on the wire: %w", err)
 	}
 	return g, nil
+}
+
+// encodeRoutes writes a routing-table snapshot (already sorted by
+// destination — Table.Snapshot is deterministic). Shared by bootstrap and
+// repair table messages and the join-ack table handover.
+func encodeRoutes(e *enc, routes []routing.WireRoute) {
+	e.uvarint(uint64(len(routes)))
+	for _, r := range routes {
+		e.varint(int64(r.Dest))
+		e.f64(r.Dist)
+		e.varint(int64(r.PathHops))
+		e.varint(int64(r.MinHops))
+	}
+}
+
+func decodeRoutes(d *dec) []routing.WireRoute {
+	n := d.count(2)
+	var out []routing.WireRoute
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, routing.WireRoute{
+			Dest:     graph.NodeID(d.varint()),
+			Dist:     d.f64(),
+			PathHops: int(d.varint()),
+			MinHops:  int(d.varint()),
+		})
+	}
+	return out
+}
+
+// encodeEntries writes a membership digest (already sorted by site — the
+// manager builds digests deterministically).
+func encodeEntries(e *enc, entries []membership.Entry) {
+	e.uvarint(uint64(len(entries)))
+	for _, en := range entries {
+		e.varint(int64(en.Site))
+		e.uvarint(en.Inc)
+		e.bool(en.Dead)
+	}
+}
+
+func decodeEntries(d *dec) []membership.Entry {
+	n := d.count(3)
+	var out []membership.Entry
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, membership.Entry{
+			Site: graph.NodeID(d.varint()),
+			Inc:  d.uvarint(),
+			Dead: d.bool(),
+		})
+	}
+	return out
 }
 
 func sortedTaskIDs(m map[dag.TaskID]graph.NodeID) []dag.TaskID {

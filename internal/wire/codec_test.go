@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/core/membership"
 	"repro/internal/core/txn"
 	"repro/internal/dag"
 	"repro/internal/graph"
@@ -46,12 +47,35 @@ func samples(t testing.TB) []simnet.Payload {
 			Job: "j9@31", Initiator: 31, Proc: 2, CodeBytes: 2048, Graph: g,
 			TaskSites: map[dag.TaskID]graph.NodeID{1: 4, 2: 31, 3: 0},
 		}},
-		// PCS bootstrap tables.
+		// PCS bootstrap tables and epoch-tagged repair floods.
 		routing.TableMsg{},
 		routing.TableMsg{Round: 5, Entries: []routing.WireRoute{
 			{Dest: 0, Dist: 0, PathHops: 0, MinHops: 0},
 			{Dest: 7, Dist: 0.35, PathHops: 3, MinHops: 2},
 			{Dest: 127, Dist: 12.75, PathHops: 9, MinHops: 9},
+		}},
+		routing.TableMsg{Epoch: 9, Entries: []routing.WireRoute{
+			{Dest: 3, Dist: 1.5, PathHops: 2, MinHops: 2},
+		}},
+		// Membership layer: heartbeats, notices, join handshake.
+		membership.Heartbeat{},
+		membership.Heartbeat{Inc: 3, Digest: []membership.Entry{
+			{Site: 1, Inc: 2, Dead: true},
+			{Site: 5, Inc: 7, Dead: false},
+		}},
+		membership.DeadNotice{},
+		membership.DeadNotice{Site: 12, Inc: 4},
+		membership.AliveNotice{},
+		membership.AliveNotice{Site: 12, Inc: 5},
+		membership.JoinReq{},
+		membership.JoinReq{Inc: 6},
+		membership.JoinAck{},
+		membership.JoinAck{Inc: 6, Epoch: 11, Digest: []membership.Entry{
+			{Site: 0, Inc: 1, Dead: false},
+			{Site: 12, Inc: 6, Dead: false},
+		}, Table: []routing.WireRoute{
+			{Dest: 0, Dist: 0.5, PathHops: 1, MinHops: 1},
+			{Dest: 3, Dist: 2.25, PathHops: 4, MinHops: 3},
 		}},
 		// The ten protocol messages: zero value, then max-field.
 		core.EnrollReq{},

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -73,6 +74,12 @@ type NetConfig struct {
 	Scale time.Duration
 	// MaxBackoff caps the reconnect backoff (default 2s).
 	MaxBackoff time.Duration
+	// Seed drives the reconnect-backoff jitter. Nodes restarting at the
+	// same instant would otherwise re-dial in lockstep and collide round
+	// after round; each peer connection jitters its sleeps from a source
+	// derived from this seed and the peer id, so the desynchronization is
+	// deterministic under a fixed test seed. 0 derives the seed from Self.
+	Seed int64
 }
 
 // Listen opens the transport's listener so the actual address (needed when
@@ -105,6 +112,10 @@ func Listen(cfg NetConfig) (*NetTransport, error) {
 		conns: make(map[net.Conn]struct{}),
 		inbox: newNetQueue(),
 	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = int64(cfg.Self) + 1
+	}
 	for _, e := range cfg.Topo.Neighbors(cfg.Self) {
 		p := &peerConn{
 			to:         e.To,
@@ -112,6 +123,7 @@ func Listen(cfg NetConfig) (*NetTransport, error) {
 			addr:       cfg.Peers[e.To],
 			maxBackoff: cfg.MaxBackoff,
 			stats:      t.stats,
+			rng:        rand.New(rand.NewSource(seed*1000003 + int64(e.To))),
 		}
 		p.init()
 		t.peers[e.To] = p
@@ -396,6 +408,7 @@ type peerConn struct {
 	addr       string
 	maxBackoff time.Duration
 	stats      *simnet.Stats
+	rng        *rand.Rand // backoff jitter; only the writer goroutine draws
 
 	mu     sync.Mutex
 	queue  frameHeap
@@ -577,17 +590,17 @@ func (p *peerConn) writeLoop() {
 // when the peer is closed. Backoff grows on EVERY failure — dial refused,
 // hello write failed, batch write failed — and resets only after a
 // successful batch write, so a peer that accepts connections and
-// immediately resets them cannot drive a zero-sleep reconnect spin.
+// immediately resets them cannot drive a zero-sleep reconnect spin. Each
+// sleep is jittered from the peer's seeded source (see NetConfig.Seed) so
+// simultaneously restarted nodes do not re-dial in lockstep.
 func (p *peerConn) write(buf []byte) {
 	backoff := 50 * time.Millisecond
 	fail := func() bool { // sleep and grow; reports whether the peer closed
-		if p.sleepClosed(backoff) {
+		sleep, next := nextBackoff(backoff, p.maxBackoff, p.rng)
+		if p.sleepClosed(sleep) {
 			return true
 		}
-		backoff *= 2
-		if backoff > p.maxBackoff {
-			backoff = p.maxBackoff
-		}
+		backoff = next
 		return false
 	}
 	for {
@@ -642,6 +655,20 @@ func (p *peerConn) setConn(c net.Conn) {
 		return
 	}
 	p.conn = c
+}
+
+// nextBackoff computes one jittered reconnect sleep and the grown next
+// backoff level: the sleep is drawn uniformly from [cur/2, cur), so two
+// peers at the same level desynchronize while keeping the exponential
+// envelope; the level doubles up to max.
+func nextBackoff(cur, max time.Duration, rng *rand.Rand) (sleep, next time.Duration) {
+	half := int64(cur) / 2
+	sleep = time.Duration(half + rng.Int63n(half+1))
+	next = cur * 2
+	if next > max {
+		next = max
+	}
+	return sleep, next
 }
 
 // sleepClosed sleeps for d and reports whether the peer was closed

@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 	"time"
@@ -419,5 +421,45 @@ func TestNetClusterSurvivesFaults(t *testing.T) {
 				t.Errorf("node %d leaked reservations of %s", id, jobID)
 			}
 		}
+	}
+}
+
+// TestBackoffJitterDeterministicPerSeed: the reconnect backoff draws its
+// jitter from a seeded source — identical seeds reproduce the exact sleep
+// sequence, different seeds (simultaneously restarted nodes) diverge, and
+// every sleep stays inside the exponential envelope [cur/2, cur).
+func TestBackoffJitterDeterministicPerSeed(t *testing.T) {
+	sequence := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		cur := 50 * time.Millisecond
+		var out []time.Duration
+		for i := 0; i < 8; i++ {
+			var sleep time.Duration
+			sleep, cur = nextBackoff(cur, 2*time.Second, rng)
+			out = append(out, sleep)
+		}
+		return out
+	}
+	a, b, c := sequence(1), sequence(1), sequence(2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical jitter (no desynchronization)")
+	}
+	rng := rand.New(rand.NewSource(3))
+	cur := 50 * time.Millisecond
+	for i := 0; i < 12; i++ {
+		sleep, next := nextBackoff(cur, 2*time.Second, rng)
+		if sleep < cur/2 || sleep > cur {
+			t.Fatalf("sleep %v outside [%v, %v]", sleep, cur/2, cur)
+		}
+		if next > 2*time.Second {
+			t.Fatalf("backoff %v exceeded the cap", next)
+		}
+		cur = next
+	}
+	if cur != 2*time.Second {
+		t.Fatalf("backoff never reached the cap: %v", cur)
 	}
 }

@@ -29,8 +29,10 @@ import (
 	"math"
 )
 
-// Version is the wire format version carried in every frame.
-const Version = 1
+// Version is the wire format version carried in every frame. Version 2
+// added the membership layer: the epoch tag in routing-table bodies and
+// the heartbeat/notice/join message kinds.
+const Version = 2
 
 // MaxFrame bounds a frame's encoded size. The largest legitimate frames are
 // commit messages carrying a job DAG — well under a mebibyte — so anything
@@ -54,6 +56,11 @@ const (
 	kindUnlockAck
 	kindResult
 	kindDone
+	kindHeartbeat
+	kindDead
+	kindAlive
+	kindJoinReq
+	kindJoinAck
 )
 
 // headerLen is the fixed frame overhead: u32 length + version + kind.

@@ -8,12 +8,22 @@
 #   scripts/soak.sh 3 120                       # small smoke soak
 #   scripts/soak.sh 8 600 -verify-live -min-agreement 1.0 \
 #       -load 0.25 -tightness 8 -infeasible 0.3 # the acceptance run
+#   CHURN=1 scripts/soak.sh 8 0 -load 0.25 -tightness 4 -horizon 6000
+#                                               # the churn acceptance run
 #
 # The acceptance run uses a margin-robust workload (clearly feasible or
 # clearly infeasible deadlines): wall-clock transports cannot pin decisions
 # whose margin is below scheduling noise — two runs of the in-process live
 # transport disagree on those — so "identical decisions" is demonstrated
 # where it is well-defined. The DES suite pins razor-edge decisions.
+#
+# CHURN=1 exercises dynamic membership: mid-run, one node (VICTIM, default
+# the last site) is SIGKILLed — no goodbye, its in-flight jobs die with it —
+# and after JOIN_AFTER seconds a replacement process for the same site id
+# joins the RUNNING cluster with -join. rtds-load runs with
+# -optional-sites/-joiner, so the run fails unless every surviving job is
+# decided, no reachable node leaks reservations, and the joiner both
+# answers at least one enrollment and accepts at least one job of its own.
 set -euo pipefail
 
 SITES="${1:-3}"; shift || true
@@ -25,10 +35,13 @@ SCALE="${SCALE:-2ms}"
 PORT_BASE="${PORT_BASE:-7400}"
 HTTP_BASE="${HTTP_BASE:-8400}"
 OUT="${OUT:-soak-report.json}"
+CHURN="${CHURN:-0}"
+VICTIM="${VICTIM:-$((SITES - 1))}"
+KILL_AFTER="${KILL_AFTER:-3}"
+JOIN_AFTER="${JOIN_AFTER:-3}"
 
 cd "$(dirname "$0")/.."
 bin=$(mktemp -d)
-trap 'rm -rf "$bin"' EXIT
 go build -o "$bin/rtds-node" ./cmd/rtds-node
 go build -o "$bin/rtds-load" ./cmd/rtds-load
 
@@ -47,14 +60,35 @@ cleanup() {
 }
 trap cleanup EXIT
 
-for ((i = 0; i < SITES; i++)); do
-  "$bin/rtds-node" -id "$i" -sites "$SITES" -topo "$TOPO" -seed "$SEED" \
-    -listen "127.0.0.1:$((PORT_BASE + i))" -peers "$peers" \
-    -http "127.0.0.1:$((HTTP_BASE + i))" -scale "$SCALE" &
+start_node() { # id, extra args...
+  local id="$1"; shift
+  "$bin/rtds-node" -id "$id" -sites "$SITES" -topo "$TOPO" -seed "$SEED" \
+    -listen "127.0.0.1:$((PORT_BASE + id))" -peers "$peers" \
+    -http "127.0.0.1:$((HTTP_BASE + id))" -scale "$SCALE" "$@" &
   pids+=($!)
+}
+
+for ((i = 0; i < SITES; i++)); do
+  start_node "$i"
 done
 
-"$bin/rtds-load" -nodes "$nodes" -sites "$SITES" -topo "$TOPO" -seed "$SEED" \
-  -jobs "$JOBS" -scale "$SCALE" -json "$OUT" "$@"
-
-echo "soak OK: $SITES sites, $JOBS jobs -> $OUT"
+if [[ "$CHURN" == "1" ]]; then
+  "$bin/rtds-load" -nodes "$nodes" -sites "$SITES" -topo "$TOPO" -seed "$SEED" \
+    -jobs "$JOBS" -scale "$SCALE" -json "$OUT" \
+    -optional-sites "$VICTIM" -joiner "$VICTIM" "$@" &
+  load_pid=$!
+  sleep "$KILL_AFTER"
+  victim_pid="${pids[$VICTIM]}"
+  echo "soak: SIGKILL site $VICTIM (pid $victim_pid)"
+  kill -9 "$victim_pid" 2>/dev/null || true
+  wait "$victim_pid" 2>/dev/null || true
+  sleep "$JOIN_AFTER"
+  echo "soak: joining replacement for site $VICTIM"
+  start_node "$VICTIM" -join
+  wait "$load_pid"
+  echo "churn soak OK: $SITES sites, site $VICTIM killed and rejoined -> $OUT"
+else
+  "$bin/rtds-load" -nodes "$nodes" -sites "$SITES" -topo "$TOPO" -seed "$SEED" \
+    -jobs "$JOBS" -scale "$SCALE" -json "$OUT" "$@"
+  echo "soak OK: $SITES sites, $JOBS jobs -> $OUT"
+fi
