@@ -1,0 +1,62 @@
+// Command rtds-lint machine-checks the repository's determinism and
+// protocol invariants with four project-specific analyzers: detclock,
+// mapiter, exhaustive, and sendunderlock (see internal/analysis/... for
+// what each enforces and why).
+//
+// Standalone:
+//
+//	rtds-lint ./...
+//	rtds-lint repro/internal/core repro/internal/routing
+//
+// As a vet tool (same diagnostics, but scheduled and cached by the go
+// command):
+//
+//	go build -o bin/rtds-lint ./cmd/rtds-lint
+//	go vet -vettool=$PWD/bin/rtds-lint ./...
+//
+// Exit status: 0 clean, 1 operational error, 2 diagnostics reported.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/rtdslint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if isVettoolInvocation(args) {
+		analysis.UnitcheckerMain("rtds-lint", rtdslint.Suite(), rtdslint.AppliesTo, args)
+		return // unreachable; UnitcheckerMain exits
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: rtds-lint <packages>   (e.g. rtds-lint ./...)")
+		os.Exit(1)
+	}
+	pkgs, err := analysis.Load(".", args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtds-lint:", err)
+		os.Exit(1)
+	}
+	diags, fset, err := analysis.RunPackages(rtdslint.Suite(), rtdslint.AppliesTo, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtds-lint:", err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		analysis.PrintDiagnostics(os.Stderr, fset, diags)
+		os.Exit(2)
+	}
+}
+
+// isVettoolInvocation recognizes the three argument shapes the go command
+// uses when driving a vettool; anything else is a human.
+func isVettoolInvocation(args []string) bool {
+	if len(args) != 1 {
+		return false
+	}
+	return args[0] == "-V=full" || args[0] == "-flags" || strings.HasSuffix(args[0], ".cfg")
+}

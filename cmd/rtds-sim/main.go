@@ -118,7 +118,7 @@ func main() {
 		if *verbose {
 			for _, j := range cb.Core().Jobs() {
 				fmt.Printf("  %-12s %-22s arrival=%8.2f decided=%8.2f acs=%d procs=%d\n",
-					j.ID, j.Outcome.String()+"/"+j.RejectStage, j.Arrival, j.DecisionAt, j.ACSSize, j.NumProcs)
+					j.ID, j.Outcome.String()+"/"+string(j.RejectStage), j.Arrival, j.DecisionAt, j.ACSSize, j.NumProcs)
 			}
 		}
 		if *traceLog {

@@ -77,6 +77,18 @@
 //     deployed by cmd/rtds-node with the HTTP control plane of
 //     internal/nodeapi and driven by cmd/rtds-load).
 //
+// # Static analysis
+//
+// The determinism and protocol invariants the packages above rely on are
+// machine-checked: cmd/rtds-lint (internal/analysis) runs four
+// project-specific analyzers — detclock (no wall clocks or global rand in
+// deterministic packages), mapiter (no order-sensitive range over maps;
+// use internal/determinism.SortedKeys), exhaustive (switches over
+// protocol enums cover every constant or reject explicitly) and
+// sendunderlock (no transport sends while holding a mutex). CI fails on
+// any finding; exceptions are annotated in the source with
+// //lint:allow <check> -- <justification>.
+//
 // # Quick start
 //
 //	topo := rtds.NewRandomNetwork(16, 3, 42)

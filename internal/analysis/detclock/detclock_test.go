@@ -1,0 +1,12 @@
+package detclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detclock"
+)
+
+func TestDetclock(t *testing.T) {
+	analysistest.Run(t, detclock.Analyzer, analysistest.Dir("detclock"))
+}

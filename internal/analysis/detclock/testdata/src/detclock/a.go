@@ -1,0 +1,44 @@
+// Package detclock is the analyzer's fixture: every construct the check
+// must catch, next to the sanctioned forms it must stay silent on.
+package detclock
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()          // want `wall-clock time.Now in a deterministic package`
+	<-time.After(time.Second)    // want `wall-clock time.After in a deterministic package`
+	time.Sleep(time.Millisecond) // want `wall-clock time.Sleep in a deterministic package`
+	return time.Since(start)     // want `wall-clock time.Since in a deterministic package`
+}
+
+func deterministicTime() time.Time {
+	// Pure construction and arithmetic never read the clock: legal.
+	t := time.Unix(0, 0)
+	return t.Add(3 * time.Second)
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand.Intn in a deterministic package`
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors are the sanctioned form
+	return rng.Intn(10)                   // method on *rand.Rand: seeded draw, legal
+}
+
+func osEntropy(b []byte) {
+	crand.Read(b) // want `crypto/rand.Read in a deterministic package`
+}
+
+func escaped() time.Time {
+	//lint:allow wallclock -- fixture: measurement-only timestamp, never enters simulation state
+	return time.Now()
+}
+
+func escapedSameLine() time.Time {
+	return time.Now() //lint:allow wallclock -- fixture: measurement-only timestamp, never enters simulation state
+}

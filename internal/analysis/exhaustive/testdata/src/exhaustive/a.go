@@ -1,0 +1,101 @@
+// Package exhaustive is the analyzer's fixture: enum switches that must be
+// flagged as partial or silently-swallowing, next to the two legal forms.
+package exhaustive
+
+import "fmt"
+
+type kind byte
+
+const (
+	kindHello kind = iota
+	kindData
+	kindAck
+)
+
+type mode string
+
+const (
+	modeFast mode = "fast"
+	modeSafe mode = "safe"
+)
+
+// Missing kindAck and no default: flagged, names the gap.
+func partial(k kind) string {
+	switch k { // want `switch over kind is not exhaustive: missing kindAck`
+	case kindHello:
+		return "hello"
+	case kindData:
+		return "data"
+	}
+	return ""
+}
+
+// An empty default swallows unknown values silently: flagged.
+func swallow(k kind) string {
+	switch k {
+	case kindHello:
+		return "hello"
+	case kindData:
+		return "data"
+	case kindAck:
+		return "ack"
+	default: // want `switch over kind has an empty default`
+	}
+	return ""
+}
+
+// Full enumeration with no default is the preferred dispatch form: adding
+// a constant breaks lint at this site. Legal.
+func full(k kind) string {
+	switch k {
+	case kindHello:
+		return "hello"
+	case kindData:
+		return "data"
+	case kindAck:
+		return "ack"
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
+
+// A rejecting default also covers future constants. Legal.
+func rejecting(k kind) (string, error) {
+	switch k {
+	case kindHello:
+		return "hello", nil
+	default:
+		return "", fmt.Errorf("unexpected kind %d", byte(k))
+	}
+}
+
+// String-valued enums are in scope too.
+func stringEnum(m mode) int {
+	switch m { // want `switch over mode is not exhaustive: missing modeSafe`
+	case modeFast:
+		return 0
+	}
+	return 1
+}
+
+// A switch over a non-enum named type (one constant) is out of scope.
+type lone int
+
+const onlyOne lone = 1
+
+func loneSwitch(v lone) bool {
+	switch v {
+	case onlyOne:
+		return true
+	}
+	return false
+}
+
+// Escapes suppress intentionally partial switches.
+func escaped(k kind) bool {
+	//lint:allow exhaustive -- fixture: only hello matters on this path
+	switch k {
+	case kindHello:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,102 @@
+// Package mapiter is the analyzer's fixture: ordered-sink loops it must
+// flag, order-independent loops it must pass.
+package mapiter
+
+type payload struct{ v int }
+
+type transport struct{}
+
+func (transport) Send(to int, p payload)  {}
+func (transport) Flood(p payload)         {}
+func (transport) handleMessage(p payload) {}
+
+func appendSink(m map[int]string) []int {
+	var keys []int
+	for k := range m { // want `range over map reaches order-sensitive sink \(append to slice\)`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func floatSink(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `range over map reaches order-sensitive sink \(float accumulation\)`
+		sum += v
+	}
+	return sum
+}
+
+func sendSink(m map[int]payload, tr transport) {
+	for to, p := range m { // want `range over map reaches order-sensitive sink \(call to Send\)`
+		tr.Send(to, p)
+	}
+}
+
+func floodSink(m map[int]payload, tr transport) {
+	for _, p := range m { // want `range over map reaches order-sensitive sink \(call to Flood\)`
+		tr.Flood(p)
+	}
+}
+
+// Counting is commutative: no sink, no diagnostic.
+func countLoop(m map[int]string) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Copying into another map is keyed, not ordered: legal.
+func cloneLoop(m map[int]string) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Appending back under the same key distributes by key: legal.
+func keyedAppend(m map[int][]string, extra map[int]string) {
+	for k, v := range extra {
+		m[k] = append(m[k], v)
+	}
+}
+
+// Integer accumulation commutes exactly: legal.
+func intSum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Max over values is order-independent: legal.
+func maxLoop(m map[int]float64) float64 {
+	best := -1.0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// The sorted-keys shape itself: ranging a slice is always fine.
+func sortedFix(m map[int]string, sortedKeys func(map[int]string) []int) []string {
+	var out []string
+	for _, k := range sortedKeys(m) {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func escapedLoop(m map[int]string) []int {
+	var keys []int
+	//lint:allow mapiter -- fixture: output is re-sorted by the caller before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,254 @@
+// Package sendunderlock reports transport sends and handler invocations
+// made while a mutex is held.
+//
+// The repository's transports deliver synchronously in the simulated
+// (in-process) configuration: site A's Send can run site B's handler on the
+// same goroutine, and B's reply can re-enter A before Send returns. A send
+// under a site or manager mutex is therefore a latent self-deadlock — the
+// exact shape of the lock-cycle bug fixed in the dynamic-membership PR by
+// deferring notifications through transport.After. This analyzer keeps
+// that class of bug from coming back.
+//
+// The analysis is intra-procedural and deliberately simple: it tracks
+// Lock/RLock calls on sync.Mutex / sync.RWMutex values sequentially
+// through each function body (a deferred Unlock keeps the lock held to the
+// end), and flags any call named Send, Broadcast, Flood, Deliver, or
+// Handle made while at least one lock is held. Function literals are NOT
+// walked under the outer lock set: the sanctioned fix is precisely to move
+// the send into a closure that runs after the lock is released
+// (transport.After, event-queue callbacks), so closures are judged as
+// separate, lock-free bodies.
+//
+// Sends that are provably safe under a lock carry
+// //lint:allow sendunderlock -- <justification>.
+package sendunderlock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the sendunderlock check.
+var Analyzer = &analysis.Analyzer{
+	Name:   "sendunderlock",
+	Escape: "sendunderlock",
+	Doc: "report Transport.Send / handler calls made while a sync.Mutex or " +
+		"sync.RWMutex is held; synchronous delivery makes them deadlocks",
+	Run: run,
+}
+
+// sinkNames are callee names that (re)enter the message path.
+var sinkNames = map[string]bool{
+	"Send": true, "Broadcast": true, "Flood": true,
+	"Deliver": true, "Handle": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walkStmts(pass, fd.Body.List, map[string]bool{})
+			// Each function literal is its own body with an empty lock set —
+			// see the package comment for why.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					walkStmts(pass, fl.Body.List, map[string]bool{})
+				}
+				return true // keep descending: nested literals get their own walk
+			})
+		}
+	}
+	return nil
+}
+
+// walkStmts interprets a statement list sequentially, maintaining the set
+// of held lock expressions (keyed by their printed receiver, e.g. "s.mu").
+// Nested control flow is walked with a copy of the set: a lock taken or
+// released inside one branch is not assumed on the code that follows.
+func walkStmts(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.DeferStmt:
+			// A deferred Unlock runs at return: the lock stays held for the
+			// rest of the body. Any other deferred call is checked against
+			// the locks we know survive to function exit — conservatively,
+			// none (defers run after non-deferred unlocks too), so skip.
+			continue
+		case *ast.GoStmt:
+			// The spawned goroutine does not inherit the caller's locks.
+			continue
+		case *ast.ExprStmt:
+			if name, key, isLock := lockOp(pass, s.X); isLock {
+				if name == "Lock" || name == "RLock" {
+					held[key] = true
+				} else {
+					delete(held, key)
+				}
+				continue
+			}
+			checkExpr(pass, s.X, held)
+		case *ast.BlockStmt:
+			walkStmts(pass, s.List, held)
+		case *ast.IfStmt:
+			checkExpr(pass, s.Cond, held)
+			walkStmts(pass, s.Body.List, copyOf(held))
+			if s.Else != nil {
+				walkStmts(pass, []ast.Stmt{s.Else}, copyOf(held))
+			}
+		case *ast.ForStmt:
+			walkStmts(pass, s.Body.List, copyOf(held))
+		case *ast.RangeStmt:
+			checkExpr(pass, s.X, held)
+			walkStmts(pass, s.Body.List, copyOf(held))
+		case *ast.SwitchStmt:
+			if s.Tag != nil {
+				checkExpr(pass, s.Tag, held)
+			}
+			for _, cc := range s.Body.List {
+				walkStmts(pass, cc.(*ast.CaseClause).Body, copyOf(held))
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cc := range s.Body.List {
+				walkStmts(pass, cc.(*ast.CaseClause).Body, copyOf(held))
+			}
+		case *ast.SelectStmt:
+			for _, cc := range s.Body.List {
+				walkStmts(pass, cc.(*ast.CommClause).Body, copyOf(held))
+			}
+		case *ast.LabeledStmt:
+			walkStmts(pass, []ast.Stmt{s.Stmt}, held)
+		case *ast.AssignStmt:
+			for _, e := range s.Rhs {
+				checkExpr(pass, e, held)
+			}
+		case *ast.ReturnStmt:
+			for _, e := range s.Results {
+				checkExpr(pass, e, held)
+			}
+		}
+	}
+}
+
+func copyOf(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+// checkExpr reports every sink call inside e that executes while a lock is
+// held. Function literals are skipped (see package comment).
+func checkExpr(pass *analysis.Pass, e ast.Expr, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if !sinkNames[name] {
+			return true
+		}
+		// sync.Cond.Broadcast/Signal are synchronization, not messaging —
+		// holding the associated mutex there is the documented idiom.
+		if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel {
+			if tv, found := pass.TypesInfo.Types[sel.X]; found && isSyncType(tv.Type) {
+				return true
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"call to %s while %s held: synchronous delivery can re-enter this site and deadlock — release the lock first or defer via transport.After",
+			name, heldList(held))
+		return true
+	})
+}
+
+// lockOp recognizes x.mu.Lock()/RLock()/Unlock()/RUnlock() calls whose
+// receiver is a sync.Mutex or sync.RWMutex and returns the operation name
+// and a stable key for the lock expression.
+func lockOp(pass *analysis.Pass, e ast.Expr) (op, key string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	tv, found := pass.TypesInfo.Types[sel.X]
+	if !found || !isSyncLock(tv.Type) {
+		return "", "", false
+	}
+	return sel.Sel.Name, types.ExprString(sel.X), true
+}
+
+func isSyncLock(t types.Type) bool {
+	name, ok := syncTypeName(t)
+	return ok && (name == "Mutex" || name == "RWMutex")
+}
+
+// isSyncType reports whether t is (a pointer to) any type declared in
+// package sync.
+func isSyncType(t types.Type) bool {
+	_, ok := syncTypeName(t)
+	return ok
+}
+
+func syncTypeName(t types.Type) (string, bool) {
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+func heldList(held map[string]bool) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	// Deterministic diagnostic text regardless of map order.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	s := keys[0]
+	for _, k := range keys[1:] {
+		s += ", " + k
+	}
+	return s
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

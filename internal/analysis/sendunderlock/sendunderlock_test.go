@@ -1,0 +1,12 @@
+package sendunderlock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sendunderlock"
+)
+
+func TestSendUnderLock(t *testing.T) {
+	analysistest.Run(t, sendunderlock.Analyzer, analysistest.Dir("sendunderlock"))
+}

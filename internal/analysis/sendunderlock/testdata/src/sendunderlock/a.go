@@ -1,0 +1,103 @@
+// Package sendunderlock is the analyzer's fixture: sends under held
+// mutexes it must flag, and the sanctioned unlock-first / closure-deferred
+// shapes it must pass.
+package sendunderlock
+
+import "sync"
+
+type payload struct{ v int }
+
+type transport struct{}
+
+func (transport) Send(to int, p payload) {}
+func (transport) Broadcast(p payload)    {}
+
+type site struct {
+	mu    sync.Mutex
+	state int
+	tr    transport
+	after func(func())
+}
+
+func sendUnderLock(s *site) {
+	s.mu.Lock()
+	s.state++
+	s.tr.Send(1, payload{s.state}) // want `call to Send while s.mu held`
+	s.mu.Unlock()
+}
+
+func sendUnderDeferredLock(s *site) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tr.Broadcast(payload{s.state}) // want `call to Broadcast while s.mu held`
+}
+
+func sendUnderRLock(s *struct {
+	mu sync.RWMutex
+	tr transport
+}) {
+	s.mu.RLock()
+	s.tr.Send(1, payload{}) // want `call to Send while s.mu held`
+	s.mu.RUnlock()
+}
+
+func sendInBranchUnderLock(s *site, urgent bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if urgent {
+		s.tr.Send(0, payload{}) // want `call to Send while s.mu held`
+	}
+}
+
+// Unlock-first is the straightforward fix: legal.
+func unlockThenSend(s *site) {
+	s.mu.Lock()
+	p := payload{s.state}
+	s.mu.Unlock()
+	s.tr.Send(1, p)
+}
+
+// The transport.After idiom: the closure runs after the lock is released,
+// so a send inside it is legal even though it is written under the lock.
+func deferViaClosure(s *site) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := payload{s.state}
+	s.after(func() {
+		s.tr.Send(1, p)
+	})
+}
+
+// A goroutine does not inherit the caller's locks: legal.
+func sendInGoroutine(s *site) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.tr.Broadcast(payload{})
+}
+
+// cond.Broadcast under the associated mutex is the documented sync idiom,
+// not a message send: legal.
+func condBroadcast(mu *sync.Mutex, cond *sync.Cond) {
+	mu.Lock()
+	defer mu.Unlock()
+	cond.Broadcast()
+}
+
+// Locks released before the call in straight-line code: legal even with a
+// second lock cycle afterwards.
+func relock(s *site) {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+	s.tr.Send(0, payload{})
+	s.mu.Lock()
+	s.state--
+	s.mu.Unlock()
+}
+
+func escapedSend(s *site) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:allow sendunderlock -- fixture: loopback transport delivers on a queue, never synchronously
+	s.tr.Send(0, payload{})
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the vet "unit checker" protocol, so the rtds-lint
+// binary can be driven by the go command:
+//
+//	go vet -vettool=$(which rtds-lint) ./...
+//
+// The go command probes the tool with -V=full (a stable version string for
+// build caching) and -flags (the JSON flag schema it may pass through),
+// then invokes it once per package with the path to a *.cfg file that
+// describes one compilation unit: source files, the import map, and the
+// export-data file of every dependency. The tool type-checks the unit,
+// runs its analyzers, writes the (empty — rtds-lint has no cross-package
+// facts) .vetx facts file, and reports diagnostics on stderr with a
+// non-zero exit. The protocol is the same one x/tools' unitchecker speaks;
+// reimplementing it here keeps the binary dependency-free.
+
+// vetConfig mirrors the fields of the go command's vet.cfg that the unit
+// checker consumes. Unknown fields are ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// UnitcheckerMain implements the vettool side of the protocol. It never
+// returns: it exits 0 on success (or when the unit is skipped), non-zero
+// on diagnostics or errors. appliesTo has the same meaning as in
+// RunPackages.
+func UnitcheckerMain(progname string, analyzers []*Analyzer, appliesTo func(*Analyzer, string) bool, args []string) {
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			fmt.Printf("%s version devel buildID=%s\n", progname, selfHash())
+			os.Exit(0)
+		case args[0] == "-flags":
+			// rtds-lint accepts no pass-through vet flags; an empty schema
+			// tells the go command to reject any it is given.
+			fmt.Println("[]")
+			os.Exit(0)
+		case strings.HasSuffix(args[0], ".cfg"):
+			if err := unitcheck(args[0], analyzers, appliesTo); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			os.Exit(0)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s (vettool mode): want -V=full, -flags, or a single vet.cfg path, got %q\n", progname, args)
+	os.Exit(2)
+}
+
+// selfHash fingerprints the running executable; the go command caches vet
+// results keyed on this string, so it must change whenever the binary does.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+func unitcheck(cfgPath string, analyzers []*Analyzer, appliesTo func(*Analyzer, string) bool) error {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("%s: parsing vet config: %v", cfgPath, err)
+	}
+	// The go command requires the facts file to exist afterwards, even
+	// though rtds-lint records no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil
+	}
+	// Test compilation units re-lint the same production sources the base
+	// unit already covered (plus _test.go files, which rtds-lint exempts by
+	// design), so they are skipped outright: "repro/pkg [repro/pkg.test]",
+	// "repro/pkg.test", "repro/pkg_test [...]".
+	importPath := cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return nil
+	}
+	if strings.HasSuffix(importPath, ".test") {
+		return nil
+	}
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		goFiles = append(goFiles, f)
+	}
+	if len(goFiles) == 0 {
+		return nil
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, func(path string) (string, bool) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	pkg, err := typecheck(fset, imp, importPath, goFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil
+		}
+		return fmt.Errorf("%s: typecheck: %v", importPath, err)
+	}
+	diags, _, err := RunPackages(analyzers, appliesTo, []*Package{pkg})
+	if err != nil {
+		return err
+	}
+	if len(diags) > 0 {
+		PrintDiagnostics(os.Stderr, fset, diags)
+		os.Exit(2)
+	}
+	return nil
+}

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/determinism"
 	"repro/internal/graph"
 	"repro/internal/routing"
 	"repro/internal/schedule"
@@ -294,7 +295,7 @@ func (c *Cluster) GuaranteeRatio() float64 {
 	return float64(acc) / float64(len(c.jobs))
 }
 
-func (c *Cluster) decide(job *core.Job, outcome core.Outcome, stage string, at float64) {
+func (c *Cluster) decide(job *core.Job, outcome core.Outcome, stage core.RejectStage, at float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if job.Outcome != core.Pending {
@@ -349,7 +350,7 @@ func outcomeOf(m verdictMsg) core.Outcome {
 	return core.Rejected
 }
 
-func stageOf(m verdictMsg) string {
+func stageOf(m verdictMsg) core.RejectStage {
 	if m.Accepted {
 		return ""
 	}
@@ -473,9 +474,9 @@ func (s *site) jobArrives(job *core.Job) {
 		v  float64
 	}
 	var cands []cand
-	for id, v := range s.surplus {
+	for _, id := range determinism.SortedKeys(s.surplus) {
 		if id != s.id {
-			cands = append(cands, cand{id, v})
+			cands = append(cands, cand{id, s.surplus[id]})
 		}
 	}
 	if len(cands) == 0 {
@@ -554,11 +555,7 @@ func (s *site) awardOrReject(p *pendingJob) {
 	delete(s.pending, p.job.ID)
 	best := graph.NodeID(-1)
 	bestV := -1.0
-	ids := make([]graph.NodeID, 0, len(p.bids))
-	for id := range p.bids {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := determinism.SortedKeys(p.bids)
 	for _, id := range ids {
 		if v := p.bids[id]; v > bestV {
 			best, bestV = id, v

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/determinism"
 	"repro/internal/graph"
 )
 
@@ -116,12 +117,7 @@ func (o *Oracle) place(job *core.Job) bool {
 }
 
 func orderedKeys(m map[dag.TaskID]tentative) []dag.TaskID {
-	out := make([]dag.TaskID, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return determinism.SortedKeys(m)
 }
 
 // earliestGap finds the earliest start >= release such that
@@ -129,8 +125,8 @@ func orderedKeys(m map[dag.TaskID]tentative) []dag.TaskID {
 // tentative placements on the same site, and ends by deadline.
 func (o *Oracle) earliestGap(site int, release, deadline, dur float64, placedSoFar map[dag.TaskID]tentative) (float64, bool) {
 	occ := append([]interval(nil), o.sites[site].busy...)
-	for _, tv := range placedSoFar {
-		if tv.site == site {
+	for _, k := range determinism.SortedKeys(placedSoFar) {
+		if tv := placedSoFar[k]; tv.site == site {
 			occ = append(occ, interval{start: tv.start, end: tv.end})
 		}
 	}

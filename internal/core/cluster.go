@@ -2,11 +2,11 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/core/membership"
 	"repro/internal/dag"
+	"repro/internal/determinism"
 	"repro/internal/graph"
 	"repro/internal/schedule"
 	"repro/internal/sim"
@@ -239,7 +239,7 @@ type JobStatus struct {
 	AbsDeadline float64      `json:"abs_deadline"`
 	Outcome     Outcome      `json:"-"`
 	OutcomeName string       `json:"outcome"`
-	RejectStage string       `json:"reject_stage,omitempty"`
+	RejectStage RejectStage  `json:"reject_stage,omitempty"`
 	DecisionAt  float64      `json:"decision_at"`
 	Done        bool         `json:"done"`
 	CompletedAt float64      `json:"completed_at"`
@@ -370,23 +370,13 @@ func (c *Cluster) Executions() []TaskExecution {
 				byTask[f.Task] = b
 			}
 		}
-		jobIDs := make([]string, 0, len(s.exec))
-		for id := range s.exec {
-			jobIDs = append(jobIDs, id)
-		}
-		sort.Strings(jobIDs)
-		for _, jobID := range jobIDs {
+		for _, jobID := range determinism.SortedKeys(s.exec) {
 			e := s.exec[jobID]
 			if e.cancelled {
 				continue
 			}
-			taskIDs := make([]int, 0, len(e.reservations))
-			for t := range e.reservations {
-				taskIDs = append(taskIDs, int(t))
-			}
-			sort.Ints(taskIDs)
-			for _, ti := range taskIDs {
-				id := dag.TaskID(ti)
+			for _, id := range determinism.SortedKeys(e.reservations) {
+				ti := int(id)
 				te := TaskExecution{Job: e.job, Task: id, Site: s.id}
 				if s.plan.Preemptive() {
 					b := fragBounds[jobID][ti]
@@ -423,7 +413,7 @@ func (c *Cluster) noteJobProcs(job *Job, n int) {
 	c.mu.Unlock()
 }
 
-func (c *Cluster) recordDecision(job *Job, outcome Outcome, stage string, at float64) {
+func (c *Cluster) recordDecision(job *Job, outcome Outcome, stage RejectStage, at float64) {
 	c.mu.Lock()
 	if job.Outcome != Pending {
 		c.mu.Unlock()
@@ -435,7 +425,7 @@ func (c *Cluster) recordDecision(job *Job, outcome Outcome, stage string, at flo
 	c.mu.Unlock()
 	detail := outcome.String()
 	if stage != "" {
-		detail += "/" + stage
+		detail += "/" + string(stage)
 	}
 	c.event(job.Origin, job.ID, EvDecided, detail)
 }
@@ -484,7 +474,7 @@ type Summary struct {
 	AcceptedDistributed  int
 	Rejected             int
 	Undecided            int // still Pending after the run (initiator died mid-transaction)
-	RejectedByStage      map[string]int
+	RejectedByStage      map[RejectStage]int
 	CompletedOnTime      int
 	CompletedLate        int
 	AcceptedNotCompleted int
@@ -504,7 +494,7 @@ type Summary struct {
 func (c *Cluster) Summarize() Summary {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := Summary{RejectedByStage: make(map[string]int)}
+	s := Summary{RejectedByStage: make(map[RejectStage]int)}
 	var latencySum float64
 	var latencyN int
 	var acsSum, acsN float64
@@ -565,11 +555,7 @@ func (c *Cluster) Summarize() Summary {
 
 // String renders the summary as a compact report.
 func (s Summary) String() string {
-	stages := make([]string, 0, len(s.RejectedByStage))
-	for k := range s.RejectedByStage {
-		stages = append(stages, k)
-	}
-	sort.Strings(stages)
+	stages := determinism.SortedKeys(s.RejectedByStage)
 	out := fmt.Sprintf(
 		"jobs=%d accepted=%d (local=%d dist=%d) rejected=%d ratio=%.3f ontime=%d late=%d msgs=%d bytes=%d msgs/job=%.1f",
 		s.Submitted, s.AcceptedLocal+s.AcceptedDistributed, s.AcceptedLocal,

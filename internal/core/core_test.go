@@ -337,7 +337,7 @@ func TestDeterminism(t *testing.T) {
 		}
 		var outcomes []string
 		for _, j := range c.Jobs() {
-			outcomes = append(outcomes, j.ID+":"+j.Outcome.String()+":"+j.RejectStage)
+			outcomes = append(outcomes, j.ID+":"+j.Outcome.String()+":"+string(j.RejectStage))
 		}
 		return c.Summarize(), outcomes
 	}

@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/dag"
+	"repro/internal/determinism"
 	"repro/internal/graph"
 	"repro/internal/schedule"
 	"repro/internal/simnet"
@@ -88,21 +88,11 @@ func (s *Site) rescheduleAllExec() {
 		}
 	}
 	now := s.now()
-	jobIDs := make([]string, 0, len(s.exec))
-	for id := range s.exec {
-		jobIDs = append(jobIDs, id)
-	}
-	sort.Strings(jobIDs)
 	var lost []string
-	for _, jobID := range jobIDs {
+	for _, jobID := range determinism.SortedKeys(s.exec) {
 		e := s.exec[jobID]
-		taskIDs := make([]int, 0, len(e.reservations))
-		for t := range e.reservations {
-			taskIDs = append(taskIDs, int(t))
-		}
-		sort.Ints(taskIDs)
-		for _, ti := range taskIDs {
-			id := dag.TaskID(ti)
+		for _, id := range determinism.SortedKeys(e.reservations) {
+			ti := int(id)
 			if e.completed[id] {
 				continue
 			}

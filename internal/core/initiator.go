@@ -386,6 +386,7 @@ func (s *Site) trackAbort(t *activeTxn) {
 	var executing []graph.NodeID
 	for _, m := range t.ACS {
 		if t.Assignment != nil {
+			//lint:allow mapiter -- membership test: appends at most once per ACS member then breaks, so iteration order cannot reach the output
 			for _, site := range t.Assignment {
 				if site == m {
 					executing = append(executing, m)
@@ -448,7 +449,7 @@ func (s *Site) onUnlockAck(m UnlockAck) {
 // finishTxn records the decision, unlocks the ACS when the members have not
 // yet received their commit/release messages, unlocks the initiator, and
 // replays deferred work.
-func (s *Site) finishTxn(t *activeTxn, outcome Outcome, stage string) {
+func (s *Site) finishTxn(t *activeTxn, outcome Outcome, stage RejectStage) {
 	if !t.Finish() {
 		return
 	}

@@ -38,19 +38,26 @@ func (o Outcome) String() string {
 	}
 }
 
+// RejectStage names the protocol stage at which a job was turned away. It
+// is a named type so switches over it fall under the exhaustive analyzer
+// and so a stage can't be confused with an arbitrary string; schemes
+// outside the RTDS protocol may still mint their own values (it is an open
+// string enum, e.g. the baselines' "no-candidates").
+type RejectStage string
+
 // Rejection stages, recorded for diagnosis and the experiment breakdowns.
 const (
-	StageLocalOnly = "local-only" // local test failed and distribution is off
-	StageNoSphere  = "no-sphere"  // PCS is empty (radius 0 or isolated site)
-	StageEmptyACS  = "empty-acs"  // nobody enrolled before the window closed
-	StageMapper    = "mapper"     // case (i) or inconsistent windows
-	StageMatching  = "matching"   // maximum coupling smaller than |U|
-	StageCommit    = "commit"     // a site could not honour its validated slots
+	StageLocalOnly RejectStage = "local-only" // local test failed and distribution is off
+	StageNoSphere  RejectStage = "no-sphere"  // PCS is empty (radius 0 or isolated site)
+	StageEmptyACS  RejectStage = "empty-acs"  // nobody enrolled before the window closed
+	StageMapper    RejectStage = "mapper"     // case (i) or inconsistent windows
+	StageMatching  RejectStage = "matching"   // maximum coupling smaller than |U|
+	StageCommit    RejectStage = "commit"     // a site could not honour its validated slots
 
 	// Timeout stages: the phase window expired before every answer arrived
 	// (lost messages, crashed members or excessive delay).
-	StageValidateTimeout = "validate-timeout"
-	StageCommitTimeout   = "commit-timeout"
+	StageValidateTimeout RejectStage = "validate-timeout"
+	StageCommitTimeout   RejectStage = "commit-timeout"
 )
 
 // Job is one sporadic real-time job: a DAG with an arrival site, arrival
@@ -64,7 +71,7 @@ type Job struct {
 	AbsDeadline float64
 
 	Outcome     Outcome
-	RejectStage string
+	RejectStage RejectStage
 	DecisionAt  float64 // when the accept/reject decision was made
 	CompletedAt float64 // when the last task finished (accepted jobs)
 	Done        bool    // all tasks completed

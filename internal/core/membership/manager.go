@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/determinism"
 	"repro/internal/graph"
 	"repro/internal/routing"
 	"repro/internal/simnet"
@@ -195,10 +196,10 @@ func (m *Manager) digest() []Entry {
 		return nil
 	}
 	out := make([]Entry, 0, len(m.view))
-	for site, st := range m.view {
+	for _, site := range determinism.SortedKeys(m.view) {
+		st := m.view[site]
 		out = append(out, Entry{Site: site, Inc: st.inc, Dead: st.dead})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
 	return out
 }
 

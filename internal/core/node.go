@@ -1,5 +1,7 @@
 package core
 
+//lint:file-allow wallclock -- a Node is the live multi-process deployment unit: readiness polling, control deadlines and graceful shutdown are wall-clock by nature and never feed the DES
+
 import (
 	"fmt"
 	"time"

@@ -22,8 +22,9 @@
 package txn
 
 import (
-	"sort"
+	"fmt"
 
+	"repro/internal/determinism"
 	"repro/internal/graph"
 	"repro/internal/mapper"
 	"repro/internal/simnet"
@@ -55,9 +56,8 @@ func (p Phase) String() string {
 		return "committing"
 	case Done:
 		return "done"
-	default:
-		return "phase(?)"
 	}
+	return fmt.Sprintf("phase(%d)", int(p))
 }
 
 // DistEntry is one line of a member's distance vector, reported at
@@ -193,11 +193,7 @@ func (t *Txn) CloseEnrollment() bool {
 // FixACS freezes the Accepted Computing Sphere: the enrolled members in
 // ascending site order (§8). Call once, after CloseEnrollment.
 func (t *Txn) FixACS() []graph.NodeID {
-	t.ACS = make([]graph.NodeID, 0, len(t.acks))
-	for m := range t.acks {
-		t.ACS = append(t.ACS, m)
-	}
-	sort.Slice(t.ACS, func(i, j int) bool { return t.ACS[i] < t.ACS[j] })
+	t.ACS = determinism.SortedKeys(t.acks)
 	return t.ACS
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"repro/internal/determinism"
 )
 
 // ratioTolerance bounds acceptable guarantee-ratio drift in the regression
@@ -58,7 +60,8 @@ func CompareReports(baseline, current BenchReport, evpsTolerance float64) error 
 			problems = append(problems, fmt.Sprintf(
 				"%s: %d table rows, baseline has %d", key, c.Rows, b.Rows))
 		}
-		for col, want := range b.GuaranteeRatios {
+		for _, col := range determinism.SortedKeys(b.GuaranteeRatios) {
+			want := b.GuaranteeRatios[col]
 			got, ok := c.GuaranteeRatios[col]
 			if !ok {
 				problems = append(problems, fmt.Sprintf(
@@ -71,7 +74,7 @@ func CompareReports(baseline, current BenchReport, evpsTolerance float64) error 
 					key, col, got-want, want, got))
 			}
 		}
-		for col := range c.GuaranteeRatios {
+		for _, col := range determinism.SortedKeys(c.GuaranteeRatios) {
 			if _, ok := b.GuaranteeRatios[col]; !ok {
 				problems = append(problems, fmt.Sprintf(
 					"%s: ratio column %q absent from the baseline (regenerate it)", key, col))

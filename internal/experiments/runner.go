@@ -187,7 +187,7 @@ func RunTasks(size Size, tasks []Task, workers int) []Result {
 				u := units[i]
 				t := tasks[u.task]
 				env := new(runEnv)
-				start := time.Now()
+				start := time.Now() //lint:allow wallclock -- wall-time measurement of suite throughput; never enters simulation state
 				ur := unitResult{}
 				if u.shard < 0 {
 					ur.table, ur.err = t.Exp.run(env, size, t.Seed)
@@ -197,7 +197,7 @@ func RunTasks(size Size, tasks []Task, workers int) []Result {
 				if ur.err != nil {
 					failed.Store(true)
 				}
-				ur.wall = time.Since(start)
+				ur.wall = time.Since(start) //lint:allow wallclock -- wall-time measurement of suite throughput; never enters simulation state
 				ur.busy = time.Duration(env.busyNS.Load())
 				ur.events = env.events.Load()
 				uresults[i] = ur

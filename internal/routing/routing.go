@@ -22,8 +22,8 @@ package routing
 import (
 	"fmt"
 	"math"
-	"sort"
 
+	"repro/internal/determinism"
 	"repro/internal/graph"
 	"repro/internal/simnet"
 )
@@ -101,24 +101,18 @@ func (t *Table) Len() int { return len(t.routes) }
 
 // Destinations lists known destinations in increasing ID order.
 func (t *Table) Destinations() []graph.NodeID {
-	out := make([]graph.NodeID, 0, len(t.routes))
-	for d := range t.routes {
-		out = append(out, d)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return determinism.SortedKeys(t.routes)
 }
 
 // Sphere returns the PCS of radius h rooted at this table's node: all known
 // destinations within h hops (self included), sorted by ID.
 func (t *Table) Sphere(h int) []graph.NodeID {
 	var out []graph.NodeID
-	for d, r := range t.routes {
-		if r.MinHops <= h {
+	for _, d := range determinism.SortedKeys(t.routes) {
+		if t.routes[d].MinHops <= h {
 			out = append(out, d)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -345,12 +339,7 @@ func (n *Node) advance() {
 			return
 		}
 		// Merge deterministically: neighbors in increasing ID order.
-		order := make([]graph.NodeID, 0, len(bucket))
-		for nbr := range bucket {
-			order = append(order, nbr)
-		}
-		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-		for _, nbr := range order {
+		for _, nbr := range determinism.SortedKeys(bucket) {
 			delay := n.linkDelay(nbr)
 			n.table.merge(nbr, delay, bucket[nbr])
 		}

@@ -8,10 +8,10 @@ package scheme
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/determinism"
 	"repro/internal/graph"
 	"repro/internal/simnet"
 )
@@ -115,10 +115,5 @@ func MustGet(name string) Scheme {
 
 // Names lists the registered schemes in sorted order.
 func Names() []string {
-	names := make([]string, 0, len(registry))
-	for n := range registry {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return determinism.SortedKeys(registry)
 }

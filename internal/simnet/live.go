@@ -1,5 +1,7 @@
 package simnet
 
+//lint:file-allow wallclock -- Live is the wall-clock transport half of simnet: mapping virtual delay onto real goroutine sleeps is its entire purpose; determinism is the DES transport's job
+
 import (
 	"fmt"
 	"sync"

@@ -24,10 +24,10 @@ package simnet
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 
+	"repro/internal/determinism"
 	"repro/internal/graph"
 	"repro/internal/sim"
 )
@@ -180,11 +180,7 @@ func (s *Stats) Reset() {
 func (s *Stats) String() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	kinds := make([]string, 0, len(s.byKind))
-	for k := range s.byKind {
-		kinds = append(kinds, k)
-	}
-	sort.Strings(kinds)
+	kinds := determinism.SortedKeys(s.byKind)
 	out := fmt.Sprintf("msgs=%d bytes=%d", s.messages, s.bytes)
 	if s.dropped > 0 {
 		out += fmt.Sprintf(" dropped=%d", s.dropped)

@@ -177,7 +177,7 @@ func TestNetClusterChurnJoin(t *testing.T) {
 		}
 		st := nodes[0].JobStatuses()
 		last := st[len(st)-1]
-		outcomes = append(outcomes, last.OutcomeName+"/"+last.RejectStage)
+		outcomes = append(outcomes, last.OutcomeName+"/"+string(last.RejectStage))
 		if job.Outcome == core.AcceptedDistributed {
 			distributed = job
 		}

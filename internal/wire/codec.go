@@ -7,6 +7,7 @@ import (
 	"repro/internal/core/membership"
 	"repro/internal/core/txn"
 	"repro/internal/dag"
+	"repro/internal/determinism"
 	"repro/internal/graph"
 	"repro/internal/mapper"
 	"repro/internal/routing"
@@ -75,7 +76,7 @@ func DecodeFrame(buf []byte) (simnet.Payload, int, error) {
 	if len(buf) < 4+n {
 		return nil, 0, fmt.Errorf("wire: frame truncated (%d of %d bytes)", len(buf)-4, n)
 	}
-	version, kind := buf[4], buf[5]
+	version, kind := buf[4], Kind(buf[5])
 	if version != Version {
 		return nil, 0, fmt.Errorf("wire: version %d, want %d", version, Version)
 	}
@@ -89,7 +90,7 @@ func DecodeFrame(buf []byte) (simnet.Payload, int, error) {
 func encodePayload(e *enc, p simnet.Payload) error {
 	switch m := p.(type) {
 	case core.Routed:
-		e.u8(kindRouted)
+		e.kind(kindRouted)
 		e.varint(int64(m.Src))
 		e.varint(int64(m.Dest))
 		e.varint(int64(m.TTL))
@@ -97,17 +98,17 @@ func encodePayload(e *enc, p simnet.Payload) error {
 		// message carries exactly one protocol message.
 		return encodePayload(e, m.Inner)
 	case routing.TableMsg:
-		e.u8(kindTable)
+		e.kind(kindTable)
 		e.varint(int64(m.Round))
 		e.uvarint(m.Epoch)
 		encodeRoutes(e, m.Entries)
 	case core.EnrollReq:
-		e.u8(kindEnrollReq)
+		e.kind(kindEnrollReq)
 		e.str(m.Job)
 		e.varint(int64(m.Initiator))
 		e.f64(m.Window)
 	case core.EnrollAck:
-		e.u8(kindEnrollAck)
+		e.kind(kindEnrollAck)
 		e.str(m.Job)
 		e.varint(int64(m.Member))
 		e.f64(m.Surplus)
@@ -118,7 +119,7 @@ func encodePayload(e *enc, p simnet.Payload) error {
 			e.f64(d.Dist)
 		}
 	case core.ValidateReq:
-		e.u8(kindValidateReq)
+		e.kind(kindValidateReq)
 		e.str(m.Job)
 		e.varint(int64(m.Initiator))
 		e.varint(int64(m.NumProcs))
@@ -133,7 +134,7 @@ func encodePayload(e *enc, p simnet.Payload) error {
 			}
 		}
 	case core.ValidateAck:
-		e.u8(kindValidateAck)
+		e.kind(kindValidateAck)
 		e.str(m.Job)
 		e.varint(int64(m.Member))
 		e.uvarint(uint64(len(m.Endorsable)))
@@ -141,7 +142,7 @@ func encodePayload(e *enc, p simnet.Payload) error {
 			e.varint(int64(proc))
 		}
 	case core.CommitMsg:
-		e.u8(kindCommit)
+		e.kind(kindCommit)
 		e.str(m.Job)
 		e.varint(int64(m.Initiator))
 		e.varint(int64(m.Proc))
@@ -158,47 +159,47 @@ func encodePayload(e *enc, p simnet.Payload) error {
 			e.varint(int64(m.TaskSites[task]))
 		}
 	case core.CommitAck:
-		e.u8(kindCommitAck)
+		e.kind(kindCommitAck)
 		e.str(m.Job)
 		e.varint(int64(m.Member))
 		e.bool(m.OK)
 	case core.UnlockMsg:
-		e.u8(kindUnlock)
+		e.kind(kindUnlock)
 		e.str(m.Job)
 		e.varint(int64(m.From))
 		e.bool(m.Abort)
 	case core.UnlockAck:
-		e.u8(kindUnlockAck)
+		e.kind(kindUnlockAck)
 		e.str(m.Job)
 		e.varint(int64(m.Member))
 	case core.ResultMsg:
-		e.u8(kindResult)
+		e.kind(kindResult)
 		e.str(m.Job)
 		e.varint(int64(m.Task))
 		e.varint(int64(m.For))
 		e.varint(int64(m.Bytes))
 	case core.DoneMsg:
-		e.u8(kindDone)
+		e.kind(kindDone)
 		e.str(m.Job)
 		e.varint(int64(m.Task))
 		e.f64(m.At)
 	case membership.Heartbeat:
-		e.u8(kindHeartbeat)
+		e.kind(kindHeartbeat)
 		e.uvarint(m.Inc)
 		encodeEntries(e, m.Digest)
 	case membership.DeadNotice:
-		e.u8(kindDead)
+		e.kind(kindDead)
 		e.varint(int64(m.Site))
 		e.uvarint(m.Inc)
 	case membership.AliveNotice:
-		e.u8(kindAlive)
+		e.kind(kindAlive)
 		e.varint(int64(m.Site))
 		e.uvarint(m.Inc)
 	case membership.JoinReq:
-		e.u8(kindJoinReq)
+		e.kind(kindJoinReq)
 		e.uvarint(m.Inc)
 	case membership.JoinAck:
-		e.u8(kindJoinAck)
+		e.kind(kindJoinAck)
 		e.uvarint(m.Inc)
 		e.uvarint(m.Epoch)
 		encodeEntries(e, m.Digest)
@@ -209,10 +210,18 @@ func encodePayload(e *enc, p simnet.Payload) error {
 	return nil
 }
 
-func decodePayload(kind byte, body []byte) (simnet.Payload, error) {
+// decodePayload dispatches on the frame kind. The switch is exhaustive
+// with no default — the exhaustive analyzer fails the build when a new
+// Kind constant is not handled here — and values outside the known range
+// fall through to the unknown-kind error below.
+func decodePayload(kind Kind, body []byte) (simnet.Payload, error) {
 	d := &dec{b: body}
 	var p simnet.Payload
 	switch kind {
+	case kindHello:
+		// Hello frames identify the dialing site to the transport and are
+		// consumed there; one reaching the codec is a framing bug.
+		return nil, fmt.Errorf("wire: %v frame reached the payload codec", kind)
 	case kindRouted:
 		m := core.Routed{}
 		m.Src = graph.NodeID(d.varint())
@@ -224,7 +233,7 @@ func decodePayload(kind byte, body []byte) (simnet.Payload, error) {
 		if len(d.b) < 1 {
 			return nil, fmt.Errorf("wire: routed frame without inner payload")
 		}
-		innerKind := d.b[0]
+		innerKind := Kind(d.b[0])
 		if innerKind == kindRouted {
 			return nil, fmt.Errorf("wire: nested routed payloads are not allowed")
 		}
@@ -366,11 +375,12 @@ func decodePayload(kind byte, body []byte) (simnet.Payload, error) {
 		m.Digest = decodeEntries(d)
 		m.Table = decodeRoutes(d)
 		p = m
-	default:
-		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
+	}
+	if p == nil {
+		return nil, fmt.Errorf("wire: unknown message kind %v", kind)
 	}
 	if d.err != nil {
-		return nil, d.err
+		return nil, fmt.Errorf("wire: decoding %v frame: %w", kind, d.err)
 	}
 	// Bytes left in d.b are fields appended by a newer peer: ignored.
 	return p, nil
@@ -481,14 +491,5 @@ func decodeEntries(d *dec) []membership.Entry {
 }
 
 func sortedTaskIDs(m map[dag.TaskID]graph.NodeID) []dag.TaskID {
-	out := make([]dag.TaskID, 0, len(m))
-	for t := range m {
-		out = append(out, t)
-	}
-	for i := 1; i < len(out); i++ { // insertion sort: maps are small
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
+	return determinism.SortedKeys(m)
 }

@@ -368,7 +368,7 @@ func TestInvalidGraphOnWireRejected(t *testing.T) {
 	var e enc
 	e.b = append(e.b, 0, 0, 0, 0)
 	e.u8(Version)
-	e.u8(kindCommit)
+	e.kind(kindCommit)
 	e.str("jX@0")
 	e.varint(0)  // initiator
 	e.varint(0)  // proc

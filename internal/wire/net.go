@@ -258,7 +258,7 @@ func (t *NetTransport) readLoop(conn net.Conn) {
 		if block[0] != Version {
 			return
 		}
-		if block[1] == kindHello {
+		if Kind(block[1]) == kindHello {
 			id, k := binary.Varint(block[2:])
 			if k <= 0 || int(id) < 0 || int(id) >= t.topo.Len() {
 				return
@@ -269,7 +269,7 @@ func (t *NetTransport) readLoop(conn net.Conn) {
 		if from < 0 {
 			return // protocol frame before hello
 		}
-		p, err := decodePayload(block[1], block[2:])
+		p, err := decodePayload(Kind(block[1]), block[2:])
 		if err != nil {
 			return
 		}
@@ -375,6 +375,7 @@ func (t *NetTransport) Close() {
 	}
 	t.closed = true
 	conns := make([]net.Conn, 0, len(t.conns))
+	//lint:allow mapiter -- snapshot of live TCP conns taken only to close them; close order is unobservable and net.Conn keys are unorderable
 	for c := range t.conns {
 		conns = append(conns, c)
 	}
@@ -688,7 +689,7 @@ func helloFrame(self graph.NodeID) []byte {
 	e := enc{}
 	e.b = append(e.b, 0, 0, 0, 0)
 	e.u8(Version)
-	e.u8(kindHello)
+	e.kind(kindHello)
 	e.varint(int64(self))
 	n := len(e.b) - 4
 	binary.LittleEndian.PutUint32(e.b[:4], uint32(n))

@@ -40,10 +40,16 @@ const Version = 2
 // connection from forcing a huge allocation.
 const MaxFrame = 1 << 20
 
+// Kind tags a frame's payload type. New kinds append at the end: the tag
+// value is wire format. Every switch over Kind must be exhaustive (the
+// exhaustive analyzer enforces it), so adding a kind fails lint at every
+// dispatch site until it is handled.
+type Kind byte
+
 // Message kinds. Kind 0 is reserved for the transport's hello frame, which
 // identifies the dialing site and never reaches the protocol layer.
 const (
-	kindHello byte = iota
+	kindHello Kind = iota
 	kindRouted
 	kindTable
 	kindEnrollReq
@@ -63,6 +69,51 @@ const (
 	kindJoinAck
 )
 
+// String names the kind for diagnostics. Hand-written because the build is
+// offline (no stringer); the switch is deliberately default-free so the
+// exhaustive analyzer forces an update here when a kind is added.
+func (k Kind) String() string {
+	switch k {
+	case kindHello:
+		return "hello"
+	case kindRouted:
+		return "routed"
+	case kindTable:
+		return "table"
+	case kindEnrollReq:
+		return "enroll-req"
+	case kindEnrollAck:
+		return "enroll-ack"
+	case kindValidateReq:
+		return "validate-req"
+	case kindValidateAck:
+		return "validate-ack"
+	case kindCommit:
+		return "commit"
+	case kindCommitAck:
+		return "commit-ack"
+	case kindUnlock:
+		return "unlock"
+	case kindUnlockAck:
+		return "unlock-ack"
+	case kindResult:
+		return "result"
+	case kindDone:
+		return "done"
+	case kindHeartbeat:
+		return "heartbeat"
+	case kindDead:
+		return "dead"
+	case kindAlive:
+		return "alive"
+	case kindJoinReq:
+		return "join-req"
+	case kindJoinAck:
+		return "join-ack"
+	}
+	return fmt.Sprintf("Kind(%d)", byte(k))
+}
+
 // headerLen is the fixed frame overhead: u32 length + version + kind.
 const headerLen = 4 + 1 + 1
 
@@ -70,6 +121,7 @@ const headerLen = 4 + 1 + 1
 type enc struct{ b []byte }
 
 func (e *enc) u8(v byte)        { e.b = append(e.b, v) }
+func (e *enc) kind(k Kind)      { e.b = append(e.b, byte(k)) }
 func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
 func (e *enc) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
 func (e *enc) f64(v float64)    { e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v)) }
