@@ -151,6 +151,8 @@ func main() {
 
 	if *jsonOut {
 		rep := experiments.NewBenchReport(size, seeds, *workers, wall, results)
+		fmt.Fprintln(os.Stderr, "running hot-path micro-benchmarks (allocs/op)")
+		rep.Micro = experiments.RunMicroBenches()
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -203,6 +205,10 @@ func checkBaseline(path string, workers int, evpsTol float64) error {
 		return err
 	}
 	current := experiments.NewBenchReport(size, baseline.Seeds, workers, wall, results)
+	if len(baseline.Micro) > 0 {
+		fmt.Fprintln(os.Stderr, "regression gate: running hot-path micro-benchmarks (allocs/op)")
+		current.Micro = experiments.RunMicroBenches()
+	}
 	if err := experiments.CompareReports(baseline, current, evpsTol); err != nil {
 		return err
 	}

@@ -1,15 +1,17 @@
 // Command rtds-lint machine-checks the repository's determinism and
-// protocol invariants with four project-specific analyzers: detclock,
-// mapiter, exhaustive, and sendunderlock (see internal/analysis/... for
-// what each enforces and why).
+// protocol invariants with seven project-specific analyzers: the
+// per-package detclock, mapiter, exhaustive, and sendunderlock, and the
+// whole-program lockorder, hotalloc, and spawncheck (see
+// internal/analysis/... for what each enforces and why).
 //
 // Standalone:
 //
 //	rtds-lint ./...
-//	rtds-lint repro/internal/core repro/internal/routing
+//	rtds-lint -json ./...       # machine-readable diagnostics
+//	rtds-lint -hierarchy ./...  # print the derived lock hierarchy
 //
-// As a vet tool (same diagnostics, but scheduled and cached by the go
-// command):
+// As a vet tool (per-package analyzers only — vet schedules one package
+// per process, so the whole-program checks cannot run there):
 //
 //	go build -o bin/rtds-lint ./cmd/rtds-lint
 //	go vet -vettool=$PWD/bin/rtds-lint ./...
@@ -18,11 +20,15 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"go/token"
 	"os"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/rtdslint"
 )
 
@@ -32,23 +38,97 @@ func main() {
 		analysis.UnitcheckerMain("rtds-lint", rtdslint.Suite(), rtdslint.AppliesTo, args)
 		return // unreachable; UnitcheckerMain exits
 	}
-	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: rtds-lint <packages>   (e.g. rtds-lint ./...)")
+
+	flags := flag.NewFlagSet("rtds-lint", flag.ExitOnError)
+	jsonOut := flags.Bool("json", false, "emit diagnostics as JSON on stdout")
+	hierarchy := flags.Bool("hierarchy", false, "print the derived lock hierarchy instead of linting")
+	flags.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rtds-lint [-json] [-hierarchy] <packages>   (e.g. rtds-lint ./...)")
+		flags.PrintDefaults()
+	}
+	_ = flags.Parse(args)
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		flags.Usage()
 		os.Exit(1)
 	}
-	pkgs, err := analysis.Load(".", args)
+
+	pkgs, err := analysis.Load(".", patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtds-lint:", err)
 		os.Exit(1)
 	}
-	diags, fset, err := analysis.RunPackages(rtdslint.Suite(), rtdslint.AppliesTo, pkgs)
+
+	if *hierarchy {
+		printHierarchy(pkgs)
+		return
+	}
+
+	diags, fset, err := analysis.RunPackages(rtdslint.Suite(), rtdslint.AppliesTo, ".", pkgs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtds-lint:", err)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		printJSON(fset, diags)
+		if len(diags) > 0 {
+			os.Exit(2)
+		}
+		return
 	}
 	if len(diags) > 0 {
 		analysis.PrintDiagnostics(os.Stderr, fset, diags)
 		os.Exit(2)
+	}
+}
+
+// printHierarchy derives and prints the canonical lock hierarchy over the
+// lockorder-scoped subset of the loaded packages.
+func printHierarchy(pkgs []*analysis.Package) {
+	var scoped []*analysis.Package
+	for _, p := range pkgs {
+		if rtdslint.AppliesTo(lockorder.Analyzer, p.ImportPath) {
+			scoped = append(scoped, p)
+		}
+	}
+	if len(scoped) == 0 {
+		fmt.Fprintln(os.Stderr, "rtds-lint: no lockorder-scoped packages in the load")
+		os.Exit(1)
+	}
+	classes := lockorder.Hierarchy(scoped[0].Fset, scoped)
+	if len(classes) == 0 {
+		fmt.Println("lock hierarchy is empty: the discipline is flat — no lock is ever acquired while another is held")
+		return
+	}
+	for i, class := range classes {
+		fmt.Printf("%2d. %s\n", i+1, class)
+	}
+}
+
+// jsonDiagnostic is the -json output shape, one object per finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
+}
+
+func printJSON(fset *token.FileSet, diags []analysis.Diagnostic) {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		jd := jsonDiagnostic{Message: d.Message, Analyzer: d.Analyzer}
+		if fset != nil && d.Pos.IsValid() {
+			p := fset.Position(d.Pos)
+			jd.File, jd.Line, jd.Column = p.Filename, p.Line, p.Column
+		}
+		out = append(out, jd)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "rtds-lint:", err)
+		os.Exit(1)
 	}
 }
 

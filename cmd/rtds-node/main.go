@@ -158,6 +158,7 @@ func run(o runOpts) error {
 	var httpSrv *http.Server
 	if o.httpAddr != "" {
 		httpSrv = &http.Server{Addr: o.httpAddr, Handler: api}
+		//lint:allow spawncheck -- the HTTP listener lives for the process; shutdown below unblocks ListenAndServe
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "http:", err)

@@ -24,9 +24,19 @@
 //	//lint:file-allow <escape> -- <justification>
 //
 // <escape> is the analyzer's escape token: wallclock (detclock), mapiter,
-// exhaustive, sendunderlock. The runner rejects malformed escapes — an
-// unknown token or a missing justification is itself a diagnostic — so an
-// exception cannot be waved through silently.
+// exhaustive, sendunderlock, lockorder, hotalloc, spawncheck. The runner
+// rejects malformed escapes — an unknown token or a missing justification
+// is itself a diagnostic — so an exception cannot be waved through
+// silently.
+//
+// A second directive declares hot-path roots for the hotalloc analyzer, on
+// the line directly above (or the doc comment of) a function declaration:
+//
+//	//lint:hotpath -- <why this function must stay allocation-free>
+//
+// The root set thus lives in the source next to the functions it names
+// (wire.Encode, the sim event loop, schedule Admit), not in linter
+// configuration.
 package analysis
 
 import (
@@ -48,8 +58,13 @@ type Analyzer struct {
 	// Name; detclock uses "wallclock" (the escape names the forbidden
 	// thing, not the checker).
 	Escape string
-	// Run executes the check over one package.
+	// Run executes the check over one package. Exactly one of Run and
+	// RunProgram is set.
 	Run func(*Pass) error
+	// RunProgram executes the check once over every package of the load —
+	// the whole-program analyzers (lockorder, hotalloc, spawncheck) that
+	// follow calls across package boundaries. See program.go.
+	RunProgram func(*ProgramPass) error
 }
 
 // EscapeToken returns the analyzer's escape-hatch token.
@@ -109,6 +124,59 @@ func (p *Pass) Allowed(pos token.Pos) bool {
 // group 2: the escape token, group 3: the justification (may be empty,
 // which CheckEscapes rejects).
 var allowRe = regexp.MustCompile(`^//lint:(allow|file-allow)\s+([A-Za-z0-9_-]+)(?:\s+--\s*(.*))?$`)
+
+// hotpathRe matches the hot-path root directive. Group 1 is the mandatory
+// justification: a root without a why is as suspicious as an escape
+// without one.
+var hotpathRe = regexp.MustCompile(`^//lint:hotpath(?:\s+--\s*(.*))?$`)
+
+// HotpathFuncs returns the functions marked as hot-path roots by a
+// //lint:hotpath directive in their doc comment or on the line directly
+// above the declaration. The result is in file order.
+func HotpathFuncs(fset *token.FileSet, files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		// Lines carrying the directive, whether or not attached as a doc
+		// comment (a detached comment line still counts, matching how
+		// //lint:allow binds to the line below it).
+		marked := make(map[string]map[int]bool)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if hotpathRe.MatchString(c.Text) {
+					p := fset.Position(c.Slash)
+					if marked[p.Filename] == nil {
+						marked[p.Filename] = make(map[int]bool)
+					}
+					marked[p.Filename][p.Line] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			p := fset.Position(fd.Pos())
+			byLine := marked[p.Filename]
+			if byLine == nil {
+				continue
+			}
+			// Anywhere in the doc comment, or the line directly above the
+			// func keyword.
+			hit := byLine[p.Line-1]
+			if fd.Doc != nil {
+				start := fset.Position(fd.Doc.Pos()).Line
+				for l := start; l < p.Line && !hit; l++ {
+					hit = byLine[l]
+				}
+			}
+			if hit {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
 
 type allowIndex struct {
 	fileAllows map[string]map[string]bool // file -> token -> present
@@ -186,6 +254,12 @@ func CheckEscapes(fset *token.FileSet, files []*ast.File, knownTokens []string) 
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, "//lint:") {
+					continue
+				}
+				if h := hotpathRe.FindStringSubmatch(c.Text); h != nil {
+					if strings.TrimSpace(h[1]) == "" {
+						bad(c.Slash, "hot-path root is missing its justification (//lint:hotpath -- <why>)")
+					}
 					continue
 				}
 				m := allowRe.FindStringSubmatch(c.Text)

@@ -36,7 +36,32 @@ import (
 // reports mismatches against the // want comments through t.
 func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	t.Helper()
-	diags, fset, files := run(t, a, dir)
+	pkg, fset, files := load(t, dir)
+	diags, err := analysis.RunForTest(a, pkg)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	check(t, fset, files, diags)
+}
+
+// RunProgram loads the Go files in dir as one package and applies a
+// whole-program analyzer (Analyzer.RunProgram) to it as a single-package
+// program, checking // want comments exactly as Run does. dir doubles as
+// Program.Dir, so an analyzer that shells out to the go tool (hotalloc's
+// escape-analysis cross-check) runs it over the fixture sources.
+func RunProgram(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, fset, files := load(t, dir)
+	diags, err := analysis.RunProgramForTest(a, dir, pkg)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	check(t, fset, files, diags)
+}
+
+// check matches reported diagnostics against the // want expectations.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
 	wants := collectWants(t, fset, files)
 
 	matched := make([]bool, len(wants))
@@ -64,7 +89,8 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	}
 }
 
-func run(t *testing.T, a *analysis.Analyzer, dir string) ([]analysis.Diagnostic, *token.FileSet, []*ast.File) {
+// load parses and type-checks the fixture directory as one package.
+func load(t *testing.T, dir string) (*analysis.Package, *token.FileSet, []*ast.File) {
 	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -102,11 +128,7 @@ func run(t *testing.T, a *analysis.Analyzer, dir string) ([]analysis.Diagnostic,
 	if err != nil {
 		t.Fatalf("analysistest: typecheck %s: %v", dir, err)
 	}
-	diags, err := analysis.RunForTest(a, pkg)
-	if err != nil {
-		t.Fatalf("analysistest: %v", err)
-	}
-	return diags, fset, files
+	return pkg, fset, files
 }
 
 var (

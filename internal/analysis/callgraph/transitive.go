@@ -1,0 +1,82 @@
+package callgraph
+
+// Transitive composition of the per-function summaries. Both helpers are
+// deterministic: nodes are visited in Graph.Nodes order and every returned
+// set is sorted.
+
+import "sort"
+
+// TransitiveAcquires returns, per node, the sorted set of lock classes the
+// node or anything it transitively calls may acquire. Every edge context
+// counts — a deferred or spawned callee still takes its locks eventually,
+// and for deadlock purposes "eventually" is enough.
+func (g *Graph) TransitiveAcquires() map[*Node][]string {
+	sets := make(map[*Node]map[string]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		s := make(map[string]bool, len(n.Acquires))
+		for _, a := range n.Acquires {
+			s[a.Class] = true
+		}
+		sets[n] = s
+	}
+	// Fixpoint over the (cyclic, in general) call graph: iterate until no
+	// set grows. The sets only grow and are bounded by the class universe,
+	// so this terminates.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			s := sets[n]
+			for _, e := range n.Out {
+				for class := range sets[e.Callee] {
+					if !s[class] {
+						s[class] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	out := make(map[*Node][]string, len(g.Nodes))
+	for n, s := range sets {
+		out[n] = sortedKeys(s)
+	}
+	return out
+}
+
+// Reachable returns the nodes reachable from roots through edges admitted
+// by follow (nil admits every edge). Roots themselves are included.
+func (g *Graph) Reachable(roots []*Node, follow func(*Edge) bool) map[*Node]bool {
+	seen := make(map[*Node]bool)
+	var queue []*Node
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if follow != nil && !follow(e) {
+				continue
+			}
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// SortNodes orders a node slice by qualified name (stable tie-break on
+// position) — handy for deterministic iteration over map keys.
+func SortNodes(nodes []*Node) {
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Name != nodes[j].Name {
+			return nodes[i].Name < nodes[j].Name
+		}
+		return nodes[i].Pos() < nodes[j].Pos()
+	})
+}

@@ -1,0 +1,15 @@
+package hotalloc
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.RunProgram(t, Analyzer, analysistest.Dir("hot"))
+}
+
+func TestAllowSilences(t *testing.T) {
+	analysistest.RunProgram(t, Analyzer, analysistest.Dir("allowhot"))
+}

@@ -1,0 +1,10 @@
+// The seeded allocations again, silenced by justified escapes.
+package allowhot
+
+//lint:hotpath -- fixture: justified allocations stay silent
+func encode(v uint64, n int) []byte {
+	//lint:allow hotalloc -- fixture: grows once at startup, measured and accepted
+	buf := make([]byte, n)
+	buf[0] = byte(v)
+	return buf
+}

@@ -1,0 +1,76 @@
+package lockorder
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.RunProgram(t, Analyzer, analysistest.Dir("a"))
+}
+
+func TestAllowSilences(t *testing.T) {
+	analysistest.RunProgram(t, Analyzer, analysistest.Dir("allow"))
+}
+
+func TestHierarchy(t *testing.T) {
+	const src = `package h
+import "sync"
+type Outer struct{ mu sync.Mutex }
+type Mid struct{ mu sync.Mutex }
+type Inner struct{ mu sync.Mutex }
+func a(o *Outer, m *Mid) { o.mu.Lock(); defer o.mu.Unlock(); m.mu.Lock(); m.mu.Unlock() }
+func b(m *Mid, i *Inner) { m.mu.Lock(); defer m.mu.Unlock(); i.mu.Lock(); i.mu.Unlock() }
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "h.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports, err := analysis.ListExports(".", []string{"sync"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.TypecheckStandalone(fset, []*ast.File{f}, exports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Hierarchy(fset, []*analysis.Package{pkg})
+	want := []string{"h.Outer.mu", "h.Mid.mu", "h.Inner.mu"}
+	if len(got) != len(want) {
+		t.Fatalf("hierarchy = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hierarchy = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestDocumentedHierarchyMatchesDerived keeps DocumentedHierarchy (doc.go)
+// in agreement with the hierarchy derived from the real repository: the
+// documentation of the lock discipline is executable, not aspirational.
+func TestDocumentedHierarchyMatchesDerived(t *testing.T) {
+	pkgs, err := analysis.Load("../../../", []string{
+		"./internal/core/...", "./internal/simnet/...", "./internal/wire/...",
+	})
+	if err != nil {
+		t.Fatalf("loading repository packages: %v", err)
+	}
+	got := Hierarchy(pkgs[0].Fset, pkgs)
+	if len(got) != len(DocumentedHierarchy) {
+		t.Fatalf("derived hierarchy %v does not match DocumentedHierarchy %v — update doc.go to record the new locking discipline",
+			got, DocumentedHierarchy)
+	}
+	for i := range got {
+		if got[i] != DocumentedHierarchy[i] {
+			t.Fatalf("derived hierarchy %v does not match DocumentedHierarchy %v — update doc.go to record the new locking discipline",
+				got, DocumentedHierarchy)
+		}
+	}
+}

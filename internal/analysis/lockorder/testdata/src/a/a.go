@@ -1,0 +1,82 @@
+// Seeded lock-order cycle fixtures: the direct AB/BA shape and the
+// interprocedural one (the inversion hides behind a call).
+package a
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// ab acquires A then B.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `acquiring a\.B\.mu while holding a\.A\.mu .*lock-order cycle`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// ba acquires B then A: together with ab this is the classic deadlock.
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `acquiring a\.A\.mu while holding a\.B\.mu .*lock-order cycle`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+// cd acquires D under C directly.
+func cd(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock() // want `acquiring a\.D\.mu while holding a\.C\.mu .*lock-order cycle`
+	d.mu.Unlock()
+}
+
+// dThenC inverts the order interprocedurally: lockC acquires C while the
+// caller holds D, so the cycle edge is witnessed at the call site.
+func dThenC(c *C, d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lockC(c) // want `acquiring a\.C\.mu while holding a\.D\.mu \(via call to a\.lockC\)`
+}
+
+func lockC(c *C) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+type E struct{ mu sync.Mutex }
+
+type F struct{ mu sync.Mutex }
+
+// consistent always acquires E before F: one order, no cycle, no report.
+func consistent(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func consistentToo(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	lockF(f)
+}
+
+func lockF(f *F) {
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+// sameClass locks two instances of one class; the class graph cannot
+// order instances, so no self-edge is reported (see package comment).
+func sameClass(x, y *E) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}

@@ -1,0 +1,24 @@
+// The same seeded cycle as fixture a, silenced by justified escapes: a
+// //lint:allow lockorder on every site that contributes a cycle edge.
+package allow
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	//lint:allow lockorder -- fixture: documents the escape-hatch grammar for this check
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() //lint:allow lockorder -- fixture: reverse order is guarded by a tryLock protocol in real code
+	a.mu.Unlock()
+	b.mu.Unlock()
+}

@@ -1,0 +1,114 @@
+package analysis
+
+// Whole-program analysis support. PR 6's analyzers were strictly
+// per-package: each Pass saw one type-checked package and nothing else.
+// The second-generation analyzers (lockorder, hotalloc, spawncheck) reason
+// about invariants no single package exhibits — lock acquisition order
+// across the core/simnet/wire message chain, allocations reachable from a
+// hot-path root set — so the framework also supports analyzers that run
+// once over every loaded package at a time, with a shared call graph built
+// on top (internal/analysis/callgraph).
+//
+// A program analyzer sets Analyzer.RunProgram instead of Analyzer.Run. The
+// standalone runner (RunPackages, i.e. `rtds-lint ./...`) executes program
+// analyzers after the per-package ones, over the subset of packages the
+// scoping function admits. The `go vet -vettool` path schedules one
+// package per process invocation and therefore cannot drive whole-program
+// analyzers; they are skipped there, which the rtds-lint command
+// documentation calls out.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// A Program is every package of one load, presented to a program analyzer
+// at once. Packages share one FileSet and are sorted by import path (Load
+// guarantees both).
+type Program struct {
+	// Dir is the directory the load ran in (the module root for
+	// `rtds-lint ./...`); analyzers that shell out to the go tool (the
+	// hotalloc escape-analysis cross-check) run it there.
+	Dir      string
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// Files returns every file of every package, in package order.
+func (p *Program) Files() []*ast.File {
+	var out []*ast.File
+	for _, pkg := range p.Packages {
+		out = append(out, pkg.Files...)
+	}
+	return out
+}
+
+// A ProgramPass provides one program analyzer run with the whole program
+// and collects its diagnostics. Escape comments (//lint:allow and
+// //lint:file-allow) suppress diagnostics exactly as they do for
+// per-package passes.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diagnostics []Diagnostic
+	allows      *allowIndex
+}
+
+// Reportf records a diagnostic at pos unless an escape comment allows it.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Allowed(pos) {
+		return
+	}
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Allowed reports whether an escape comment suppresses diagnostics of this
+// pass's analyzer at pos.
+func (p *ProgramPass) Allowed(pos token.Pos) bool {
+	if p.allows == nil {
+		p.allows = indexAllows(p.Prog.Fset, p.Prog.Files())
+	}
+	return p.allows.allowed(p.Prog.Fset, pos, p.Analyzer.EscapeToken())
+}
+
+// runOneProgram executes a single program analyzer over the packages the
+// scoping function admits and returns its diagnostics.
+func runOneProgram(a *Analyzer, dir string, pkgs []*Package, appliesTo func(*Analyzer, string) bool) ([]Diagnostic, error) {
+	var scoped []*Package
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		if appliesTo != nil && !appliesTo(a, pkg.ImportPath) {
+			continue
+		}
+		scoped = append(scoped, pkg)
+	}
+	if len(scoped) == 0 {
+		return nil, nil
+	}
+	pass := &ProgramPass{
+		Analyzer: a,
+		Prog:     &Program{Dir: dir, Fset: fset, Packages: scoped},
+	}
+	if err := a.RunProgram(pass); err != nil {
+		return nil, fmt.Errorf("%s: %v", a.Name, err)
+	}
+	return pass.diagnostics, nil
+}
+
+// RunProgramForTest executes one program analyzer over one package treated
+// as a whole program; the analysistest harness drives it directly.
+func RunProgramForTest(a *Analyzer, dir string, pkg *Package) ([]Diagnostic, error) {
+	diags, err := runOneProgram(a, dir, []*Package{pkg}, nil)
+	if err != nil {
+		return nil, err
+	}
+	SortDiagnostics(pkg.Fset, diags)
+	return diags, nil
+}

@@ -10,18 +10,26 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/detclock"
 	"repro/internal/analysis/exhaustive"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/mapiter"
 	"repro/internal/analysis/sendunderlock"
+	"repro/internal/analysis/spawncheck"
 )
 
 // Suite returns the analyzers in the order they run (and the order their
-// names appear in documentation).
+// names appear in documentation). The first four are per-package; the last
+// three are whole-program (they run once over their scoped package set and
+// are skipped under `go vet -vettool`, which schedules per package).
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		detclock.Analyzer,
 		mapiter.Analyzer,
 		exhaustive.Analyzer,
 		sendunderlock.Analyzer,
+		lockorder.Analyzer,
+		hotalloc.Analyzer,
+		spawncheck.Analyzer,
 	}
 }
 
@@ -46,6 +54,12 @@ var deterministicPkgs = []string{
 //   - detclock: deterministic packages only (see deterministicPkgs)
 //   - mapiter, sendunderlock: all internal packages except the linter's own
 //     implementation (its testdata fixtures intentionally violate the rules)
+//   - lockorder: the heavy lock users (core, simnet, wire) — the packages
+//     whose mutexes interleave across the message chain
+//   - hotalloc: the declared hot-path packages (wire, sim, schedule); the
+//     //lint:hotpath roots live there and the call graph stays within them
+//   - spawncheck: every package that spawns goroutines, i.e. all module
+//     code outside the linter itself
 //   - exhaustive: the whole module
 func AppliesTo(a *analysis.Analyzer, importPath string) bool {
 	if hasPrefix(importPath, "repro/internal/analysis") ||
@@ -64,7 +78,15 @@ func AppliesTo(a *analysis.Analyzer, importPath string) bool {
 		return false
 	case "mapiter", "sendunderlock":
 		return hasPrefix(importPath, "repro/internal")
-	default: // exhaustive, future module-wide checks
+	case "lockorder":
+		return hasPrefix(importPath, "repro/internal/core") ||
+			hasPrefix(importPath, "repro/internal/simnet") ||
+			hasPrefix(importPath, "repro/internal/wire")
+	case "hotalloc":
+		return hasPrefix(importPath, "repro/internal/wire") ||
+			hasPrefix(importPath, "repro/internal/sim") ||
+			hasPrefix(importPath, "repro/internal/schedule")
+	default: // exhaustive, spawncheck, future module-wide checks
 		return hasPrefix(importPath, "repro")
 	}
 }

@@ -36,10 +36,13 @@ func RunForTest(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 
 // RunPackages applies every applicable analyzer (per appliesTo) to every
 // package, validates escape comments, and returns all diagnostics sorted
-// by position. The per-package loop is deterministic by construction —
-// Load sorts packages, analyzers run in slice order, and the final sort
-// breaks any remaining ties — so rtds-lint's output is byte-stable.
-func RunPackages(analyzers []*Analyzer, appliesTo func(*Analyzer, string) bool, pkgs []*Package) ([]Diagnostic, *token.FileSet, error) {
+// by position. Per-package analyzers run package by package; program
+// analyzers (Analyzer.RunProgram) run once afterwards over the packages
+// their scope admits, loaded from dir. The loop is deterministic by
+// construction — Load sorts packages, analyzers run in slice order, and
+// the final sort breaks any remaining ties — so rtds-lint's output is
+// byte-stable.
+func RunPackages(analyzers []*Analyzer, appliesTo func(*Analyzer, string) bool, dir string, pkgs []*Package) ([]Diagnostic, *token.FileSet, error) {
 	var tokens []string
 	for _, a := range analyzers {
 		tokens = append(tokens, a.EscapeToken())
@@ -50,6 +53,9 @@ func RunPackages(analyzers []*Analyzer, appliesTo func(*Analyzer, string) bool, 
 		fset = pkg.Fset
 		diags = append(diags, CheckEscapes(pkg.Fset, pkg.Files, tokens)...)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			if appliesTo != nil && !appliesTo(a, pkg.ImportPath) {
 				continue
 			}
@@ -59,6 +65,16 @@ func RunPackages(analyzers []*Analyzer, appliesTo func(*Analyzer, string) bool, 
 			}
 			diags = append(diags, ds...)
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		ds, err := runOneProgram(a, dir, pkgs, appliesTo)
+		if err != nil {
+			return nil, nil, err
+		}
+		diags = append(diags, ds...)
 	}
 	SortDiagnostics(fset, diags)
 	return diags, fset, nil

@@ -1,0 +1,15 @@
+package spawncheck
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSpawncheck(t *testing.T) {
+	analysistest.RunProgram(t, Analyzer, analysistest.Dir("spawn"))
+}
+
+func TestAllowSilences(t *testing.T) {
+	analysistest.RunProgram(t, Analyzer, analysistest.Dir("allowspawn"))
+}

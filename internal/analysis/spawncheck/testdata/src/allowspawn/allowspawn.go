@@ -1,0 +1,15 @@
+// The seeded leaks again, silenced by justified escapes.
+package allowspawn
+
+func leaky(ch chan int) {
+	//lint:allow spawncheck -- fixture: lives for the process by design, like the rtds-node HTTP listener
+	go func() {
+		for {
+			ch <- 1
+		}
+	}()
+}
+
+func dynamic(f func()) {
+	go f() //lint:allow spawncheck -- fixture: callback contract requires callees to terminate
+}

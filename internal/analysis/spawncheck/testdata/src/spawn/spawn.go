@@ -1,0 +1,77 @@
+// Spawn fixtures: each accepted teardown shape, the seeded leaks, and the
+// unresolvable dynamic spawn.
+package spawn
+
+import "sync"
+
+// joined: the canonical Add/Done pairing.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// closeGuarded: ranging over a channel ends when the channel closes.
+func closeGuarded(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// selectGuarded: a done-channel receive whose case returns.
+func selectGuarded(ch, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ch:
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// leaky spins forever with no way to stop it.
+func leaky(ch chan int) {
+	go func() { // want `no provable join or teardown`
+		for {
+			ch <- 1
+		}
+	}()
+}
+
+// noAdd has a Done but the spawner never Adds: the join is not provable.
+func noAdd() {
+	var wg sync.WaitGroup
+	go func() { // want `no provable join or teardown`
+		defer wg.Done()
+	}()
+}
+
+// dynamic spawns a function value the analyzer cannot see into.
+func dynamic(f func()) {
+	go f() // want `dynamic function value`
+}
+
+type worker struct{ wg sync.WaitGroup }
+
+func (w *worker) loop() { defer w.wg.Done() }
+
+func (w *worker) bare() {}
+
+// namedJoined: evidence across functions — Done lives in the named
+// callee, Add in the spawner.
+func namedJoined(w *worker) {
+	w.wg.Add(1)
+	go w.loop()
+	w.wg.Wait()
+}
+
+// namedLeaky: the named callee carries no evidence at all.
+func namedLeaky(w *worker) {
+	go w.bare() // want `no provable join or teardown`
+}

@@ -146,7 +146,16 @@ func unitcheck(cfgPath string, analyzers []*Analyzer, appliesTo func(*Analyzer, 
 		}
 		return fmt.Errorf("%s: typecheck: %v", importPath, err)
 	}
-	diags, _, err := RunPackages(analyzers, appliesTo, []*Package{pkg})
+	// Vet schedules one package per process, so whole-program analyzers
+	// (Analyzer.RunProgram) cannot run here; keep only the per-package ones.
+	// `rtds-lint ./...` is the path that runs everything.
+	var perPkg []*Analyzer
+	for _, a := range analyzers {
+		if a.Run != nil {
+			perPkg = append(perPkg, a)
+		}
+	}
+	diags, _, err := RunPackages(perPkg, appliesTo, cfg.Dir, []*Package{pkg})
 	if err != nil {
 		return err
 	}

@@ -81,6 +81,41 @@ func CompareReports(baseline, current BenchReport, evpsTolerance float64) error 
 			}
 		}
 	}
+	// Hot-path allocation budget: allocs/op is deterministic for a given Go
+	// release, so a count above the baseline is a regression, full stop.
+	// Going below the baseline passes (an improvement should prompt a
+	// deliberate baseline regeneration, not block the PR that earned it).
+	// ns/op and bytes/op are recorded but never gated — wall time is
+	// hardware, and bytes/op follows allocs/op anyway.
+	curMicro := make(map[string]MicroBench, len(current.Micro))
+	for _, m := range current.Micro {
+		curMicro[m.Name] = m
+	}
+	for _, b := range baseline.Micro {
+		c, ok := curMicro[b.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf(
+				"micro-benchmark %s missing from the run", b.Name))
+			continue
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %d allocs/op, baseline pins %d — hot-path allocation regression",
+				b.Name, c.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	if len(baseline.Micro) > 0 {
+		base := make(map[string]bool, len(baseline.Micro))
+		for _, b := range baseline.Micro {
+			base[b.Name] = true
+		}
+		for _, m := range current.Micro {
+			if !base[m.Name] {
+				problems = append(problems, fmt.Sprintf(
+					"micro-benchmark %s absent from the baseline (regenerate it)", m.Name))
+			}
+		}
+	}
 	if evpsTolerance > 0 && baseline.EventsPerSec > 0 && current.EventsPerSec > 0 {
 		floor := baseline.EventsPerSec * (1 - evpsTolerance)
 		if current.EventsPerSec < floor {

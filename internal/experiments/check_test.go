@@ -99,3 +99,76 @@ func TestCompareReportsSizeMismatch(t *testing.T) {
 		t.Fatalf("size mismatch not caught: %v", err)
 	}
 }
+
+func microReports() (BenchReport, BenchReport) {
+	base, cur := gateReports()
+	base.Micro = []MicroBench{
+		{Name: "wire/append-frame", AllocsPerOp: 0, NsPerOp: 25},
+		{Name: "schedule/admit-reject", AllocsPerOp: 0, NsPerOp: 120},
+	}
+	cur.Micro = []MicroBench{
+		{Name: "wire/append-frame", AllocsPerOp: 0, NsPerOp: 60},
+		{Name: "schedule/admit-reject", AllocsPerOp: 0, NsPerOp: 300},
+	}
+	return base, cur
+}
+
+func TestCompareReportsMicroPasses(t *testing.T) {
+	base, cur := microReports()
+	if err := CompareReports(base, cur, 0.25); err != nil {
+		t.Fatalf("matching micro-benchmarks failed the gate: %v", err)
+	}
+}
+
+func TestCompareReportsCatchesAllocRegression(t *testing.T) {
+	base, cur := microReports()
+	cur.Micro[0].AllocsPerOp = 2
+	err := CompareReports(base, cur, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("allocs/op regression not caught: %v", err)
+	}
+}
+
+func TestCompareReportsAllocImprovementPasses(t *testing.T) {
+	base, cur := microReports()
+	base.Micro[1].AllocsPerOp = 5 // current is better than the baseline
+	if err := CompareReports(base, cur, 0.25); err != nil {
+		t.Fatalf("allocs/op improvement failed the gate: %v", err)
+	}
+}
+
+func TestCompareReportsNsPerOpNeverGated(t *testing.T) {
+	base, cur := microReports()
+	cur.Micro[0].NsPerOp = base.Micro[0].NsPerOp * 100
+	if err := CompareReports(base, cur, 0.25); err != nil {
+		t.Fatalf("ns/op drift must not gate: %v", err)
+	}
+}
+
+func TestCompareReportsCatchesMissingMicro(t *testing.T) {
+	base, cur := microReports()
+	cur.Micro = cur.Micro[:1]
+	err := CompareReports(base, cur, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "micro-benchmark") {
+		t.Fatalf("missing micro-benchmark not caught: %v", err)
+	}
+}
+
+func TestCompareReportsCatchesUnpinnedMicro(t *testing.T) {
+	base, cur := microReports()
+	cur.Micro = append(cur.Micro, MicroBench{Name: "sim/event-loop"})
+	err := CompareReports(base, cur, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "absent from the baseline") {
+		t.Fatalf("unpinned micro-benchmark not caught: %v", err)
+	}
+}
+
+func TestCompareReportsBaselineWithoutMicroPasses(t *testing.T) {
+	// A pre-micro baseline must keep gating experiments without demanding
+	// micro rows (forward compatibility for locally pinned old baselines).
+	base, cur := microReports()
+	base.Micro = nil
+	if err := CompareReports(base, cur, 0.25); err != nil {
+		t.Fatalf("baseline without micro section failed the gate: %v", err)
+	}
+}

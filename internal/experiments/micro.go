@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/core/txn"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// MicroBench is one micro-benchmark row of the suite report: the hot-path
+// cost model the ROADMAP's zero-allocation item is tracked by. AllocsPerOp
+// is deterministic for a given Go release and gated exactly by
+// CompareReports; NsPerOp and BytesPerOp are recorded for trend reading but
+// never gated (wall time is hardware).
+type MicroBench struct {
+	Name        string  `json:"name"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+}
+
+// RunMicroBenches measures the declared hot paths — the wire codec, the
+// DES event kernel, and the reservation-plan admit path — with the testing
+// package's benchmark driver. The cases mirror the //lint:hotpath roots the
+// hotalloc analyzer polices, so the static gate (no unjustified allocation
+// reachable from a root) and the dynamic gate (allocs/op pinned in
+// BENCH_suite.json) watch the same code.
+func RunMicroBenches() []MicroBench {
+	return []MicroBench{
+		micro("wire/encode", benchWireEncode),
+		micro("wire/append-frame", benchWireAppendFrame),
+		micro("wire/decode", benchWireDecode),
+		micro("sim/event-loop", benchSimEventLoop),
+		micro("schedule/admit-reject", benchAdmitReject),
+		micro("schedule/admit-accept", benchAdmitAccept),
+	}
+}
+
+func micro(name string, fn func(*testing.B)) MicroBench {
+	r := testing.Benchmark(fn)
+	return MicroBench{
+		Name:        name,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		NsPerOp:     float64(r.NsPerOp()),
+	}
+}
+
+// microPayload is the codec benchmark's frame: the routed hop-wrapper
+// around an enroll-ack, a realistic mid-size steady-state message. The
+// interface return type matters: it boxes the payload once here rather
+// than once per benchmarked op.
+func microPayload() simnet.Payload {
+	return core.Routed{Src: 1, Dest: 2, TTL: 20, Inner: core.EnrollAck{
+		Job: "j3@7", Member: 2, Surplus: 0.875, Power: 2,
+		Dists: []txn.DistEntry{{Dest: 0, Dist: 0.05}, {Dest: 9, Dist: 1.5}},
+	}}
+}
+
+func benchWireEncode(b *testing.B) {
+	p := microPayload()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Encode(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchWireAppendFrame(b *testing.B) {
+	p := microPayload()
+	buf, err := wire.Encode(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = wire.AppendFrame(buf[:0], p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchWireDecode(b *testing.B) {
+	frame, err := wire.Encode(microPayload())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSimEventLoop drives the kernel with a self-rescheduling tick: one
+// event fired per op, pool-recycled nodes, a single closure. Steady state
+// must be allocation-free.
+func benchSimEventLoop(b *testing.B) {
+	e := sim.New()
+	var tick func()
+	tick = func() { e.AfterFixed(1, tick) }
+	e.AfterFixed(1, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.RunUntil(float64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchAdmitReject measures the admission control fast-fail: a warmed plan
+// refusing an infeasible batch. This is the per-message cost of saying no
+// and must be allocation-free.
+func benchAdmitReject(b *testing.B) {
+	p := schedule.NewNonPreemptive()
+	full := []schedule.Request{{Job: "a", Task: 1, Release: 0, Deadline: 10, Duration: 10}}
+	tk, ok := p.Admit(0, full)
+	if !ok {
+		b.Fatal("setup admission rejected")
+	}
+	if err := p.Commit(tk); err != nil {
+		b.Fatal(err)
+	}
+	reqs := []schedule.Request{
+		{Job: "b", Task: 1, Release: 0, Deadline: 10, Duration: 5},
+		{Job: "b", Task: 2, Release: 0, Deadline: 10, Duration: 5},
+	}
+	if _, ok := p.Admit(0, reqs); ok {
+		b.Fatal("infeasible batch admitted")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.Admit(0, reqs); ok {
+			b.Fatal("infeasible batch admitted")
+		}
+	}
+}
+
+// benchAdmitAccept measures a successful admission (ticket handed out, not
+// committed, so the plan stays in steady state). The accept path allocates
+// exactly the ticket it returns.
+func benchAdmitAccept(b *testing.B) {
+	p := schedule.NewNonPreemptive()
+	reqs := []schedule.Request{
+		{Job: "b", Task: 1, Release: 0, Deadline: 100, Duration: 5},
+		{Job: "b", Task: 2, Release: 0, Deadline: 100, Duration: 5},
+	}
+	if _, ok := p.Admit(0, reqs); !ok {
+		b.Fatal("feasible batch rejected")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.Admit(0, reqs); !ok {
+			b.Fatal("feasible batch rejected")
+		}
+	}
+}

@@ -326,6 +326,9 @@ type BenchReport struct {
 	TotalEvents  int64             `json:"total_events"`
 	EventsPerSec float64           `json:"events_per_sec"`
 	Experiments  []BenchExperiment `json:"experiments"`
+	// Micro pins the hot-path allocation budget (see RunMicroBenches);
+	// CompareReports gates allocs/op exactly, never ns/op.
+	Micro []MicroBench `json:"micro,omitempty"`
 }
 
 // NewBenchReport summarizes a RunTasks result set into the JSON report.

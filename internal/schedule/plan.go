@@ -103,6 +103,8 @@ type NonPreemptivePlan struct {
 	res     []Reservation // sorted by Start, pairwise disjoint
 	version uint64
 	scratch []Reservation // reusable Admit overlay (capacity retained)
+	order   []int         // reusable Admit EDF ordering (capacity retained)
+	place   []Reservation // reusable Admit placement buffer (capacity retained)
 }
 
 // NewNonPreemptive returns an empty non-preemptive plan.
@@ -120,28 +122,42 @@ func (p *NonPreemptivePlan) Reservations() []Reservation {
 
 // Admit implements Plan: earliest-fit insertion in EDF (deadline) order.
 // Placements of earlier requests constrain later ones within the same call.
+//
+// The admit-reject path is allocation-free in the steady state: the EDF
+// ordering and the tentative placements live in scratch buffers that keep
+// their capacity across calls, and the ordering uses an inlined stable
+// insertion sort (sort.SliceStable would box the slice into an interface
+// and allocate its comparator closure on every call). Only a successful
+// admission allocates — the Ticket it hands out.
+//
+//lint:hotpath -- Admit runs once per enroll/validate message per site; the reject path must not allocate
 func (p *NonPreemptivePlan) Admit(now float64, reqs []Request) (*Ticket, bool) {
 	for _, r := range reqs {
 		if !r.Valid() {
 			return nil, false
 		}
 	}
-	order := make([]int, len(reqs))
+	if cap(p.order) < len(reqs) {
+		//lint:allow hotalloc -- scratch grows to the high-water request count once, then is reused
+		p.order = make([]int, len(reqs))
+	}
+	order := p.order[:len(reqs)]
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ra, rb := reqs[order[a]], reqs[order[b]]
-		if ra.Deadline != rb.Deadline {
-			return ra.Deadline < rb.Deadline
+	// Stable by construction: order starts as the identity permutation and
+	// insertion sort never reorders equal elements.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && admitLess(reqs[order[j]], reqs[order[j-1]]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
 		}
-		if ra.Release != rb.Release {
-			return ra.Release < rb.Release
-		}
-		return ra.Task < rb.Task
-	})
+	}
+	if cap(p.place) < len(reqs) {
+		//lint:allow hotalloc -- scratch grows to the high-water request count once, then is reused
+		p.place = make([]Reservation, len(reqs))
+	}
+	tentative := p.place[:len(reqs)]
 	overlay := p.scratch[:0]
-	placements := make([]Reservation, len(reqs))
 	for _, idx := range order {
 		r := reqs[idx]
 		start, ok := earliestFitOverlay(p.res, overlay, math.Max(now, r.Release), r.Deadline, r.Duration)
@@ -151,16 +167,33 @@ func (p *NonPreemptivePlan) Admit(now float64, reqs []Request) (*Ticket, bool) {
 		}
 		pl := Reservation{Job: r.Job, Task: r.Task, Start: start, End: start + r.Duration}
 		overlay = insertSorted(overlay, pl)
-		placements[idx] = pl
+		tentative[idx] = pl
 	}
 	p.scratch = overlay
+	//lint:allow hotalloc -- a successful admission hands the ticket out of the plan; this is the API product, not overhead
+	placements := make([]Reservation, len(reqs))
+	copy(placements, tentative)
+	//lint:allow hotalloc -- the ticket is the caller's to keep; allocated only on success
 	return &Ticket{
 		Placements: placements,
-		Requests:   append([]Request(nil), reqs...),
-		now:        now,
-		version:    p.version,
-		owner:      p,
+		//lint:allow hotalloc -- the ticket must own a copy of the requests; allocated only on success
+		Requests: append([]Request(nil), reqs...),
+		now:      now,
+		version:  p.version,
+		owner:    p,
 	}, true
+}
+
+// admitLess is the EDF admission order: deadline, then release, then task
+// id as the deterministic tie-break.
+func admitLess(a, b Request) bool {
+	if a.Deadline != b.Deadline {
+		return a.Deadline < b.Deadline
+	}
+	if a.Release != b.Release {
+		return a.Release < b.Release
+	}
+	return a.Task < b.Task
 }
 
 // searchEndAbove returns the index of the first reservation whose End lies

@@ -132,6 +132,59 @@ func TestNonPreemptiveStaleTicket(t *testing.T) {
 	}
 }
 
+func TestAdmitRejectNoAllocs(t *testing.T) {
+	p := NewNonPreemptive()
+	// Fill [0,10] so a 5-unit request with deadline 10 cannot fit.
+	commit(t, p, mustAdmit(t, p, 0, req("a", 1, 0, 10, 10)))
+	reqs := []Request{req("b", 1, 0, 10, 5), req("b", 2, 0, 10, 5)}
+	// Warm the scratch buffers (first call may grow them).
+	if _, ok := p.Admit(0, reqs); ok {
+		t.Fatal("infeasible request admitted")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := p.Admit(0, reqs); ok {
+			t.Fatal("infeasible request admitted")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Admit reject path allocated %v times per call, want 0", allocs)
+	}
+}
+
+func TestAdmitScratchReuseMatchesFresh(t *testing.T) {
+	// Repeated Admit calls on one plan (scratch reused) must produce the
+	// same placements as calls on freshly constructed plans.
+	rng := rand.New(rand.NewSource(7))
+	warm := NewNonPreemptive()
+	for round := 0; round < 50; round++ {
+		n := 1 + rng.Intn(6)
+		reqs := make([]Request, n)
+		for i := range reqs {
+			rel := float64(rng.Intn(40))
+			dur := 1 + float64(rng.Intn(5))
+			reqs[i] = req(fmt.Sprintf("j%d", round), i+1, rel, rel+dur+float64(rng.Intn(20)), dur)
+		}
+		fresh := NewNonPreemptive()
+		for _, r := range warm.Reservations() {
+			fresh.res = append(fresh.res, r)
+		}
+		wTk, wOK := warm.Admit(0, reqs)
+		fTk, fOK := fresh.Admit(0, reqs)
+		if wOK != fOK {
+			t.Fatalf("round %d: warm ok=%v fresh ok=%v", round, wOK, fOK)
+		}
+		if !wOK {
+			continue
+		}
+		for i := range wTk.Placements {
+			if wTk.Placements[i] != fTk.Placements[i] {
+				t.Fatalf("round %d placement %d: warm %+v fresh %+v", round, i, wTk.Placements[i], fTk.Placements[i])
+			}
+		}
+		commit(t, warm, wTk)
+	}
+}
+
 func TestTicketOwnership(t *testing.T) {
 	p1 := NewNonPreemptive()
 	p2 := NewNonPreemptive()

@@ -124,6 +124,7 @@ func (e *Engine) schedule(t Time, fn func()) *event {
 		e.free = e.free[:n-1]
 		ev.at, ev.seq, ev.id, ev.fn = t, e.seq, 0, fn
 	} else {
+		//lint:allow hotalloc -- pool-miss growth: each node is allocated once, then recycled through e.free
 		ev = &event{at: t, seq: e.seq, fn: fn}
 	}
 	heap.Push(&e.pq, ev)
@@ -152,6 +153,8 @@ func (e *Engine) At(t Time, fn func()) EventID {
 // cancel it. Fire-and-forget events skip the cancellation index entirely —
 // message deliveries, the dominant event class, never cancel, and tracking
 // them costs a map insert + delete per event on the hot path.
+//
+//lint:hotpath -- fire-and-forget scheduling carries every simulated message delivery
 func (e *Engine) AtFixed(t Time, fn func()) {
 	e.schedule(t, fn)
 }
@@ -189,6 +192,8 @@ func (e *Engine) Cancel(id EventID) bool {
 
 // step fires the earliest pending event. It reports false when the queue is
 // empty.
+//
+//lint:hotpath -- the event loop body: every simulated event dispatch goes through here
 func (e *Engine) step() (bool, error) {
 	if len(e.pq) == 0 {
 		return false, nil

@@ -1,54 +1,32 @@
+// Decoding half of the codec. Decoding materializes payload values —
+// structs, strings, slices, graphs — that it hands to the caller, so every
+// frame inherently allocates its payload; per-allocation justifications
+// would restate that on every line.
+//
+//lint:file-allow hotalloc -- decode's product is a freshly materialized payload; its allocations are the output, not overhead
 package wire
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/core/membership"
 	"repro/internal/core/txn"
 	"repro/internal/dag"
-	"repro/internal/determinism"
 	"repro/internal/graph"
 	"repro/internal/mapper"
 	"repro/internal/routing"
 	"repro/internal/simnet"
 )
 
-// Encode frames a protocol payload: every payload type exchanged by RTDS
-// sites — the Routed multi-hop wrapper, the PCS bootstrap tables and the
-// ten core protocol messages — has a stable kind tag and a hand-rolled
-// body encoding (see the package comment for the format).
-func Encode(p simnet.Payload) ([]byte, error) {
-	return AppendFrame(nil, p)
-}
-
-// AppendFrame appends the framed encoding of p to buf and returns the
-// extended slice. Unknown payload types are an error: a payload that cannot
-// cross the wire must fail loudly at the sender, not vanish.
-func AppendFrame(buf []byte, p simnet.Payload) ([]byte, error) {
-	e := enc{b: buf}
-	// Reserve the length prefix; patched after the body is known.
-	start := len(e.b)
-	e.b = append(e.b, 0, 0, 0, 0)
-	e.u8(Version)
-	if err := encodePayload(&e, p); err != nil {
-		return buf, err
-	}
-	n := len(e.b) - start - 4
-	if n > MaxFrame {
-		return buf, fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", n)
-	}
-	e.b[start] = byte(n)
-	e.b[start+1] = byte(n >> 8)
-	e.b[start+2] = byte(n >> 16)
-	e.b[start+3] = byte(n >> 24)
-	return e.b, nil
-}
-
 // Decode parses one framed payload. Trailing bytes after the frame are an
 // error here (the stream reader consumes exactly one frame at a time);
 // trailing bytes *inside* a message body are ignored for forward
 // compatibility.
+//
+//lint:hotpath -- every received frame passes through here; allocations beyond the payload itself are regressions
 func Decode(buf []byte) (simnet.Payload, error) {
 	p, n, err := DecodeFrame(buf)
 	if err != nil {
@@ -62,6 +40,8 @@ func Decode(buf []byte) (simnet.Payload, error) {
 
 // DecodeFrame parses the first frame in buf, returning the payload and the
 // number of bytes consumed.
+//
+//lint:hotpath -- the stream reader calls this once per frame on every connection
 func DecodeFrame(buf []byte) (simnet.Payload, int, error) {
 	if len(buf) < headerLen {
 		return nil, 0, fmt.Errorf("wire: frame header truncated (%d bytes)", len(buf))
@@ -85,129 +65,6 @@ func DecodeFrame(buf []byte) (simnet.Payload, int, error) {
 		return nil, 0, err
 	}
 	return p, 4 + n, nil
-}
-
-func encodePayload(e *enc, p simnet.Payload) error {
-	switch m := p.(type) {
-	case core.Routed:
-		e.kind(kindRouted)
-		e.varint(int64(m.Src))
-		e.varint(int64(m.Dest))
-		e.varint(int64(m.TTL))
-		// The inner payload extends to the end of the frame: one routed
-		// message carries exactly one protocol message.
-		return encodePayload(e, m.Inner)
-	case routing.TableMsg:
-		e.kind(kindTable)
-		e.varint(int64(m.Round))
-		e.uvarint(m.Epoch)
-		encodeRoutes(e, m.Entries)
-	case core.EnrollReq:
-		e.kind(kindEnrollReq)
-		e.str(m.Job)
-		e.varint(int64(m.Initiator))
-		e.f64(m.Window)
-	case core.EnrollAck:
-		e.kind(kindEnrollAck)
-		e.str(m.Job)
-		e.varint(int64(m.Member))
-		e.f64(m.Surplus)
-		e.f64(m.Power)
-		e.uvarint(uint64(len(m.Dists)))
-		for _, d := range m.Dists {
-			e.varint(int64(d.Dest))
-			e.f64(d.Dist)
-		}
-	case core.ValidateReq:
-		e.kind(kindValidateReq)
-		e.str(m.Job)
-		e.varint(int64(m.Initiator))
-		e.varint(int64(m.NumProcs))
-		e.uvarint(uint64(len(m.Windows)))
-		for _, wins := range m.Windows {
-			e.uvarint(uint64(len(wins)))
-			for _, w := range wins {
-				e.varint(int64(w.Task))
-				e.f64(w.Complexity)
-				e.f64(w.Release)
-				e.f64(w.Deadline)
-			}
-		}
-	case core.ValidateAck:
-		e.kind(kindValidateAck)
-		e.str(m.Job)
-		e.varint(int64(m.Member))
-		e.uvarint(uint64(len(m.Endorsable)))
-		for _, proc := range m.Endorsable {
-			e.varint(int64(proc))
-		}
-	case core.CommitMsg:
-		e.kind(kindCommit)
-		e.str(m.Job)
-		e.varint(int64(m.Initiator))
-		e.varint(int64(m.Proc))
-		e.varint(int64(m.CodeBytes))
-		if m.Graph == nil {
-			e.bool(false)
-		} else {
-			e.bool(true)
-			encodeGraph(e, m.Graph)
-		}
-		e.uvarint(uint64(len(m.TaskSites)))
-		for _, task := range sortedTaskIDs(m.TaskSites) {
-			e.varint(int64(task))
-			e.varint(int64(m.TaskSites[task]))
-		}
-	case core.CommitAck:
-		e.kind(kindCommitAck)
-		e.str(m.Job)
-		e.varint(int64(m.Member))
-		e.bool(m.OK)
-	case core.UnlockMsg:
-		e.kind(kindUnlock)
-		e.str(m.Job)
-		e.varint(int64(m.From))
-		e.bool(m.Abort)
-	case core.UnlockAck:
-		e.kind(kindUnlockAck)
-		e.str(m.Job)
-		e.varint(int64(m.Member))
-	case core.ResultMsg:
-		e.kind(kindResult)
-		e.str(m.Job)
-		e.varint(int64(m.Task))
-		e.varint(int64(m.For))
-		e.varint(int64(m.Bytes))
-	case core.DoneMsg:
-		e.kind(kindDone)
-		e.str(m.Job)
-		e.varint(int64(m.Task))
-		e.f64(m.At)
-	case membership.Heartbeat:
-		e.kind(kindHeartbeat)
-		e.uvarint(m.Inc)
-		encodeEntries(e, m.Digest)
-	case membership.DeadNotice:
-		e.kind(kindDead)
-		e.varint(int64(m.Site))
-		e.uvarint(m.Inc)
-	case membership.AliveNotice:
-		e.kind(kindAlive)
-		e.varint(int64(m.Site))
-		e.uvarint(m.Inc)
-	case membership.JoinReq:
-		e.kind(kindJoinReq)
-		e.uvarint(m.Inc)
-	case membership.JoinAck:
-		e.kind(kindJoinAck)
-		e.uvarint(m.Inc)
-		e.uvarint(m.Epoch)
-		encodeEntries(e, m.Digest)
-		encodeRoutes(e, m.Table)
-	default:
-		return fmt.Errorf("wire: cannot encode payload type %T (kind %q)", p, p.Kind())
-	}
-	return nil
 }
 
 // decodePayload dispatches on the frame kind. The switch is exhaustive
@@ -386,30 +243,6 @@ func decodePayload(kind Kind, body []byte) (simnet.Payload, error) {
 	return p, nil
 }
 
-// encodeGraph writes a job DAG: window, tasks and edges with data volumes.
-// The builder-facing decode re-validates everything (acyclicity, positive
-// complexities), so a forged graph cannot enter the scheduler.
-func encodeGraph(e *enc, g *dag.Graph) {
-	e.str(g.Name)
-	e.f64(g.Release)
-	e.f64(g.Deadline)
-	tasks := g.Tasks()
-	e.uvarint(uint64(len(tasks)))
-	for _, t := range tasks {
-		e.varint(int64(t.ID))
-		e.f64(t.Complexity)
-		e.str(t.Label)
-	}
-	e.uvarint(uint64(g.NumEdges()))
-	for _, t := range tasks {
-		for _, s := range g.Successors(t.ID) {
-			e.varint(int64(t.ID))
-			e.varint(int64(s))
-			e.f64(g.EdgeVolume(t.ID, s))
-		}
-	}
-}
-
 func decodeGraph(d *dec) (*dag.Graph, error) {
 	name := d.str()
 	release := d.f64()
@@ -439,19 +272,6 @@ func decodeGraph(d *dec) (*dag.Graph, error) {
 	return g, nil
 }
 
-// encodeRoutes writes a routing-table snapshot (already sorted by
-// destination — Table.Snapshot is deterministic). Shared by bootstrap and
-// repair table messages and the join-ack table handover.
-func encodeRoutes(e *enc, routes []routing.WireRoute) {
-	e.uvarint(uint64(len(routes)))
-	for _, r := range routes {
-		e.varint(int64(r.Dest))
-		e.f64(r.Dist)
-		e.varint(int64(r.PathHops))
-		e.varint(int64(r.MinHops))
-	}
-}
-
 func decodeRoutes(d *dec) []routing.WireRoute {
 	n := d.count(2)
 	var out []routing.WireRoute
@@ -464,17 +284,6 @@ func decodeRoutes(d *dec) []routing.WireRoute {
 		})
 	}
 	return out
-}
-
-// encodeEntries writes a membership digest (already sorted by site — the
-// manager builds digests deterministically).
-func encodeEntries(e *enc, entries []membership.Entry) {
-	e.uvarint(uint64(len(entries)))
-	for _, en := range entries {
-		e.varint(int64(en.Site))
-		e.uvarint(en.Inc)
-		e.bool(en.Dead)
-	}
 }
 
 func decodeEntries(d *dec) []membership.Entry {
@@ -490,6 +299,102 @@ func decodeEntries(d *dec) []membership.Entry {
 	return out
 }
 
-func sortedTaskIDs(m map[dag.TaskID]graph.NodeID) []dag.TaskID {
-	return determinism.SortedKeys(m)
+// dec is a cursor over one frame body. The first malformed read latches
+// err; subsequent reads return zero values, so decode functions read their
+// whole field list and check err once.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 1 {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.fail("truncated float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("string length %d exceeds remaining %d bytes", n, len(d.b))
+		return ""
+	}
+	v := string(d.b[:n])
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) bool() bool { return d.u8() != 0 }
+
+// count reads a sequence length and sanity-checks it against the bytes
+// left: every element costs at least min bytes, so a count that cannot fit
+// is a corrupt frame, refused before it can size an allocation.
+func (d *dec) count(min int) int {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if n > uint64(len(d.b)/min) {
+		d.fail("sequence length %d exceeds remaining %d bytes", n, len(d.b))
+		return 0
+	}
+	return int(n)
 }

@@ -23,11 +23,7 @@
 // maps are encoded sorted by key so encoding is deterministic.
 package wire
 
-import (
-	"encoding/binary"
-	"fmt"
-	"math"
-)
+import "fmt"
 
 // Version is the wire format version carried in every frame. Version 2
 // added the membership layer: the epoch tag in routing-table bodies and
@@ -116,123 +112,3 @@ func (k Kind) String() string {
 
 // headerLen is the fixed frame overhead: u32 length + version + kind.
 const headerLen = 4 + 1 + 1
-
-// enc is an append-only encoder over a byte slice.
-type enc struct{ b []byte }
-
-func (e *enc) u8(v byte)        { e.b = append(e.b, v) }
-func (e *enc) kind(k Kind)      { e.b = append(e.b, byte(k)) }
-func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
-func (e *enc) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
-func (e *enc) f64(v float64)    { e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v)) }
-func (e *enc) str(s string) {
-	e.uvarint(uint64(len(s)))
-	e.b = append(e.b, s...)
-}
-func (e *enc) bool(v bool) {
-	if v {
-		e.u8(1)
-	} else {
-		e.u8(0)
-	}
-}
-
-// dec is a cursor over one frame body. The first malformed read latches
-// err; subsequent reads return zero values, so decode functions read their
-// whole field list and check err once.
-type dec struct {
-	b   []byte
-	err error
-}
-
-func (d *dec) fail(format string, args ...any) {
-	if d.err == nil {
-		d.err = fmt.Errorf("wire: "+format, args...)
-	}
-}
-
-func (d *dec) u8() byte {
-	if d.err != nil {
-		return 0
-	}
-	if len(d.b) < 1 {
-		d.fail("truncated byte")
-		return 0
-	}
-	v := d.b[0]
-	d.b = d.b[1:]
-	return v
-}
-
-func (d *dec) uvarint() uint64 {
-	if d.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(d.b)
-	if n <= 0 {
-		d.fail("truncated uvarint")
-		return 0
-	}
-	d.b = d.b[n:]
-	return v
-}
-
-func (d *dec) varint() int64 {
-	if d.err != nil {
-		return 0
-	}
-	v, n := binary.Varint(d.b)
-	if n <= 0 {
-		d.fail("truncated varint")
-		return 0
-	}
-	d.b = d.b[n:]
-	return v
-}
-
-func (d *dec) f64() float64 {
-	if d.err != nil {
-		return 0
-	}
-	if len(d.b) < 8 {
-		d.fail("truncated float")
-		return 0
-	}
-	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
-	d.b = d.b[8:]
-	return v
-}
-
-func (d *dec) str() string {
-	n := d.uvarint()
-	if d.err != nil {
-		return ""
-	}
-	if n > uint64(len(d.b)) {
-		d.fail("string length %d exceeds remaining %d bytes", n, len(d.b))
-		return ""
-	}
-	v := string(d.b[:n])
-	d.b = d.b[n:]
-	return v
-}
-
-func (d *dec) bool() bool { return d.u8() != 0 }
-
-// count reads a sequence length and sanity-checks it against the bytes
-// left: every element costs at least min bytes, so a count that cannot fit
-// is a corrupt frame, refused before it can size an allocation.
-func (d *dec) count(min int) int {
-	n := d.uvarint()
-	if d.err != nil {
-		return 0
-	}
-	if min < 1 {
-		min = 1
-	}
-	if n > uint64(len(d.b)/min) {
-		d.fail("sequence length %d exceeds remaining %d bytes", n, len(d.b))
-		return 0
-	}
-	return int(n)
-}
