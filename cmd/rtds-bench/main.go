@@ -13,11 +13,21 @@
 // per-experiment guarantee ratio drifts from the baseline or suite
 // throughput (events/sec) regresses beyond -evps-tolerance.
 //
+// -kernel-workers selects the simulation kernel for every RTDS-core cluster
+// the run builds: 0 (the default) the serial reference engine, N >= 1 the
+// conservative parallel kernel with N partitions. The produced tables are
+// byte-identical either way — the flag trades wall-clock time only, and
+// running -check with it is a live proof of that invariant.
+//
+// -cpuprofile, -memprofile and -trace write the standard pprof/runtime-trace
+// artifacts for whichever mode runs, so kernel scaling work can be measured
+// rather than guessed at.
+//
 // Usage:
 //
-//	rtds-bench [-quick] [-md] [-seed N] [-trials N] [-workers N] [-json] [-out FILE] [-exp SUBSTR]
-//	rtds-bench -scheme NAME [-topo KIND] [-sites N] [-load F] [-quick] [-seed N]
-//	rtds-bench -check BENCH_suite.json [-workers N] [-evps-tolerance 0.25]
+//	rtds-bench [-quick] [-md] [-seed N] [-trials N] [-workers N] [-kernel-workers N] [-json] [-out FILE] [-exp SUBSTR]
+//	rtds-bench -scheme NAME [-topo KIND] [-sites N] [-load F] [-quick] [-seed N] [-kernel-workers N]
+//	rtds-bench -check BENCH_suite.json [-workers N] [-kernel-workers N] [-evps-tolerance 0.25]
 package main
 
 import (
@@ -26,6 +36,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
@@ -49,6 +61,10 @@ func main() {
 	load := flag.Float64("load", 0.6, "offered load of the -scheme benchmark")
 	checkPath := flag.String("check", "", "regression gate: re-run the suite at this baseline's size/seeds and fail on drift")
 	evpsTol := flag.Float64("evps-tolerance", 0.25, "-check: allowed events/sec regression (0.25 = 25%)")
+	kernelWorkers := flag.Int("kernel-workers", 0, "simulation kernel for rtds-core clusters: 0 = serial reference, N = parallel kernel with N partitions (tables are byte-identical)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
+	tracePath := flag.String("trace", "", "write a runtime execution trace of the run to this file")
 	flag.Parse()
 
 	size := experiments.Full
@@ -61,6 +77,17 @@ func main() {
 	if *workers < 1 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
+	if *kernelWorkers < 0 {
+		fmt.Fprintln(os.Stderr, "error: -kernel-workers must be >= 0")
+		os.Exit(1)
+	}
+	experiments.SetKernelWorkers(*kernelWorkers)
+	stopProfiling, err := startProfiling(*cpuProfile, *memProfile, *tracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	defer stopProfiling()
 
 	// The modes accept disjoint flag sets; a flag from another mode would
 	// be silently ignored, so refuse it loudly instead of letting a user
@@ -88,7 +115,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		if err := benchScheme(*schemeName, *topoKind, *sites, *load, *quick, *seed); err != nil {
+		if err := benchScheme(*schemeName, *topoKind, *sites, *load, *quick, *seed, *kernelWorkers); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -153,6 +180,13 @@ func main() {
 		rep := experiments.NewBenchReport(size, seeds, *workers, wall, results)
 		fmt.Fprintln(os.Stderr, "running hot-path micro-benchmarks (allocs/op)")
 		rep.Micro = experiments.RunMicroBenches()
+		fmt.Fprintln(os.Stderr, "running kernel scaling benchmark (token storm)")
+		kb, err := experiments.RunKernelBench()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		rep.Kernel = kb
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -168,6 +202,62 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "suite completed in %v on %d workers (%d tasks)\n",
 		wall.Round(time.Millisecond), *workers, len(tasks))
+}
+
+// startProfiling starts whichever of the three profilers were requested and
+// returns a single stop function (run the deferred way; error-path os.Exit
+// calls lose the profile, which is fine — the run failed). The heap profile
+// is taken at stop time, after a GC, so it shows retained memory rather than
+// transient garbage.
+func startProfiling(cpuPath, memPath, tracePath string) (func(), error) {
+	var stops []func()
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("start execution trace: %w", err)
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+	if memPath != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "error: write heap profile:", err)
+			}
+		})
+	}
+	return func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}, nil
 }
 
 // checkBaseline is the benchmark-regression gate: re-run the suite exactly
@@ -209,6 +299,14 @@ func checkBaseline(path string, workers int, evpsTol float64) error {
 		fmt.Fprintln(os.Stderr, "regression gate: running hot-path micro-benchmarks (allocs/op)")
 		current.Micro = experiments.RunMicroBenches()
 	}
+	if baseline.Kernel != nil {
+		fmt.Fprintln(os.Stderr, "regression gate: running kernel scaling benchmark (token storm)")
+		kb, err := experiments.RunKernelBench()
+		if err != nil {
+			return err
+		}
+		current.Kernel = kb
+	}
 	if err := experiments.CompareReports(baseline, current, evpsTol); err != nil {
 		return err
 	}
@@ -221,7 +319,7 @@ func checkBaseline(path string, workers int, evpsTol float64) error {
 // benchScheme benchmarks one registered scheme on one generated topology:
 // build (bootstrap included), submit a standard workload, drain, and report
 // the outcome with wall time and simulation throughput.
-func benchScheme(name, topoKind string, sites int, load float64, quick bool, seed int64) error {
+func benchScheme(name, topoKind string, sites int, load float64, quick bool, seed int64, kernelWorkers int) error {
 	s, ok := scheme.Get(name)
 	if !ok {
 		return fmt.Errorf("unknown scheme %q; have %s", name, strings.Join(scheme.Names(), ", "))
@@ -245,7 +343,7 @@ func benchScheme(name, topoKind string, sites int, load float64, quick bool, see
 		return err
 	}
 	start := time.Now()
-	c, err := s.Build(topo, scheme.Config{Horizon: horizon})
+	c, err := s.Build(topo, scheme.Config{Horizon: horizon, KernelWorkers: kernelWorkers})
 	if err != nil {
 		return err
 	}

@@ -25,10 +25,16 @@ func TestAppliesToScoping(t *testing.T) {
 		want     bool
 	}{
 		{"detclock", "repro/internal/sim", true},
+		// The parallel kernel is simulation state of the strictest kind —
+		// its event order must be a pure function of the seed — so it must
+		// inherit the full deterministic-package policing.
+		{"detclock", "repro/internal/sim/par", true},
 		{"detclock", "repro/internal/core/txn", true},
 		{"detclock", "repro/internal/simnet", true},
 		{"detclock", "repro/internal/wire", false}, // live TCP layer
 		{"detclock", "repro/internal/baseline", false},
+		{"mapiter", "repro/internal/sim/par", true},
+		{"hotalloc", "repro/internal/sim/par", true},
 		{"mapiter", "repro/internal/wire", true},
 		{"mapiter", "repro/internal/baseline", true},
 		{"mapiter", "repro/cmd/rtds-sim", false},

@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/schedule"
 	"repro/internal/sim"
+	"repro/internal/sim/par"
 	"repro/internal/simnet"
 )
 
@@ -20,7 +21,9 @@ type Cluster struct {
 	cfg    Config
 	mcfg   membership.Config // resolved membership configuration
 	topo   *graph.Graph
-	engine *sim.Engine
+	engine *sim.Engine     // serial kernel; nil on parallel and live clusters
+	par    *par.Engine     // parallel kernel; nil on serial and live clusters
+	ptr    *simnet.PartDES // set iff par is (for per-site clock reads)
 	tr     simnet.Transport
 	sites  []*Site
 
@@ -129,7 +132,12 @@ func (c *Cluster) FaultDisruptions() int {
 	return c.disruptions
 }
 
+// eventLimit is the livelock backstop on discrete-event clusters.
+const eventLimit = 200_000_000
+
 // NewCluster builds a DES-backed cluster and runs the PCS construction.
+// Config.KernelWorkers selects the kernel: 0 the serial reference engine,
+// >= 1 the conservative parallel kernel (same event order, same tables).
 func NewCluster(topo *graph.Graph, cfg Config) (*Cluster, error) {
 	if err := cfg.validate(topo.Len()); err != nil {
 		return nil, err
@@ -142,15 +150,37 @@ func NewCluster(topo *graph.Graph, cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("core: membership on a discrete-event cluster needs " +
 			"Config.Membership.Horizon, or the heartbeat timers keep the event queue alive forever")
 	}
-	engine := sim.New()
-	engine.SetEventLimit(200_000_000)
 	c := &Cluster{
 		cfg:      cfg,
 		mcfg:     mcfg,
 		topo:     topo,
-		engine:   engine,
-		tr:       simnet.NewDES(engine, topo),
 		jobIndex: make(map[string]*Job),
+	}
+	if cfg.KernelWorkers > 0 {
+		workers := cfg.KernelWorkers
+		if cfg.Faults != nil && (cfg.Faults.Loss > 0 || cfg.Faults.MaxJitter > 0) {
+			// Loss/jitter draws come from one sequential random source in
+			// global send order; only a single partition reproduces it.
+			// Crash-only plans are pure in (site, time) and parallelize.
+			workers = 1
+		}
+		if workers > topo.Len() {
+			workers = topo.Len()
+		}
+		part := topo.Partition(workers)
+		pe, err := par.New(part, topo.MinCrossDelay(part))
+		if err != nil {
+			return nil, fmt.Errorf("core: parallel kernel: %w", err)
+		}
+		pe.SetEventLimit(eventLimit)
+		c.par = pe
+		c.ptr = simnet.NewPartDES(pe, topo, part)
+		c.tr = c.ptr
+	} else {
+		engine := sim.New()
+		engine.SetEventLimit(eventLimit)
+		c.engine = engine
+		c.tr = simnet.NewDES(engine, topo)
 	}
 	c.sites = make([]*Site, topo.Len())
 	for id := graph.NodeID(0); int(id) < topo.Len(); id++ {
@@ -161,7 +191,7 @@ func NewCluster(topo *graph.Graph, cfg Config) (*Cluster, error) {
 	for _, s := range c.sites {
 		s.rnode.Start()
 	}
-	if err := engine.Run(); err != nil {
+	if err := c.Run(); err != nil {
 		return nil, fmt.Errorf("core: PCS bootstrap: %w", err)
 	}
 	for _, s := range c.sites {
@@ -169,7 +199,7 @@ func NewCluster(topo *graph.Graph, cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("core: site %d never finished PCS construction", s.id)
 		}
 	}
-	c.epoch = engine.Now()
+	c.epoch = c.tr.Now()
 	c.bootstrapMessages = c.tr.Stats().Messages()
 	c.bootstrapBytes = c.tr.Stats().Bytes()
 	c.tr.Stats().Reset()
@@ -208,18 +238,47 @@ func (c *Cluster) Submit(at float64, origin graph.NodeID, g *dag.Graph, relDeadl
 	c.jobIndex[job.ID] = job
 	c.mu.Unlock()
 	site := c.sites[origin]
-	c.engine.AtFixed(job.Arrival, func() { site.jobArrives(job) })
+	if c.par != nil {
+		c.par.Schedule(int(origin), int(origin), job.Arrival, func() { site.jobArrives(job) })
+	} else {
+		c.engine.AtFixed(job.Arrival, func() { site.jobArrives(job) })
+	}
 	return job, nil
 }
 
 // Run processes all pending events (arrivals, protocol traffic, execution).
-func (c *Cluster) Run() error { return c.engine.Run() }
+func (c *Cluster) Run() error {
+	if c.par != nil {
+		return c.par.Run()
+	}
+	return c.engine.Run()
+}
 
 // RunUntil advances the simulation to epoch-relative time t.
-func (c *Cluster) RunUntil(t float64) error { return c.engine.RunUntil(c.epoch + t) }
+func (c *Cluster) RunUntil(t float64) error {
+	if c.par != nil {
+		return c.par.RunUntil(c.epoch + t)
+	}
+	return c.engine.RunUntil(c.epoch + t)
+}
 
 // Now reports the current epoch-relative time.
-func (c *Cluster) Now() float64 { return c.engine.Now() - c.epoch }
+func (c *Cluster) Now() float64 { return c.tr.Now() - c.epoch }
+
+// nowFor reports the virtual time site id's execution context observes. On
+// the serial and live transports that is the transport-wide clock; on the
+// parallel kernel it is the site's partition clock — the only clock an
+// event closure may consult while partitions run concurrently.
+func (c *Cluster) nowFor(id graph.NodeID) float64 {
+	if c.ptr != nil {
+		return c.ptr.NowFor(id)
+	}
+	return c.tr.Now()
+}
+
+// virtualTime reports whether the cluster runs on a discrete-event kernel
+// (serial or parallel), as opposed to a wall-clock transport.
+func (c *Cluster) virtualTime() bool { return c.engine != nil || c.par != nil }
 
 // Jobs returns all submitted job records in submission order.
 func (c *Cluster) Jobs() []*Job {
@@ -284,6 +343,9 @@ func (c *Cluster) BootstrapCost() (messages, bytes int64) {
 // fired (0 on the live transport, which has no event queue). The experiment
 // harness aggregates this into its events/sec throughput metric.
 func (c *Cluster) EventsProcessed() int64 {
+	if c.par != nil {
+		return c.par.Processed()
+	}
 	if c.engine == nil {
 		return 0
 	}

@@ -69,6 +69,20 @@ type Config struct {
 	// wrappers over the legacy LaxityMode/Heuristic knobs — which replay
 	// the hard-wired behavior event for event.
 	Policies policy.Set
+	// KernelWorkers selects the discrete-event kernel backing a simulated
+	// cluster. 0 (the default) runs the serial internal/sim engine — the
+	// reference semantics. >= 1 runs the conservative parallel kernel
+	// (internal/sim/par) with min(KernelWorkers, sites) partitions: sites
+	// are sharded across per-core event heaps by a topology-aware
+	// partitioner and synchronized with lookahead windows derived from the
+	// minimum cross-partition link delay. The parallel kernel reproduces
+	// the serial event order — experiment tables and event counts are
+	// byte-identical for the same seed at every worker count. Fault plans
+	// drawing loss or jitter consume one sequential random stream in global
+	// send order, so such plans collapse to a single partition (still the
+	// parallel code path, just P=1); crash-only plans parallelize fully.
+	// Ignored by wall-clock transports (live, wire).
+	KernelWorkers int
 	// Membership arms the distributed membership layer: per-site heartbeats
 	// with suspicion timeouts, flooded death/resurrection notices,
 	// epoch-tagged routing re-floods and the runtime join handshake. When
@@ -110,6 +124,9 @@ func (c Config) validate(n int) error {
 		if p <= 0 {
 			return fmt.Errorf("core: site %d has non-positive power %v", i, p)
 		}
+	}
+	if c.KernelWorkers < 0 {
+		return fmt.Errorf("core: negative kernel workers %d", c.KernelWorkers)
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(n); err != nil {

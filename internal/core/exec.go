@@ -151,7 +151,7 @@ func (s *Site) onTaskStart(e *execJob, id dag.TaskID, tries int) {
 			s.after(0, func() { s.onTaskStart(e, id, 1) }))
 		return
 	}
-	if s.cluster.engine == nil && tries < startRecheckMax {
+	if !s.cluster.virtualTime() && tries < startRecheckMax {
 		e.timers = append(e.timers,
 			s.after(startRecheckDelay, func() { s.onTaskStart(e, id, tries+1) }))
 		return

@@ -278,7 +278,7 @@ func (s *Site) forward(m Routed) {
 	}
 }
 
-func (s *Site) now() float64 { return s.cluster.tr.Now() }
+func (s *Site) now() float64 { return s.cluster.nowFor(s.id) }
 
 // after schedules fn in this site's execution context after a virtual-time
 // delay — the clock every phase timer, lease and execution timer runs on.

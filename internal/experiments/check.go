@@ -116,6 +116,48 @@ func CompareReports(baseline, current BenchReport, evpsTolerance float64) error 
 			}
 		}
 	}
+	// Kernel scaling curve. Two unconditional checks — the storm's event
+	// count is deterministic and partition-count-independent, so any drift
+	// is a kernel correctness bug, not noise. The speedup floor binds only
+	// on machines with enough cores to express one: the committed baseline
+	// may have been measured on fewer cores than the gate runs on (or vice
+	// versa), so the floor reads the *current* machine's curve.
+	if baseline.Kernel != nil {
+		if current.Kernel == nil {
+			problems = append(problems, "kernel benchmark section missing from the run")
+		} else {
+			k := current.Kernel
+			for _, p := range k.Points[1:] {
+				if p.Events != k.Points[0].Events {
+					problems = append(problems, fmt.Sprintf(
+						"kernel: %d workers processed %d events, 1 worker %d — partition-count determinism broken",
+						p.Workers, p.Events, k.Points[0].Events))
+				}
+			}
+			if b := baseline.Kernel; len(b.Points) > 0 && len(k.Points) > 0 &&
+				k.Points[0].Events != b.Points[0].Events {
+				problems = append(problems, fmt.Sprintf(
+					"kernel: storm processed %d events, baseline pins %d — the workload changed (regenerate the baseline)",
+					k.Points[0].Events, b.Points[0].Events))
+			}
+			if k.NumCPU >= kernelSpeedupCores {
+				best := 0.0
+				for _, p := range k.Points {
+					if p.Workers >= kernelSpeedupCores && p.Speedup > best {
+						best = p.Speedup
+					}
+				}
+				if best < kernelSpeedupFloor {
+					problems = append(problems, fmt.Sprintf(
+						"kernel: best speedup %.2fx at >=%d workers on a %d-core machine, floor is %.1fx",
+						best, kernelSpeedupCores, k.NumCPU, kernelSpeedupFloor))
+				}
+			}
+		}
+	} else if current.Kernel != nil {
+		problems = append(problems,
+			"kernel benchmark section absent from the baseline (regenerate it)")
+	}
 	if evpsTolerance > 0 && baseline.EventsPerSec > 0 && current.EventsPerSec > 0 {
 		floor := baseline.EventsPerSec * (1 - evpsTolerance)
 		if current.EventsPerSec < floor {

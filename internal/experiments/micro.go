@@ -1,12 +1,16 @@
 package experiments
 
 import (
+	"bytes"
+	"io"
+	"net"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/core/txn"
 	"repro/internal/schedule"
 	"repro/internal/sim"
+	"repro/internal/sim/par"
 	"repro/internal/simnet"
 	"repro/internal/wire"
 )
@@ -34,7 +38,10 @@ func RunMicroBenches() []MicroBench {
 		micro("wire/encode", benchWireEncode),
 		micro("wire/append-frame", benchWireAppendFrame),
 		micro("wire/decode", benchWireDecode),
+		micro("wire/read-frame", benchWireReadFrame),
+		micro("wire/write-batch", benchWireWriteBatch),
 		micro("sim/event-loop", benchSimEventLoop),
+		micro("sim/par-event-loop", benchParEventLoop),
 		micro("schedule/admit-reject", benchAdmitReject),
 		micro("schedule/admit-accept", benchAdmitAccept),
 	}
@@ -101,6 +108,54 @@ func benchWireDecode(b *testing.B) {
 	}
 }
 
+// benchWireReadFrame measures the transport's per-frame stream read: the
+// length prefix plus the frame body into the connection's reusable arena.
+// Steady state must be allocation-free — the arena grows once to the
+// largest frame and is reused, which is the whole point of pooling it.
+func benchWireReadFrame(b *testing.B) {
+	frame, err := wire.Encode(microPayload())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const repeat = 64
+	stream := bytes.Repeat(frame, repeat)
+	rd := bytes.NewReader(stream)
+	fr := wire.NewFrameReader(rd)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fr.Next(); err != nil {
+			b.Fatal(err)
+		}
+		if i%repeat == repeat-1 {
+			rd.Reset(stream)
+			fr.Reset(rd)
+		}
+	}
+}
+
+// benchWireWriteBatch measures the writer's vectored batch delivery: a
+// same-tick batch of frames handed to one writev, net.Buffers scratch
+// reused. Steady state must be allocation-free — no coalescing copy.
+func benchWireWriteBatch(b *testing.B) {
+	frame, err := wire.Encode(microPayload())
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([][]byte, 8)
+	for i := range batch {
+		batch[i] = frame
+	}
+	var scratch net.Buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wire.WriteBatch(io.Discard, &scratch, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchSimEventLoop drives the kernel with a self-rescheduling tick: one
 // event fired per op, pool-recycled nodes, a single closure. Steady state
 // must be allocation-free.
@@ -109,6 +164,27 @@ func benchSimEventLoop(b *testing.B) {
 	var tick func()
 	tick = func() { e.AfterFixed(1, tick) }
 	e.AfterFixed(1, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.RunUntil(float64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchParEventLoop is benchSimEventLoop on the parallel kernel at one
+// partition (the in-line serial fast path every partition's window loop
+// shares). Steady state must be allocation-free — the pool-recycle and
+// shrink logic mirror the serial engine's. A P=NumCPU point would not be
+// machine-independent (allocs vary with worker count and core count), so
+// multicore throughput is tracked by the report's kernel section instead.
+func benchParEventLoop(b *testing.B) {
+	e, err := par.New(make([]int, 4), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tick func()
+	tick = func() { e.Schedule(0, 0, e.NowOf(0)+1, tick) }
+	e.Schedule(0, 0, 1, tick)
 	b.ReportAllocs()
 	b.ResetTimer()
 	if err := e.RunUntil(float64(b.N)); err != nil {

@@ -329,6 +329,11 @@ type BenchReport struct {
 	// Micro pins the hot-path allocation budget (see RunMicroBenches);
 	// CompareReports gates allocs/op exactly, never ns/op.
 	Micro []MicroBench `json:"micro,omitempty"`
+	// Kernel records the parallel kernel's single-run scaling curve
+	// (events/sec vs partition count on the token storm). CompareReports
+	// checks its determinism invariant everywhere and its speedup floor on
+	// machines with enough cores to express one.
+	Kernel *KernelBench `json:"kernel,omitempty"`
 }
 
 // NewBenchReport summarizes a RunTasks result set into the JSON report.

@@ -68,6 +68,11 @@ func StdSpec(sites int, horizon float64, seed int64) workload.Spec {
 // the enclosing suite task. The cluster is returned for experiments that
 // read scheme-specific metrics (bootstrap cost, sphere sizes).
 func (env *runEnv) runCluster(name string, topo *graph.Graph, cfg scheme.Config, arrivals []workload.Arrival) (scheme.Cluster, error) {
+	if cfg.KernelWorkers == 0 {
+		// Suite-wide kernel selection (SetKernelWorkers): every RTDS-core
+		// cluster runs on the parallel kernel, byte-identical tables.
+		cfg.KernelWorkers = kernelWorkers
+	}
 	start := time.Now() //lint:allow wallclock -- events/sec accounting for the CI bench gate; never enters simulation state
 	c, err := scheme.MustGet(name).Build(topo, cfg)
 	if err != nil {

@@ -1,0 +1,230 @@
+package graph
+
+import "math"
+
+// Partition splits the nodes into nparts balanced, connected-ish regions for
+// the parallel DES kernel: sites in one part share an event heap and an
+// execution thread, so the partitioner's job is to keep chatty neighbors
+// together (few cut edges ⇒ few barrier-crossing messages) while keeping the
+// parts balanced (the slowest part paces every synchronization window).
+//
+// The algorithm is deterministic — a pure function of the graph and nparts,
+// never of map order or randomness — because the kernel's event-ordering key
+// includes the partition-independent origin site, but the *assignment* feeds
+// the bench harness and must reproduce across runs:
+//
+//  1. seed one node per part by farthest-point sampling on hop distance
+//     (ties to the lowest node ID);
+//  2. grow all parts with a round-robin multi-source BFS under a capacity of
+//     ceil(n/nparts), so parts are contiguous regions of comparable size;
+//  3. refine: a few sweeps move boundary nodes to the neighboring part that
+//     hosts most of their edges when that strictly reduces the number of cut
+//     edges without emptying or overfilling a part.
+//
+// The returned slice maps every node to its part in [0, nparts). nparts is
+// clamped to n when larger (every node its own part) and must be >= 1.
+func (g *Graph) Partition(nparts int) []int {
+	if nparts < 1 {
+		panic("graph: Partition needs nparts >= 1")
+	}
+	n := g.n
+	if nparts > n {
+		nparts = n
+	}
+	part := make([]int, n)
+	if nparts <= 1 {
+		return part
+	}
+
+	seeds := g.partitionSeeds(nparts)
+	capPer := (n + nparts - 1) / nparts
+
+	// Round-robin multi-source BFS growth. Each part keeps a FIFO frontier;
+	// on its turn it claims the first unclaimed node of its frontier. A part
+	// whose frontier runs dry while unclaimed nodes remain (disconnected
+	// graphs, capacity walls) restarts from the lowest unclaimed node, so
+	// every node is always assigned.
+	for i := range part {
+		part[i] = -1
+	}
+	frontiers := make([][]NodeID, nparts)
+	size := make([]int, nparts)
+	for p, s := range seeds {
+		part[s] = p
+		size[p] = 1
+		frontiers[p] = append(frontiers[p], s)
+	}
+	assigned := nparts
+	for assigned < n {
+		progress := false
+		for p := 0; p < nparts && assigned < n; p++ {
+			if size[p] >= capPer {
+				continue
+			}
+			claimed := false
+			for len(frontiers[p]) > 0 && !claimed {
+				u := frontiers[p][0]
+				frontiers[p] = frontiers[p][1:]
+				for _, e := range g.adj[u] {
+					if part[e.To] >= 0 {
+						continue
+					}
+					part[e.To] = p
+					size[p]++
+					assigned++
+					frontiers[p] = append(frontiers[p], e.To)
+					claimed = true
+					progress = true
+					break
+				}
+				if !claimed {
+					continue
+				}
+				// Re-visit u next turn: it may have more unclaimed neighbors.
+				frontiers[p] = append([]NodeID{u}, frontiers[p]...)
+			}
+		}
+		if !progress {
+			// Every frontier is dry or full. Hand the lowest unclaimed node
+			// to the smallest part (ties to the lowest index) and keep going.
+			u := NodeID(-1)
+			for v := range part {
+				if part[v] < 0 {
+					u = NodeID(v)
+					break
+				}
+			}
+			best := 0
+			for p := 1; p < nparts; p++ {
+				if size[p] < size[best] {
+					best = p
+				}
+			}
+			part[u] = best
+			size[best]++
+			assigned++
+			frontiers[best] = append(frontiers[best], u)
+		}
+	}
+
+	g.refinePartition(part, size, nparts, capPer)
+	return part
+}
+
+// partitionSeeds picks nparts spread-out seed nodes by farthest-point
+// sampling on hop distance: start from node 0, then repeatedly take the node
+// maximizing its minimum hop distance to the chosen seeds (unreachable nodes
+// count as farthest, so disconnected components get their own seeds first).
+func (g *Graph) partitionSeeds(nparts int) []NodeID {
+	seeds := []NodeID{0}
+	minDist := g.HopDistances(0)
+	for len(seeds) < nparts {
+		best, bestDist := NodeID(-1), -1
+		for v := 0; v < g.n; v++ {
+			d := minDist[v]
+			if d < 0 {
+				d = g.n // unreachable: farther than any real path
+			}
+			if d > bestDist {
+				best, bestDist = NodeID(v), d
+			}
+		}
+		if bestDist == 0 {
+			// Fewer distinct positions than parts; fall back to low IDs not
+			// yet chosen (can only happen on degenerate tiny graphs).
+			for v := 0; v < g.n; v++ {
+				taken := false
+				for _, s := range seeds {
+					if s == NodeID(v) {
+						taken = true
+						break
+					}
+				}
+				if !taken {
+					best = NodeID(v)
+					break
+				}
+			}
+		}
+		seeds = append(seeds, best)
+		for v, d := range g.HopDistances(best) {
+			if d >= 0 && (minDist[v] < 0 || d < minDist[v]) {
+				minDist[v] = d
+			}
+		}
+	}
+	return seeds
+}
+
+// refinePartition runs a few deterministic boundary sweeps: in ascending
+// node order, move a node to the adjacent part hosting the most of its edges
+// when that strictly reduces cut edges, respects the capacity and does not
+// empty the source part. Sweeps stop early once a full pass moves nothing.
+func (g *Graph) refinePartition(part, size []int, nparts, capPer int) {
+	degTo := make([]int, nparts)
+	for sweep := 0; sweep < 4; sweep++ {
+		moved := false
+		for v := 0; v < g.n; v++ {
+			home := part[v]
+			if size[home] <= 1 {
+				continue
+			}
+			for p := range degTo {
+				degTo[p] = 0
+			}
+			for _, e := range g.adj[v] {
+				degTo[part[e.To]]++
+			}
+			best, bestDeg := home, degTo[home]
+			for p := 0; p < nparts; p++ {
+				if p == home || size[p] >= capPer {
+					continue
+				}
+				if degTo[p] > bestDeg {
+					best, bestDeg = p, degTo[p]
+				}
+			}
+			if best != home {
+				part[v] = best
+				size[home]--
+				size[best]++
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+// MinCrossDelay reports the minimum delay over edges whose endpoints lie in
+// different parts of the given assignment — the conservative lookahead of
+// the parallel kernel: an event executing in one part cannot affect another
+// part sooner than this. Returns +Inf when no edge crosses parts (nparts=1,
+// or parts that coincide with connected components).
+func (g *Graph) MinCrossDelay(part []int) float64 {
+	min := math.Inf(1)
+	for u := NodeID(0); int(u) < g.n; u++ {
+		for _, e := range g.adj[u] {
+			if part[u] != part[e.To] && e.Delay < min {
+				min = e.Delay
+			}
+		}
+	}
+	return min
+}
+
+// CutEdges counts the undirected edges crossing parts under the assignment
+// (each cut edge counted once). Exported for the partitioner's tests and the
+// bench harness's partition diagnostics.
+func (g *Graph) CutEdges(part []int) int {
+	cut := 0
+	for u := NodeID(0); int(u) < g.n; u++ {
+		for _, e := range g.adj[u] {
+			if u < e.To && part[u] != part[e.To] {
+				cut++
+			}
+		}
+	}
+	return cut
+}

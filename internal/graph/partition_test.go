@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestPartitionAssignsEveryNodeWithinCapacity(t *testing.T) {
+	g := RandomConnected(64, 4, DelayRange{Min: 0.05, Max: 0.3}, 7)
+	for _, nparts := range []int{1, 2, 3, 5, 8, 17} {
+		part := g.Partition(nparts)
+		if len(part) != 64 {
+			t.Fatalf("nparts=%d: len=%d", nparts, len(part))
+		}
+		size := make([]int, nparts)
+		for v, p := range part {
+			if p < 0 || p >= nparts {
+				t.Fatalf("nparts=%d: node %d assigned out-of-range part %d", nparts, v, p)
+			}
+			size[p]++
+		}
+		capPer := (64 + nparts - 1) / nparts
+		for p, s := range size {
+			if s == 0 {
+				t.Fatalf("nparts=%d: part %d empty", nparts, p)
+			}
+			if s > capPer {
+				t.Fatalf("nparts=%d: part %d holds %d nodes, capacity %d", nparts, p, s, capPer)
+			}
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	a := RandomConnected(48, 3, DelayRange{Min: 0.05, Max: 0.3}, 11)
+	b := RandomConnected(48, 3, DelayRange{Min: 0.05, Max: 0.3}, 11)
+	for _, nparts := range []int{2, 4, 7} {
+		if !reflect.DeepEqual(a.Partition(nparts), b.Partition(nparts)) {
+			t.Fatalf("nparts=%d: same graph, different assignments", nparts)
+		}
+	}
+}
+
+func TestPartitionClampsAndValidates(t *testing.T) {
+	g := RandomConnected(5, 2, DelayRange{Min: 0.1, Max: 0.2}, 3)
+	part := g.Partition(9) // clamped to n: every node its own part
+	seen := map[int]bool{}
+	for _, p := range part {
+		if seen[p] {
+			t.Fatalf("nparts>n: part %d reused in %v", p, part)
+		}
+		seen[p] = true
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Partition(0) did not panic")
+		}
+	}()
+	g.Partition(0)
+}
+
+func TestPartitionBeatsRoundRobinCut(t *testing.T) {
+	// The BFS-grown, refined assignment should cut far fewer edges than the
+	// worst-case striped assignment on a geometric-ish random topology.
+	g := RandomConnected(96, 4, DelayRange{Min: 0.05, Max: 0.3}, 5)
+	part := g.Partition(4)
+	striped := make([]int, 96)
+	for v := range striped {
+		striped[v] = v % 4
+	}
+	if got, worst := g.CutEdges(part), g.CutEdges(striped); got >= worst {
+		t.Fatalf("partitioner cut %d edges, striping cuts %d", got, worst)
+	}
+}
+
+func TestMinCrossDelay(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 0.5)
+	g.AddEdge(1, 2, 0.2)
+	g.AddEdge(2, 3, 0.9)
+	part := []int{0, 0, 1, 1}
+	if got := g.MinCrossDelay(part); got != 0.2 {
+		t.Fatalf("MinCrossDelay = %v, want 0.2 (the 1-2 cut edge)", got)
+	}
+	if got := g.CutEdges(part); got != 1 {
+		t.Fatalf("CutEdges = %d, want 1", got)
+	}
+	all := []int{0, 0, 0, 0}
+	if got := g.MinCrossDelay(all); !math.IsInf(got, 1) {
+		t.Fatalf("MinCrossDelay with one part = %v, want +Inf", got)
+	}
+	if got := g.CutEdges(all); got != 0 {
+		t.Fatalf("CutEdges with one part = %d, want 0", got)
+	}
+}

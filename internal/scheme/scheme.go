@@ -26,6 +26,12 @@ type Config struct {
 	// Faults arms transport fault injection for schemes that support it
 	// (all of them except the oracle, which has no transport).
 	Faults *simnet.FaultPlan
+	// KernelWorkers selects the discrete-event kernel for RTDS-core schemes
+	// (see core.Config.KernelWorkers): 0 the serial reference engine, >= 1
+	// the conservative parallel kernel with that many partitions. The
+	// produced tables are byte-identical either way; only wall-clock
+	// throughput changes. Ignored by schemes not built on the RTDS core.
+	KernelWorkers int
 	// Tune adjusts an RTDS-core scheme's configuration after the scheme's
 	// own base has been applied — radius sweeps, heuristics, powers,
 	// policies. Ignored by schemes not built on the RTDS core.

@@ -65,6 +65,7 @@ func (s coreScheme) Description() string { return s.desc }
 func (s coreScheme) Build(topo *graph.Graph, cfg Config) (Cluster, error) {
 	cc := s.base(topo)
 	cc.Faults = cfg.Faults
+	cc.KernelWorkers = cfg.KernelWorkers
 	if cfg.Tune != nil {
 		cfg.Tune(&cc)
 	}

@@ -8,6 +8,12 @@
 // The kernel is intentionally minimal: an event is just a closure. Higher
 // layers (internal/simnet, internal/core) build message passing and protocol
 // state machines on top of it.
+//
+// internal/sim/par holds the multicore counterpart: a conservative
+// (lookahead-windowed) parallel kernel that shards sites across per-core
+// event heaps and reproduces this engine's event order bit-for-bit for the
+// workloads the suite runs (see the par package comment for the ordering
+// argument). The serial engine remains the reference semantics.
 package sim
 
 import (
@@ -213,7 +219,40 @@ func (e *Engine) step() (bool, error) {
 	e.now = at
 	e.processed++
 	fn()
+	e.maybeShrink()
 	return true, nil
+}
+
+// poolMin is the capacity below which the shrink heuristics never fire;
+// steady-state simulations stay under it and pay nothing.
+const poolMin = 1 << 10
+
+// maybeShrink caps the memory a burst leaves pinned: a flood-heavy bootstrap
+// can balloon the free pool and the heap's backing array to hundreds of
+// thousands of entries that the steady state never needs again, and neither
+// ever shrinks on its own (release only appends; Pop only reslices). Checked
+// once every 1024 events: surplus pooled nodes are released to the garbage
+// collector once the pool dwarfs the pending queue, and the pool and heap
+// backing arrays are reallocated at half capacity once their lengths fall
+// below a quarter of capacity.
+func (e *Engine) maybeShrink() {
+	if e.processed&1023 != 0 {
+		return
+	}
+	if n := len(e.free); n > poolMin && n > 4*(len(e.pq)+1) {
+		for i := n / 2; i < n; i++ {
+			e.free[i] = nil
+		}
+		e.free = e.free[:n/2]
+	}
+	if c := cap(e.free); c > poolMin && len(e.free) < c/4 {
+		e.free = append(make([]*event, 0, c/2), e.free...) //lint:allow hotalloc -- burst-shrink realloc: at most once per 1024 events, only while the pool is 4x oversized
+	}
+	if c := cap(e.pq); c > poolMin && len(e.pq) < c/4 {
+		pq := make(eventHeap, len(e.pq), c/2) //lint:allow hotalloc -- burst-shrink realloc: at most once per 1024 events, only while the heap backing is 4x oversized
+		copy(pq, e.pq)
+		e.pq = pq
+	}
 }
 
 // Run processes events until the queue drains or the event limit trips.

@@ -1,0 +1,223 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// blockParts pins n origins to nparts contiguous blocks.
+func blockParts(n, nparts int) []int {
+	part := make([]int, n)
+	for i := range part {
+		part[i] = i * nparts / n
+	}
+	return part
+}
+
+// runRing drives a deterministic ring workload — every origin forwards a
+// token to its successor with delay equal to the lookahead, folding its own
+// hop history into the payload — and returns the per-origin logs. Each log
+// entry depends on every value the origin observed before it, so any
+// divergence in delivery order or content across partition counts shows up
+// as a log difference.
+func runRing(t *testing.T, n, nparts, hops int) [][]string {
+	t.Helper()
+	const delay = 0.125
+	eng, err := New(blockParts(n, nparts), delay)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	logs := make([][]string, n)
+	var forward func(from, token, hop int)
+	forward = func(from, token, hop int) {
+		to := (from + 1) % n
+		eng.Schedule(from, to, eng.NowOf(from)+delay, func() {
+			logs[to] = append(logs[to], fmt.Sprintf("tok%d hop%d at%.3f", token, hop, eng.NowOf(to)))
+			if hop < hops {
+				forward(to, token, hop+1)
+			}
+		})
+	}
+	// Three interleaved tokens starting at spread-out origins.
+	for k := 0; k < 3; k++ {
+		start := k * n / 3
+		eng.Schedule(start, start, float64(k)*delay/2, func() {
+			logs[start] = append(logs[start], fmt.Sprintf("tok%d start", k))
+			forward(start, k, 1)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return logs
+}
+
+func TestRunDeterministicAcrossPartitionCounts(t *testing.T) {
+	const n, hops = 24, 200
+	want := runRing(t, n, 1, hops)
+	for _, nparts := range []int{2, 3, 8, 17, 24} {
+		got := runRing(t, n, nparts, hops)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("P=%d: per-origin logs diverge from P=1", nparts)
+		}
+	}
+}
+
+func TestRunUntilSemantics(t *testing.T) {
+	eng, err := New(blockParts(4, 2), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []float64
+	for _, at := range []float64{1.0, 2.0, 3.0} {
+		at := at
+		eng.Schedule(0, 0, at, func() { fired = append(fired, at) })
+	}
+	// Horizon exactly on an event: serial RunUntil processes at <= t.
+	if err := eng.RunUntil(2.0); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if want := []float64{1.0, 2.0}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	// Every partition clock advances to the horizon, even idle ones.
+	for origin := 0; origin < 4; origin++ {
+		if now := eng.NowOf(origin); now != 2.0 {
+			t.Fatalf("NowOf(%d) = %v after RunUntil(2), want 2", origin, now)
+		}
+	}
+	if err := eng.RunUntil(1.0); err == nil {
+		t.Fatal("RunUntil into the past should error")
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v, want all three", fired)
+	}
+	if now := eng.Now(); now != 3.0 {
+		t.Fatalf("Now = %v, want 3", now)
+	}
+	if got := eng.Processed(); got != 3 {
+		t.Fatalf("Processed = %d, want 3", got)
+	}
+}
+
+func TestScheduleCancellable(t *testing.T) {
+	eng, err := New(blockParts(4, 2), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	cancelHit := eng.ScheduleCancellable(1, 1.0, func() { fired++ })
+	cancelMiss := eng.ScheduleCancellable(1, 2.0, func() { fired++ })
+	if !cancelHit() {
+		t.Fatal("cancel of pending event reported false")
+	}
+	if cancelHit() {
+		t.Fatal("second cancel reported true")
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (one cancelled)", fired)
+	}
+	if cancelMiss() {
+		t.Fatal("cancel after firing reported true")
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", eng.Pending())
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	eng, err := New(blockParts(4, 2), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetEventLimit(100)
+	var tick func()
+	tick = func() { eng.Schedule(0, 0, eng.NowOf(0)+0.01, tick) }
+	eng.Schedule(0, 0, 0, tick)
+	if err := eng.Run(); !errors.Is(err, sim.ErrEventLimit) {
+		t.Fatalf("Run = %v, want ErrEventLimit", err)
+	}
+	if eng.Processed() < 100 {
+		t.Fatalf("Processed = %d, want >= limit", eng.Processed())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 1); err == nil {
+		t.Fatal("empty assignment accepted")
+	}
+	if _, err := New([]int{0, -1}, 1); err == nil {
+		t.Fatal("negative partition accepted")
+	}
+	if _, err := New([]int{0, 1}, 0); err == nil {
+		t.Fatal("zero lookahead accepted")
+	}
+	if _, err := New([]int{0, 1}, math.NaN()); err == nil {
+		t.Fatal("NaN lookahead accepted")
+	}
+	eng, err := New([]int{0, 0, 0}, math.Inf(1))
+	if err != nil {
+		t.Fatalf("single-partition +Inf lookahead rejected: %v", err)
+	}
+	if eng.Parts() != 1 {
+		t.Fatalf("Parts = %d, want 1", eng.Parts())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	eng, err := New(blockParts(2, 2), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(0, 0, 1.0, func() {})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	eng.Schedule(0, 0, 0.5, func() {})
+}
+
+// TestCrossArrivalsAfterHorizonWindow exercises the horizon-capped window:
+// events processed at the horizon must still buffer their cross-partition
+// sends for the next run, not lose or misorder them.
+func TestCrossArrivalsAfterHorizonWindow(t *testing.T) {
+	eng, err := New(blockParts(4, 2), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0.0
+	eng.Schedule(0, 0, 1.0, func() {
+		// Origin 2 lives in the other partition.
+		eng.Schedule(0, 2, eng.NowOf(0)+0.5, func() { got = eng.NowOf(2) })
+	})
+	if err := eng.RunUntil(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatal("cross event fired before its time")
+	}
+	if eng.Pending() != 1 {
+		t.Fatalf("Pending = %d, want the buffered cross event", eng.Pending())
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1.5 {
+		t.Fatalf("cross event fired at %v, want 1.5", got)
+	}
+}

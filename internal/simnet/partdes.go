@@ -1,0 +1,148 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim/par"
+)
+
+// PartDES is the deterministic transport over the conservative parallel
+// kernel (internal/sim/par): the multicore counterpart of DES. Sites are
+// pinned to partitions by the assignment given to New; a Send routes
+// partition-local traffic straight into the sender partition's own event
+// heap and cross-partition traffic through the kernel's outboxes, which the
+// barrier merges with a partition-count-independent ordering key — so the
+// delivered event order matches the serial DES transport byte-for-byte for
+// the same seed (see the par package comment for the argument).
+//
+// Statistics are recorded on per-partition shards of one parent Stats
+// (Stats.Shard), keeping concurrent partitions off each other's mutex;
+// every read of the parent sees the aggregate.
+//
+// Fault plans: crash windows are pure functions of (site, time), so they
+// parallelize — the transport evaluates them without touching the plan's
+// sequential random source. Loss and jitter draw from that one source in
+// global send order, which no parallel execution can reproduce; callers
+// must run such plans on a single partition (internal/core collapses to
+// P=1), and SetFaults enforces it.
+type PartDES struct {
+	engine   *par.Engine
+	topo     *graph.Graph
+	part     []int
+	handlers []Handler
+	stats    *Stats
+	shard    []*Stats // per partition
+	faults   *faultState
+	lossy    bool // plan draws loss/jitter from the sequential source
+}
+
+// NewPartDES builds a partitioned transport over the topology. part maps
+// every node to its partition (graph.Partition) and must agree with the
+// assignment the engine was built from.
+func NewPartDES(engine *par.Engine, topo *graph.Graph, part []int) *PartDES {
+	stats := NewStats()
+	shard := make([]*Stats, engine.Parts())
+	for p := range shard {
+		shard[p] = stats.Shard()
+	}
+	return &PartDES{
+		engine:   engine,
+		topo:     topo,
+		part:     part,
+		handlers: make([]Handler, len(part)),
+		stats:    stats,
+		shard:    shard,
+	}
+}
+
+// Engine exposes the underlying parallel kernel.
+func (t *PartDES) Engine() *par.Engine { return t.engine }
+
+// Attach implements Transport.
+func (t *PartDES) Attach(id graph.NodeID, h Handler) {
+	if t.handlers[id] != nil {
+		panic(fmt.Sprintf("simnet: handler for node %d attached twice", id))
+	}
+	t.handlers[id] = h
+}
+
+// SetFaults implements Transport. Crash-only plans run at any partition
+// count; plans drawing loss or jitter consume a sequential random source in
+// global send order and therefore require a single partition (the caller
+// collapses to P=1 before constructing the engine).
+func (t *PartDES) SetFaults(plan FaultPlan, epoch float64) {
+	t.lossy = plan.Loss > 0 || plan.MaxJitter > 0
+	if t.lossy && t.engine.Parts() > 1 {
+		panic("simnet: loss/jitter fault plans require a single-partition kernel")
+	}
+	t.faults = newFaultState(plan, epoch)
+}
+
+// Send implements Transport. It runs in the sending site's execution
+// context (its partition's goroutine), so the partition clock, the per-site
+// scheduling counters and the partition's stats shard are all touched
+// race-free.
+func (t *PartDES) Send(from, to graph.NodeID, p Payload) error {
+	delay, err := t.topo.EdgeDelay(from, to)
+	if err != nil {
+		return fmt.Errorf("simnet: send %s from %d to non-neighbor %d", p.Kind(), from, to)
+	}
+	sh := t.shard[t.part[from]]
+	now := t.engine.NowOf(int(from))
+	if f := t.faults; f != nil {
+		if !t.lossy {
+			// Crash windows are pure: no lock, no randomness, parallel-safe.
+			if f.down(from, now) || f.down(to, now+delay) {
+				sh.Drop()
+				return nil
+			}
+		} else {
+			// Single partition by construction (see SetFaults): the draws
+			// happen in global send order, exactly like the serial DES.
+			var dropped bool
+			if delay, dropped = f.perturb(from, to, now, delay); dropped {
+				sh.Drop()
+				return nil
+			}
+		}
+	}
+	sh.Record(p)
+	t.engine.Schedule(int(from), int(to), now+delay, func() {
+		h := t.handlers[to]
+		if h == nil {
+			panic(fmt.Sprintf("simnet: no handler attached at node %d", to))
+		}
+		h(from, p)
+	})
+	return nil
+}
+
+// After implements Transport: fn runs in node id's own execution context,
+// and the returned cancel is valid only from that same context (timers
+// never cross partitions).
+func (t *PartDES) After(id graph.NodeID, delay float64, fn func()) CancelFunc {
+	if delay < 0 {
+		panic(fmt.Sprintf("simnet: negative delay %v", delay))
+	}
+	cancel := t.engine.ScheduleCancellable(int(id), t.engine.NowOf(int(id))+delay, fn)
+	return CancelFunc(cancel)
+}
+
+// Now implements Transport. With more than one partition there is no single
+// "current time" while the kernel runs; this reports the engine-wide clock,
+// meaningful between runs. Inside a site's execution context use NowFor.
+func (t *PartDES) Now() float64 { return t.engine.Now() }
+
+// NowFor reports the virtual time node id's execution context observes: its
+// partition's clock.
+func (t *PartDES) NowFor(id graph.NodeID) float64 { return t.engine.NowOf(int(id)) }
+
+// Topology implements Transport.
+func (t *PartDES) Topology() *graph.Graph { return t.topo }
+
+// Stats implements Transport: the parent aggregate of the per-partition
+// shards.
+func (t *PartDES) Stats() *Stats { return t.stats }
+
+var _ Transport = (*PartDES)(nil)

@@ -10,6 +10,10 @@
 //
 //   - DES: built on internal/sim — fully deterministic, used by all
 //     experiments and benchmarks;
+//   - PartDES: built on internal/sim/par — the same deterministic semantics
+//     over the conservative parallel kernel, routing partition-local
+//     traffic into per-partition heaps and cross-partition traffic through
+//     the barrier outboxes (enabled by the kernel-workers knob);
 //   - Live: one goroutine per site and real (scaled) time — demonstrates the
 //     protocol under genuine concurrency (examples/livenet) and backs the
 //     transport-equivalence tests;
@@ -72,6 +76,12 @@ type Transport interface {
 }
 
 // Stats accumulates communication counters. Safe for concurrent use.
+//
+// For parallel transports a Stats can be sharded: Shard returns a child
+// counter set that folds into the parent's reads, so each simulation
+// partition records on its own shard (its own mutex and cache lines) while
+// readers and Reset keep seeing one aggregate. Counts are order-free sums,
+// so sharding cannot change any observable total.
 type Stats struct {
 	mu          sync.Mutex
 	messages    int64
@@ -80,11 +90,46 @@ type Stats struct {
 	controlB    int64
 	dropped     int64
 	byKind      map[string]int64
+	shards      []*Stats
 }
 
 // NewStats returns zeroed counters.
 func NewStats() *Stats {
 	return &Stats{byKind: make(map[string]int64)}
+}
+
+// Shard returns a child counter set aggregated into s by every read and
+// zeroed by Reset. Record/Drop on a shard touch only the shard's own mutex,
+// which keeps simulation partitions recording in parallel off each other's
+// cache lines.
+func (s *Stats) Shard() *Stats {
+	child := NewStats()
+	s.mu.Lock()
+	s.shards = append(s.shards, child)
+	s.mu.Unlock()
+	return child
+}
+
+// statTotals is one flat aggregate of the scalar counters.
+type statTotals struct {
+	messages, bytes, controlMsgs, controlB, dropped int64
+}
+
+// totals sums s's own counters and every shard's, recursively.
+func (s *Stats) totals() statTotals {
+	s.mu.Lock()
+	t := statTotals{s.messages, s.bytes, s.controlMsgs, s.controlB, s.dropped}
+	shards := s.shards
+	s.mu.Unlock()
+	for _, c := range shards {
+		ct := c.totals()
+		t.messages += ct.messages
+		t.bytes += ct.bytes
+		t.controlMsgs += ct.controlMsgs
+		t.controlB += ct.controlB
+		t.dropped += ct.dropped
+	}
+	return t
 }
 
 // controlKind classifies control-plane traffic — membership heartbeats,
@@ -113,18 +158,10 @@ func (s *Stats) Record(p Payload) {
 // ControlMessages reports how many traversals carried control-plane
 // payloads (membership and routing-table traffic); ControlBytes is their
 // byte volume. Both are included in Messages/Bytes.
-func (s *Stats) ControlMessages() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.controlMsgs
-}
+func (s *Stats) ControlMessages() int64 { return s.totals().controlMsgs }
 
 // ControlBytes reports the byte volume of control-plane traversals.
-func (s *Stats) ControlBytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.controlB
-}
+func (s *Stats) ControlBytes() int64 { return s.totals().controlB }
 
 // Drop counts a traversal the fault injector discarded. Dropped traversals
 // are not counted as messages: they never crossed the link.
@@ -135,58 +172,56 @@ func (s *Stats) Drop() {
 }
 
 // Dropped reports how many traversals the fault injector discarded.
-func (s *Stats) Dropped() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.dropped
-}
+func (s *Stats) Dropped() int64 { return s.totals().dropped }
 
 // Messages reports the total number of link traversals.
-func (s *Stats) Messages() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.messages
-}
+func (s *Stats) Messages() int64 { return s.totals().messages }
 
 // Bytes reports the total bytes placed on links.
-func (s *Stats) Bytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.bytes
-}
+func (s *Stats) Bytes() int64 { return s.totals().bytes }
 
-// ByKind returns a copy of the per-kind message counts.
+// ByKind returns a copy of the per-kind message counts, shards included.
 func (s *Stats) ByKind() map[string]int64 {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make(map[string]int64, len(s.byKind))
 	for k, v := range s.byKind {
 		out[k] = v
 	}
+	shards := s.shards
+	s.mu.Unlock()
+	for _, c := range shards {
+		for k, v := range c.ByKind() {
+			out[k] += v
+		}
+	}
 	return out
 }
 
-// Reset zeroes all counters (used between experiment phases to separate
-// setup traffic from per-job traffic).
+// Reset zeroes all counters, shards included (used between experiment
+// phases to separate setup traffic from per-job traffic).
 func (s *Stats) Reset() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.messages, s.bytes, s.dropped = 0, 0, 0
 	s.controlMsgs, s.controlB = 0, 0
 	s.byKind = make(map[string]int64)
+	shards := s.shards
+	s.mu.Unlock()
+	for _, c := range shards {
+		c.Reset()
+	}
 }
 
 // String renders the counters compactly, kinds sorted for determinism.
 func (s *Stats) String() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	kinds := determinism.SortedKeys(s.byKind)
-	out := fmt.Sprintf("msgs=%d bytes=%d", s.messages, s.bytes)
-	if s.dropped > 0 {
-		out += fmt.Sprintf(" dropped=%d", s.dropped)
+	t := s.totals()
+	byKind := s.ByKind()
+	kinds := determinism.SortedKeys(byKind)
+	out := fmt.Sprintf("msgs=%d bytes=%d", t.messages, t.bytes)
+	if t.dropped > 0 {
+		out += fmt.Sprintf(" dropped=%d", t.dropped)
 	}
 	for _, k := range kinds {
-		out += fmt.Sprintf(" %s=%d", k, s.byKind[k])
+		out += fmt.Sprintf(" %s=%d", k, byKind[k])
 	}
 	return out
 }

@@ -1,10 +1,8 @@
 package wire
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
-	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -240,19 +238,11 @@ func (t *NetTransport) Start() {
 // dialing site; a connection that talks garbage is dropped.
 func (t *NetTransport) readLoop(conn net.Conn) {
 	defer conn.Close()
-	br := bufio.NewReaderSize(conn, 64<<10)
+	fr := NewFrameReader(conn)
 	from := graph.NodeID(-1)
-	header := make([]byte, 4)
 	for {
-		if _, err := io.ReadFull(br, header); err != nil {
-			return
-		}
-		n := int(binary.LittleEndian.Uint32(header))
-		if n < 2 || n > MaxFrame {
-			return
-		}
-		block := make([]byte, n)
-		if _, err := io.ReadFull(br, block); err != nil {
+		block, err := fr.Next()
+		if err != nil {
 			return
 		}
 		if block[0] != Version {
@@ -524,9 +514,14 @@ func (p *peerConn) close() {
 	close(p.done)
 }
 
-// writeLoop waits until the earliest frame is due, then coalesces every
-// frame due at that moment into one buffer and writes it.
+// writeLoop waits until the earliest frame is due, then gathers every frame
+// due at that moment and delivers them with one vectored write. The batch
+// and writev scratch slices are loop-local and reused across iterations, so
+// same-tick coalescing allocates nothing in steady state — the frames
+// themselves were allocated by Send's Encode and are owned by the queue.
 func (p *peerConn) writeLoop() {
+	var batch [][]byte
+	var scratch net.Buffers
 	for {
 		p.mu.Lock()
 		if p.closed {
@@ -556,8 +551,7 @@ func (p *peerConn) writeLoop() {
 			}
 			continue
 		}
-		var batch [][]byte
-		size := 0
+		batch = batch[:0]
 		stale := 0
 		for len(p.queue) > 0 && !p.queue[0].due.After(now) {
 			f := p.queue.pop()
@@ -566,7 +560,6 @@ func (p *peerConn) writeLoop() {
 				continue
 			}
 			batch = append(batch, f.frame)
-			size += len(f.frame)
 		}
 		p.mu.Unlock()
 		for i := 0; i < stale; i++ {
@@ -575,26 +568,22 @@ func (p *peerConn) writeLoop() {
 		if len(batch) == 0 {
 			continue
 		}
-		buf := batch[0]
-		if len(batch) > 1 {
-			buf = make([]byte, 0, size)
-			for _, f := range batch {
-				buf = append(buf, f...)
-			}
-		}
-		p.write(buf)
+		p.write(batch, &scratch)
 	}
 }
 
-// write delivers one coalesced buffer, dialing (with backoff) as needed and
-// retrying on a fresh connection after a broken write. It gives up only
-// when the peer is closed. Backoff grows on EVERY failure — dial refused,
-// hello write failed, batch write failed — and resets only after a
-// successful batch write, so a peer that accepts connections and
-// immediately resets them cannot drive a zero-sleep reconnect spin. Each
-// sleep is jittered from the peer's seeded source (see NetConfig.Seed) so
-// simultaneously restarted nodes do not re-dial in lockstep.
-func (p *peerConn) write(buf []byte) {
+// write delivers one batch of frames (a single writev), dialing (with
+// backoff) as needed and retrying on a fresh connection after a broken
+// write. It gives up only when the peer is closed. Backoff grows on EVERY
+// failure — dial refused, hello write failed, batch write failed — and
+// resets only after a successful batch write, so a peer that accepts
+// connections and immediately resets them cannot drive a zero-sleep
+// reconnect spin. Each sleep is jittered from the peer's seeded source (see
+// NetConfig.Seed) so simultaneously restarted nodes do not re-dial in
+// lockstep. WriteBatch consumes scratch, never batch, so each retry resends
+// the identical frames — the peer may see duplicates, which the protocol
+// tolerates.
+func (p *peerConn) write(batch [][]byte, scratch *net.Buffers) {
 	backoff := 50 * time.Millisecond
 	fail := func() bool { // sleep and grow; reports whether the peer closed
 		sleep, next := nextBackoff(backoff, p.maxBackoff, p.rng)
@@ -635,7 +624,7 @@ func (p *peerConn) write(buf []byte) {
 			conn = c
 			p.setConn(c)
 		}
-		if _, err := conn.Write(buf); err == nil {
+		if err := WriteBatch(conn, scratch, batch); err == nil {
 			return
 		}
 		conn.Close()
