@@ -187,6 +187,13 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Kernel = kb
+		fmt.Fprintln(os.Stderr, "running gateway submission benchmark (durable front door)")
+		gb, err := experiments.RunGatewayBench()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		rep.Gateway = gb
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -306,6 +313,14 @@ func checkBaseline(path string, workers int, evpsTol float64) error {
 			return err
 		}
 		current.Kernel = kb
+	}
+	if baseline.Gateway != nil {
+		fmt.Fprintln(os.Stderr, "regression gate: running gateway submission benchmark")
+		gb, err := experiments.RunGatewayBench()
+		if err != nil {
+			return err
+		}
+		current.Gateway = gb
 	}
 	if err := experiments.CompareReports(baseline, current, evpsTol); err != nil {
 		return err

@@ -70,6 +70,8 @@ func main() {
 	jsonOut := flag.String("json", "", "write the machine-readable report to this path")
 	optionalSites := flag.String("optional-sites", "", "comma-separated site ids that may be down or replaced mid-run (churn mode)")
 	joiner := flag.Int("joiner", -1, "site id that must have joined and served by the end of the run")
+	gatewayURL := flag.String("gateway", "", "drive the workload through this rtds-gateway base URL instead of the node APIs")
+	tenantsList := flag.String("tenants", "", "gateway mode: comma-separated tenant names to round-robin submissions over")
 	flag.Parse()
 
 	if err := run(opts{
@@ -80,6 +82,7 @@ func main() {
 		schemeName: *schemeName, policySpec: *policySpec, slack: *slack, pad: *pad,
 		timeout: *timeout, jsonOut: *jsonOut,
 		optionalSpec: *optionalSites, joiner: *joiner,
+		gatewayURL: *gatewayURL, tenantsSpec: *tenantsList,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
@@ -106,6 +109,8 @@ type opts struct {
 	jsonOut      string
 	optionalSpec string
 	joiner       int
+	gatewayURL   string
+	tenantsSpec  string
 
 	optional map[graph.NodeID]bool // parsed optionalSpec
 }
@@ -155,6 +160,9 @@ type Report struct {
 }
 
 func run(o opts) error {
+	if o.gatewayURL != "" {
+		return runGateway(o)
+	}
 	if o.nodesSpec == "" {
 		return fmt.Errorf("-nodes is required")
 	}

@@ -80,6 +80,22 @@
 //     deployed by cmd/rtds-node with the HTTP control plane of
 //     internal/nodeapi and driven by cmd/rtds-load).
 //
+// # Gateway
+//
+// A deployed cluster is fronted by cmd/rtds-gateway
+// (internal/gateway), the production submission API. A POST /v1/jobs
+// passes four gates before it is acked: payload validation against the
+// dag schema and the wire codec; per-tenant admission (token-bucket
+// rate, inflight quota); laxity backpressure (jobs whose deadline is
+// tighter than the cluster's observed p99 decision latency are refused
+// 429 with Retry-After, before they cost cluster work); and durability —
+// the submission is appended to a write-ahead job log (internal/joblog,
+// group-commit fsync, truncation-tolerant recovery) before the 202
+// leaves. A restarted gateway replays undecided jobs into the cluster;
+// an acked submission is never lost. Both the gateway and every node
+// expose a Prometheus text /metrics plane built on the stdlib-only
+// registry in internal/metrics.
+//
 // # Static analysis
 //
 // The determinism and protocol invariants the packages above rely on are
@@ -111,6 +127,7 @@
 // transaction state machine, internal/core/policy for the policy layer,
 // internal/scheme for the scheme registry, internal/mapper for the
 // trial-mapping construction, internal/routing for sphere construction,
-// internal/schedule for the local scheduler, and so on). See DESIGN.md for
-// the full inventory and EXPERIMENTS.md for the reproduction results.
+// internal/schedule for the local scheduler, and so on). See
+// docs/architecture.md for the full inventory and docs/operations.md for
+// deployment and soak runbooks.
 package rtds

@@ -1,0 +1,60 @@
+// Package docscheck ties the documentation tree to the code: the tests
+// here fail when docs/metrics.md stops covering an exported metric
+// family, so "document every metric" is a build invariant rather than a
+// review convention. (Dead links and unformatted doc examples are the
+// CI docs job's half, via scripts/linkcheck.)
+package docscheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gateway"
+	"repro/internal/nodeapi"
+)
+
+// docsPath resolves a file under the repository's docs/ tree from this
+// package's directory.
+func docsPath(name string) string {
+	return filepath.Join("..", "..", "docs", name)
+}
+
+func TestDocsTreeExists(t *testing.T) {
+	for _, name := range []string{
+		"architecture.md", "operations.md", "metrics.md", "api.md",
+	} {
+		if _, err := os.Stat(docsPath(name)); err != nil {
+			t.Errorf("docs/%s missing: %v", name, err)
+		}
+	}
+}
+
+// TestMetricsDocCoverage requires every metric family the gateway and
+// the node export to appear in docs/metrics.md. The names come from the
+// same registry constructors the live /metrics endpoints scrape, so the
+// doc cannot drift from the code without failing here.
+func TestMetricsDocCoverage(t *testing.T) {
+	data, err := os.ReadFile(docsPath("metrics.md"))
+	if err != nil {
+		t.Fatalf("docs/metrics.md: %v", err)
+	}
+	doc := string(data)
+	for _, group := range []struct {
+		source string
+		names  []string
+	}{
+		{"gateway.MetricNames", gateway.MetricNames()},
+		{"nodeapi.MetricNames", nodeapi.MetricNames()},
+	} {
+		if len(group.names) == 0 {
+			t.Fatalf("%s returned no names", group.source)
+		}
+		for _, name := range group.names {
+			if !strings.Contains(doc, name) {
+				t.Errorf("docs/metrics.md does not mention %s (from %s)", name, group.source)
+			}
+		}
+	}
+}

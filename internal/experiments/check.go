@@ -158,6 +158,41 @@ func CompareReports(baseline, current BenchReport, evpsTolerance float64) error 
 		problems = append(problems,
 			"kernel benchmark section absent from the baseline (regenerate it)")
 	}
+	// Gateway section: the workload shape is pinned exactly (a changed
+	// job count or client concurrency is a different benchmark and needs
+	// a regenerated baseline); the measurements themselves are wall-clock
+	// and only sanity-checked — zero throughput or a zero-batch fsync
+	// histogram means the bench silently broke, not that hardware got
+	// slower.
+	if baseline.Gateway != nil {
+		if current.Gateway == nil {
+			problems = append(problems, "gateway benchmark section missing from the run")
+		} else {
+			g := current.Gateway
+			if g.Jobs != baseline.Gateway.Jobs || g.Workers != baseline.Gateway.Workers {
+				problems = append(problems, fmt.Sprintf(
+					"gateway: workload %d jobs / %d workers, baseline pins %d / %d — the benchmark changed (regenerate the baseline)",
+					g.Jobs, g.Workers, baseline.Gateway.Jobs, baseline.Gateway.Workers))
+			}
+			if g.SubmissionsPerSec <= 0 || g.AcceptP99 <= 0 {
+				problems = append(problems, fmt.Sprintf(
+					"gateway: degenerate measurements (%.0f submissions/sec, p99 %.6fs)",
+					g.SubmissionsPerSec, g.AcceptP99))
+			}
+			if g.FsyncBatches <= 0 {
+				problems = append(problems,
+					"gateway: no fsync batches recorded — the write-ahead log is not syncing")
+			}
+			if g.FsyncBatches >= g.Jobs {
+				problems = append(problems, fmt.Sprintf(
+					"gateway: %d fsync batches for %d jobs — group commit is not batching",
+					g.FsyncBatches, g.Jobs))
+			}
+		}
+	} else if current.Gateway != nil {
+		problems = append(problems,
+			"gateway benchmark section absent from the baseline (regenerate it)")
+	}
 	if evpsTolerance > 0 && baseline.EventsPerSec > 0 && current.EventsPerSec > 0 {
 		floor := baseline.EventsPerSec * (1 - evpsTolerance)
 		if current.EventsPerSec < floor {

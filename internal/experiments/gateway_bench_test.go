@@ -1,0 +1,25 @@
+package experiments
+
+import "testing"
+
+func TestRunGatewayBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gateway bench drives 2000 fsynced submissions")
+	}
+	g, err := RunGatewayBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Jobs != gatewayBenchJobs || g.Workers != gatewayBenchWorkers {
+		t.Errorf("workload shape %d/%d, want %d/%d", g.Jobs, g.Workers, gatewayBenchJobs, gatewayBenchWorkers)
+	}
+	if g.SubmissionsPerSec <= 0 || g.AcceptP50 <= 0 || g.AcceptP99 < g.AcceptP50 {
+		t.Errorf("degenerate latency profile: %+v", g)
+	}
+	if g.FsyncBatches <= 0 || g.FsyncBatches >= g.Jobs {
+		t.Errorf("group commit not batching: %d batches for %d jobs", g.FsyncBatches, g.Jobs)
+	}
+	if g.FsyncP99 <= 0 {
+		t.Errorf("fsync p99 = %v, want > 0", g.FsyncP99)
+	}
+}

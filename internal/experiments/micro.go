@@ -36,6 +36,7 @@ type MicroBench struct {
 func RunMicroBenches() []MicroBench {
 	return []MicroBench{
 		micro("wire/encode", benchWireEncode),
+		micro("wire/encode-arena", benchWireEncodeArena),
 		micro("wire/append-frame", benchWireAppendFrame),
 		micro("wire/decode", benchWireDecode),
 		micro("wire/read-frame", benchWireReadFrame),
@@ -73,6 +74,17 @@ func benchWireEncode(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := wire.Encode(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchWireEncodeArena(b *testing.B) {
+	p := microPayload()
+	var a wire.EncodeArena
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Encode(p); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -334,6 +334,11 @@ type BenchReport struct {
 	// checks its determinism invariant everywhere and its speedup floor on
 	// machines with enough cores to express one.
 	Kernel *KernelBench `json:"kernel,omitempty"`
+	// Gateway records the submission front door's throughput and tail
+	// latency (see RunGatewayBench). CompareReports pins the workload
+	// shape and sanity-checks the measurements; absolute numbers are
+	// hardware and never gated.
+	Gateway *GatewayBench `json:"gateway,omitempty"`
 }
 
 // NewBenchReport summarizes a RunTasks result set into the JSON report.

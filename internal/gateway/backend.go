@@ -1,0 +1,192 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Backend is the gateway's view of the RTDS cluster: submit a job, poll
+// decisions, read scheduling statistics. The production implementation is
+// HTTPBackend over the rtds-node control API; tests substitute fakes.
+type Backend interface {
+	// Submit forwards one job and returns the cluster-assigned job ID
+	// (e.g. "j3@7" — the @site suffix names the owning site).
+	Submit(at, deadline float64, graph json.RawMessage) (clusterID string, err error)
+	// Decisions reports the decision state of every cluster job, keyed by
+	// cluster job ID.
+	Decisions() (map[string]BackendDecision, error)
+	// Stats aggregates scheduling statistics across the reachable sites.
+	Stats() (BackendStats, error)
+}
+
+// BackendDecision is one cluster job's decision state.
+type BackendDecision struct {
+	// Outcome is the cluster outcome name: "pending", "accepted-local",
+	// "accepted-distributed" or "rejected".
+	Outcome string
+	// Latency is the decision latency in virtual seconds (decision time
+	// minus arrival); 0 while pending.
+	Latency float64
+}
+
+// Decided reports whether the cluster has reached a verdict.
+func (d BackendDecision) Decided() bool {
+	return d.Outcome != "" && d.Outcome != "pending"
+}
+
+// Accepted reports whether the verdict guarantees the deadline.
+func (d BackendDecision) Accepted() bool {
+	return strings.HasPrefix(d.Outcome, "accepted")
+}
+
+// BackendStats is the slice of cluster statistics the gateway's
+// backpressure logic consumes.
+type BackendStats struct {
+	// DecisionLatencyP99 is the worst observed p99 decision latency
+	// across sites, in virtual seconds. Feeds the laxity gate.
+	DecisionLatencyP99 float64
+	// ReachableSites counts sites that answered the stats poll.
+	ReachableSites int
+}
+
+// HTTPBackend talks to a set of rtds-node control APIs, round-robining
+// submissions and failing over to the next site when one is unreachable.
+type HTTPBackend struct {
+	bases  []string // site base URLs, e.g. "http://127.0.0.1:8400"
+	client *http.Client
+	next   atomic.Int64
+}
+
+// NewHTTPBackend builds a backend over the given node control-API base
+// URLs (scheme://host:port, no trailing slash).
+func NewHTTPBackend(bases []string, timeout time.Duration) (*HTTPBackend, error) {
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("gateway: no backend nodes configured")
+	}
+	cleaned := make([]string, len(bases))
+	for i, b := range bases {
+		b = strings.TrimRight(strings.TrimSpace(b), "/")
+		if !strings.Contains(b, "://") {
+			b = "http://" + b
+		}
+		cleaned[i] = b
+	}
+	return &HTTPBackend{bases: cleaned, client: &http.Client{Timeout: timeout}}, nil
+}
+
+// Submit implements Backend: POST /submit on the next healthy site.
+func (b *HTTPBackend) Submit(at, deadline float64, graph json.RawMessage) (string, error) {
+	body, err := json.Marshal(map[string]any{"at": at, "deadline": deadline, "graph": graph})
+	if err != nil {
+		return "", err
+	}
+	var lastErr error
+	for range b.bases {
+		base := b.bases[int(b.next.Add(1)-1)%len(b.bases)]
+		resp, err := b.client.Post(base+"/submit", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("%s/submit: %s: %s", base, resp.Status, strings.TrimSpace(string(data)))
+			// 400s are payload errors every site will agree on; only
+			// availability errors (503 bootstrapping, timeouts) fail over.
+			if resp.StatusCode == http.StatusBadRequest {
+				return "", lastErr
+			}
+			continue
+		}
+		var reply struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(data, &reply); err != nil || reply.ID == "" {
+			lastErr = fmt.Errorf("%s/submit: malformed reply %q", base, data)
+			continue
+		}
+		return reply.ID, nil
+	}
+	return "", fmt.Errorf("gateway: all %d sites failed, last: %w", len(b.bases), lastErr)
+}
+
+// Decisions implements Backend: merge GET /jobs across all sites. Cluster
+// job IDs carry an @site suffix, so the merged map has no collisions. A
+// site that is down contributes nothing; an error is returned only when
+// no site answered.
+func (b *HTTPBackend) Decisions() (map[string]BackendDecision, error) {
+	out := make(map[string]BackendDecision)
+	reached := 0
+	var lastErr error
+	for _, base := range b.bases {
+		var reply struct {
+			Jobs []struct {
+				ID         string  `json:"id"`
+				Outcome    string  `json:"outcome"`
+				Arrival    float64 `json:"arrival"`
+				DecisionAt float64 `json:"decision_at"`
+			} `json:"jobs"`
+		}
+		if err := b.getJSON(base+"/jobs", &reply); err != nil {
+			lastErr = err
+			continue
+		}
+		reached++
+		for _, j := range reply.Jobs {
+			d := BackendDecision{Outcome: j.Outcome}
+			if d.Decided() {
+				d.Latency = j.DecisionAt - j.Arrival
+			}
+			out[j.ID] = d
+		}
+	}
+	if reached == 0 {
+		return nil, fmt.Errorf("gateway: no site answered /jobs: %w", lastErr)
+	}
+	return out, nil
+}
+
+// Stats implements Backend: max p99 across reachable sites.
+func (b *HTTPBackend) Stats() (BackendStats, error) {
+	var out BackendStats
+	var lastErr error
+	for _, base := range b.bases {
+		var reply struct {
+			P99 float64 `json:"decision_latency_p99"`
+		}
+		if err := b.getJSON(base+"/stats", &reply); err != nil {
+			lastErr = err
+			continue
+		}
+		out.ReachableSites++
+		if reply.P99 > out.DecisionLatencyP99 {
+			out.DecisionLatencyP99 = reply.P99
+		}
+	}
+	if out.ReachableSites == 0 {
+		return out, fmt.Errorf("gateway: no site answered /stats: %w", lastErr)
+	}
+	return out, nil
+}
+
+func (b *HTTPBackend) getJSON(url string, v any) error {
+	resp, err := b.client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(v)
+}

@@ -1,7 +1,16 @@
-// Package metrics provides the small statistics and table-rendering toolkit
-// the experiment harness uses: sample accumulation (mean, standard
-// deviation, confidence intervals), and fixed-width text tables matching the
-// rows EXPERIMENTS.md records.
+// Package metrics provides the repo's two measurement toolkits.
+//
+// The experiment half is sample accumulation (mean, standard deviation,
+// confidence intervals, percentiles) and fixed-width text tables matching
+// the rows EXPERIMENTS.md records.
+//
+// The observability half (prom.go) is a stdlib-only Prometheus metric
+// registry — counters, gauges, fixed-bucket histograms and their label
+// vectors — with deterministic text-format exposition (WriteTo) and a
+// format validator (ValidateText). The gateway (internal/gateway) and the
+// node control plane (internal/nodeapi) serve their GET /metrics endpoints
+// from it; docs/metrics.md documents every exported family, enforced by
+// test.
 package metrics
 
 import (

@@ -14,6 +14,7 @@
 //	GET  /reservations  {"jobs":["j1@3",...]} — job IDs with committed plan reservations
 //	GET  /idle          {"idle":true} — lock released, no deferred work, no open txns
 //	GET  /membership    membership view: epoch, incarnation, per-site liveness, repair state
+//	GET  /metrics       Prometheus text exposition (see docs/metrics.md)
 //	GET  /debug/vars    expvar (includes the rtds map below)
 package nodeapi
 
@@ -60,6 +61,7 @@ func New(node *core.Node) *Server {
 	s.mux.HandleFunc("GET /reservations", s.handleReservations)
 	s.mux.HandleFunc("GET /idle", s.handleIdle)
 	s.mux.HandleFunc("GET /membership", s.handleMembership)
+	s.mux.HandleFunc("GET /metrics", s.handleProm)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	registerExpvar(s)
 	return s

@@ -3,6 +3,7 @@ package nodeapi
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/core/membership"
 	"repro/internal/dag"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -216,6 +218,49 @@ func TestControlPlane(t *testing.T) {
 	getJSON(t, srv0.URL+"/debug/vars", &vars)
 	if _, ok := vars["rtds"]; !ok {
 		t.Fatal("/debug/vars has no rtds entry")
+	}
+
+	// The Prometheus plane: valid text format, live values.
+	resp, err = http.Get(srv0.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.ContentType {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	if err := metrics.ValidateText(promBody); err != nil {
+		t.Fatalf("/metrics is not valid Prometheus text: %v\n%s", err, promBody)
+	}
+	for _, want := range []string{
+		"rtds_node_ready 1",
+		"rtds_node_jobs_accepted_total 1",
+		`rtds_node_messages_by_kind_total{kind=`,
+	} {
+		if !strings.Contains(string(promBody), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, promBody)
+		}
+	}
+}
+
+// Every family a live scrape can emit must be in MetricNames (the set
+// docs/metrics.md is tested against).
+func TestMetricNamesCoverLiveScrape(t *testing.T) {
+	live := buildPromRegistry(StatsReply{
+		Ready: true, Messages: 3, ByKind: map[string]int64{"rtds.enroll": 2},
+	}).Names()
+	declared := make(map[string]bool)
+	for _, n := range MetricNames() {
+		declared[n] = true
+	}
+	for _, n := range live {
+		if !declared[n] {
+			t.Errorf("live scrape emits %s, absent from MetricNames()", n)
+		}
 	}
 }
 

@@ -1,0 +1,68 @@
+package nodeapi
+
+import (
+	"net/http"
+
+	"repro/internal/determinism"
+	"repro/internal/metrics"
+)
+
+// buildPromRegistry renders one stats snapshot as a Prometheus registry.
+// Node statistics are cumulative counters maintained by the protocol
+// core, so scrape-time construction is cheaper and simpler than keeping a
+// live registry in sync; it also makes every scrape a consistent
+// snapshot. MetricNames derives the documented family set from the same
+// function, so the two cannot drift.
+func buildPromRegistry(st StatsReply) *metrics.Registry {
+	r := metrics.NewRegistry()
+	ready := 0.0
+	if st.Ready {
+		ready = 1
+	}
+	r.NewGauge("rtds_node_ready",
+		"1 once the PCS bootstrap completed and the epoch is sealed.").Set(ready)
+	r.NewGauge("rtds_node_site",
+		"Site ID of this node in the shared topology.").Set(float64(st.Site))
+	r.NewCounter("rtds_node_messages_total",
+		"Protocol messages sent since the bootstrap was sealed.").Add(float64(st.Messages))
+	r.NewCounter("rtds_node_bytes_total",
+		"Protocol bytes sent since the bootstrap was sealed.").Add(float64(st.Bytes))
+	r.NewCounter("rtds_node_dropped_total",
+		"Messages dropped by fault injection or overflow.").Add(float64(st.Dropped))
+	byKind := r.NewCounterVec("rtds_node_messages_by_kind_total",
+		"Protocol messages sent, by message kind.", "kind")
+	for _, kind := range determinism.SortedKeys(st.ByKind) {
+		byKind.With(kind).Add(float64(st.ByKind[kind]))
+	}
+	r.NewCounter("rtds_node_bootstrap_messages_total",
+		"Messages spent on the PCS bootstrap phase.").Add(float64(st.BootstrapMessages))
+	r.NewCounter("rtds_node_bootstrap_bytes_total",
+		"Bytes spent on the PCS bootstrap phase.").Add(float64(st.BootstrapBytes))
+	r.NewCounter("rtds_node_jobs_total",
+		"Jobs submitted at this site.").Add(float64(st.Jobs))
+	r.NewCounter("rtds_node_jobs_decided_total",
+		"Locally submitted jobs with a decision.").Add(float64(st.Decided))
+	r.NewCounter("rtds_node_jobs_accepted_total",
+		"Locally submitted jobs the cluster guaranteed.").Add(float64(st.Accepted))
+	r.NewCounter("rtds_node_violations_total",
+		"Protocol invariant violations detected by the runtime oracle.").Add(float64(st.Violations))
+	r.NewCounter("rtds_node_disruptions_total",
+		"Fault-injection disruptions applied to this node.").Add(float64(st.Disruptions))
+	r.NewGauge("rtds_node_decision_latency_p50_seconds",
+		"Median decision latency of locally submitted jobs, in virtual seconds.").Set(st.DecisionLatencyP50)
+	r.NewGauge("rtds_node_decision_latency_p99_seconds",
+		"p99 decision latency of locally submitted jobs, in virtual seconds.").Set(st.DecisionLatencyP99)
+	return r
+}
+
+// handleProm serves GET /metrics in the Prometheus text format.
+func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.ContentType)
+	buildPromRegistry(s.stats()).WriteTo(w)
+}
+
+// MetricNames lists every metric family the node exports, for the
+// docs/metrics.md coverage test.
+func MetricNames() []string {
+	return buildPromRegistry(StatsReply{}).Names()
+}

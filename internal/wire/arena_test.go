@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The arena must produce byte-identical frames to the plain encoder, and
+// earlier frames must survive later encodes (no aliasing across the
+// chunk) — the delay heap retains frames well past the next send.
+func TestEncodeArenaMatchesEncodeAndDoesNotAlias(t *testing.T) {
+	var a EncodeArena
+	payloads := benchPayloads(t)
+
+	type got struct {
+		arena, plain []byte
+	}
+	var frames []got
+	// Enough rounds to force several chunk replacements with the
+	// commit-graph payload in the mix.
+	for round := 0; round < 2000; round++ {
+		for _, bc := range payloads {
+			af, err := a.Encode(bc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pf, err := Encode(bc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames = append(frames, got{af, pf})
+		}
+	}
+	for i, f := range frames {
+		if !bytes.Equal(f.arena, f.plain) {
+			t.Fatalf("frame %d: arena encoding diverged from Encode", i)
+		}
+	}
+}
+
+func TestEncodeArenaAmortizedAllocs(t *testing.T) {
+	var a EncodeArena
+	p := benchPayloads(t)[0].p // routed-enroll, the dominant frame shape
+	if _, err := a.Encode(p); err != nil {
+		t.Fatal(err) // warm the scratch buffer and the first chunk
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := a.Encode(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// ~55-byte frames out of 64KB chunks: ~0.001 allocs/op amortized;
+	// anything at or above 1 means the arena degenerated to Encode.
+	if allocs >= 1 {
+		t.Errorf("arena Encode allocates %v times per op, want amortized ~0", allocs)
+	}
+}

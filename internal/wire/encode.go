@@ -21,8 +21,11 @@ import (
 //
 //lint:hotpath -- every sent message passes through here; only the output frame itself may allocate
 func Encode(p simnet.Payload) ([]byte, error) {
-	//lint:allow hotalloc -- Encode's contract is a fresh frame; callers that reuse buffers use AppendFrame
-	return AppendFrame(nil, p)
+	// Presized to cover the core protocol messages in one allocation;
+	// bigger payloads (bootstrap tables, commit graphs) grow as needed.
+	// The transport send path avoids even this via EncodeArena.
+	//lint:allow hotalloc -- Encode's contract is a fresh frame; the hot send path uses EncodeArena instead
+	return AppendFrame(make([]byte, 0, 128), p)
 }
 
 // AppendFrame appends the framed encoding of p to buf and returns the

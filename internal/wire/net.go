@@ -53,6 +53,9 @@ type NetTransport struct {
 
 	inbox *netQueue
 	wg    sync.WaitGroup
+
+	// enc amortizes outbound frame allocations (see EncodeArena).
+	enc EncodeArena
 }
 
 // NetConfig configures a NetTransport.
@@ -301,7 +304,7 @@ func (t *NetTransport) Send(from, to graph.NodeID, p simnet.Payload) error {
 			return nil
 		}
 	}
-	frame, err := Encode(p)
+	frame, err := t.enc.Encode(p)
 	if err != nil {
 		return err
 	}

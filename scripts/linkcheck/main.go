@@ -1,0 +1,141 @@
+// Command linkcheck is the docs gate CI runs: it walks every Markdown file
+// in the repository (docs/, README.md, and the rest of the tree) and fails
+// on
+//
+//   - dead relative links: [text](path) whose target file or directory
+//     does not exist relative to the linking file (external http(s) links
+//     and pure #anchors are out of scope — CI must not depend on the
+//     network), and
+//   - unformatted Go examples: every ```go fenced block must be
+//     gofmt-clean, checked with go/format so doc snippets stay honest
+//     against the same formatter the source tree uses.
+//
+// Usage (from the repository root):
+//
+//	go run ./scripts/linkcheck
+//
+// Exit status is non-zero if any file has a problem; every problem is
+// reported as file:line: message.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline Markdown links [text](target). Reference-style
+// links are not used in this repository's docs.
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	var problems int
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			// Skip VCS internals and vendored/hidden trees; everything the
+			// repo actually ships is visible.
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".md") {
+			return nil
+		}
+		problems += checkFile(path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(1)
+	}
+	if problems > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d problem(s)\n", problems)
+		os.Exit(1)
+	}
+}
+
+// checkFile reports the number of problems in one Markdown file.
+func checkFile(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		return 1
+	}
+	problems := checkLinks(path, data)
+	problems += checkGoFences(path, data)
+	return problems
+}
+
+// checkLinks verifies every relative link target exists on disk.
+func checkLinks(path string, data []byte) int {
+	var problems int
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		// Links inside fenced code blocks are example text, not navigation.
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; out of scope
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // pure in-page anchor
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Fprintf(os.Stderr, "%s:%d: dead link %q (no such file %s)\n",
+					path, i+1, m[1], resolved)
+				problems++
+			}
+		}
+	}
+	return problems
+}
+
+// checkGoFences runs every ```go block through go/format and fails on
+// blocks that do not parse or are not gofmt-clean. Blocks are formatted
+// as-is: examples must be either complete files or well-formed
+// declaration/statement lists, which is exactly what keeps them pasteable.
+func checkGoFences(path string, data []byte) int {
+	var problems int
+	lines := strings.Split(string(data), "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```go" {
+			continue
+		}
+		start := i + 1
+		j := start
+		for j < len(lines) && strings.TrimSpace(lines[j]) != "```" {
+			j++
+		}
+		block := strings.Join(lines[start:j], "\n") + "\n"
+		formatted, err := format.Source([]byte(block))
+		switch {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "%s:%d: go example does not parse: %v\n", path, start, err)
+			problems++
+		case !bytes.Equal(formatted, []byte(block)):
+			fmt.Fprintf(os.Stderr, "%s:%d: go example is not gofmt-clean\n", path, start)
+			problems++
+		}
+		i = j
+	}
+	return problems
+}

@@ -24,7 +24,21 @@
 # -optional-sites/-joiner, so the run fails unless every surviving job is
 # decided, no reachable node leaks reservations, and the joiner both
 # answers at least one enrollment and accepts at least one job of its own.
+#
+# GATEWAY mode (first argument literally "GATEWAY") puts rtds-gateway in
+# front of the cluster and drives rtds-load through it across TENANTS
+# (default three). Mid-run the GATEWAY is SIGKILLed — after accepting and
+# acking submissions — and restarted on the same write-ahead job log.
+# rtds-load retries through the outage with idempotency keys and, at the
+# end, reconciles every acked job id against GET /v1/jobs/{id}: a single
+# accepted-but-lost submission fails the run. This is the durability
+# acceptance run for the write-ahead job log.
+#
+#   scripts/soak.sh GATEWAY 3 300 -load 0.4     # the gateway acceptance run
 set -euo pipefail
+
+GATEWAY=0
+if [[ "${1:-}" == "GATEWAY" ]]; then GATEWAY=1; shift; fi
 
 SITES="${1:-3}"; shift || true
 JOBS="${1:-120}"; shift || true
@@ -39,11 +53,17 @@ CHURN="${CHURN:-0}"
 VICTIM="${VICTIM:-$((SITES - 1))}"
 KILL_AFTER="${KILL_AFTER:-3}"
 JOIN_AFTER="${JOIN_AFTER:-3}"
+GW_PORT="${GW_PORT:-$((HTTP_BASE + 100))}"
+RESTART_AFTER="${RESTART_AFTER:-2}"
+TENANTS="${TENANTS:-acme,globex,initech}"
 
 cd "$(dirname "$0")/.."
 bin=$(mktemp -d)
 go build -o "$bin/rtds-node" ./cmd/rtds-node
 go build -o "$bin/rtds-load" ./cmd/rtds-load
+if [[ "$GATEWAY" == "1" ]]; then
+  go build -o "$bin/rtds-gateway" ./cmd/rtds-gateway
+fi
 
 peers=""
 nodes=""
@@ -53,8 +73,11 @@ for ((i = 0; i < SITES; i++)); do
 done
 
 pids=()
+gw_pid=""
 cleanup() {
+  [[ -n "$gw_pid" ]] && kill "$gw_pid" 2>/dev/null || true
   for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+  [[ -n "$gw_pid" ]] && wait "$gw_pid" 2>/dev/null || true
   for pid in "${pids[@]}"; do wait "$pid" 2>/dev/null || true; done
   rm -rf "$bin"
 }
@@ -72,7 +95,42 @@ for ((i = 0; i < SITES; i++)); do
   start_node "$i"
 done
 
-if [[ "$CHURN" == "1" ]]; then
+if [[ "$GATEWAY" == "1" ]]; then
+  # Per-tenant quotas: generous rates so throughput is shaped by the
+  # workload, not the buckets — this run proves durability, not admission
+  # (admission has its own table test in internal/gateway).
+  quota_spec=""
+  IFS=',' read -ra tnames <<<"$TENANTS"
+  for t in "${tnames[@]}"; do
+    quota_spec+="${quota_spec:+;}$t:rate=500,burst=1000,inflight=2000"
+  done
+  gw_nodes=""
+  for ((i = 0; i < SITES; i++)); do
+    gw_nodes+="${gw_nodes:+,}127.0.0.1:$((HTTP_BASE + i))"
+  done
+  joblog="$bin/gateway.wal"
+
+  start_gateway() {
+    "$bin/rtds-gateway" -listen "127.0.0.1:$GW_PORT" -nodes "$gw_nodes" \
+      -joblog "$joblog" -tenants "$quota_spec" &
+    gw_pid=$!
+  }
+  start_gateway
+
+  "$bin/rtds-load" -gateway "127.0.0.1:$GW_PORT" -tenants "$TENANTS" \
+    -nodes "$nodes" -sites "$SITES" -topo "$TOPO" -seed "$SEED" \
+    -jobs "$JOBS" -scale "$SCALE" -json "$OUT" "$@" &
+  load_pid=$!
+  sleep "$KILL_AFTER"
+  echo "soak: SIGKILL gateway (pid $gw_pid)"
+  kill -9 "$gw_pid" 2>/dev/null || true
+  wait "$gw_pid" 2>/dev/null || true
+  sleep "$RESTART_AFTER"
+  echo "soak: restarting gateway on the same job log"
+  start_gateway
+  wait "$load_pid"
+  echo "gateway soak OK: $SITES sites, tenants $TENANTS, gateway killed+restarted, zero acked submissions lost -> $OUT"
+elif [[ "$CHURN" == "1" ]]; then
   "$bin/rtds-load" -nodes "$nodes" -sites "$SITES" -topo "$TOPO" -seed "$SEED" \
     -jobs "$JOBS" -scale "$SCALE" -json "$OUT" \
     -optional-sites "$VICTIM" -joiner "$VICTIM" "$@" &
