@@ -194,6 +194,13 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Gateway = gb
+		fmt.Fprintln(os.Stderr, "running hierarchical routing benchmark (scale sweep)")
+		rb, err := experiments.RunRoutingBench()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		rep.Routing = rb
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -321,6 +328,14 @@ func checkBaseline(path string, workers int, evpsTol float64) error {
 			return err
 		}
 		current.Gateway = gb
+	}
+	if baseline.Routing != nil {
+		fmt.Fprintln(os.Stderr, "regression gate: running hierarchical routing benchmark")
+		rb, err := experiments.RunRoutingBench()
+		if err != nil {
+			return err
+		}
+		current.Routing = rb
 	}
 	if err := experiments.CompareReports(baseline, current, evpsTol); err != nil {
 		return err

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	rtds-dot -what topo -kind grid -n 16
+//	rtds-dot -what topo -kind random -n 64 -regions
 //	rtds-dot -what dag  -kind gauss -n 20
 //	rtds-dot -what paper
 package main
@@ -16,6 +17,7 @@ import (
 	"repro/internal/daggen"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/routing/hier"
 	"repro/internal/trace"
 )
 
@@ -24,6 +26,7 @@ func main() {
 	kind := flag.String("kind", "random", "generator kind (see internal/graph, internal/daggen)")
 	n := flag.Int("n", 16, "approximate size")
 	seed := flag.Int64("seed", 1, "random seed")
+	regions := flag.Bool("regions", false, "with -what topo: color the hierarchical region partition and mark landmarks")
 	flag.Parse()
 
 	switch *what {
@@ -34,6 +37,14 @@ func main() {
 			graph.DelayRange{Min: 1, Max: 5}, *seed)
 		if err != nil {
 			fatal(err)
+		}
+		if *regions {
+			layout, err := hier.NewLayout(g)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(trace.RegionDOT(*kind, g, layout.Assign, layout.Landmarks))
+			return
 		}
 		fmt.Println(trace.TopologyDOT(*kind, g))
 	case "dag":

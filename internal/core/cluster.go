@@ -8,6 +8,8 @@ import (
 	"repro/internal/dag"
 	"repro/internal/determinism"
 	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/routing/hier"
 	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/internal/sim/par"
@@ -21,6 +23,7 @@ type Cluster struct {
 	cfg    Config
 	mcfg   membership.Config // resolved membership configuration
 	topo   *graph.Graph
+	lay    *hier.Layout    // region/landmark structure; nil on flat clusters
 	engine *sim.Engine     // serial kernel; nil on parallel and live clusters
 	par    *par.Engine     // parallel kernel; nil on serial and live clusters
 	ptr    *simnet.PartDES // set iff par is (for per-site clock reads)
@@ -156,6 +159,13 @@ func NewCluster(topo *graph.Graph, cfg Config) (*Cluster, error) {
 		topo:     topo,
 		jobIndex: make(map[string]*Job),
 	}
+	if cfg.Hier {
+		lay, err := hier.NewLayout(topo)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		c.lay = lay
+	}
 	if cfg.KernelWorkers > 0 {
 		workers := cfg.KernelWorkers
 		if cfg.Faults != nil && (cfg.Faults.Loss > 0 || cfg.Faults.MaxJitter > 0) {
@@ -182,6 +192,14 @@ func NewCluster(topo *graph.Graph, cfg Config) (*Cluster, error) {
 		c.engine = engine
 		c.tr = simnet.NewDES(engine, topo)
 	}
+	if c.lay != nil {
+		// Count traversals that cross a region boundary: the headline claim
+		// of the hierarchy is that region-local work generates none.
+		assign := c.lay.Assign
+		c.tr.Stats().SetBoundary(func(from, to graph.NodeID) bool {
+			return assign[from] != assign[to]
+		})
+	}
 	c.sites = make([]*Site, topo.Len())
 	for id := graph.NodeID(0); int(id) < topo.Len(); id++ {
 		s := newSite(id, c)
@@ -189,12 +207,23 @@ func NewCluster(topo *graph.Graph, cfg Config) (*Cluster, error) {
 		c.tr.Attach(id, s.handle)
 	}
 	for _, s := range c.sites {
-		s.rnode.Start()
+		if s.boot != nil {
+			s.boot.Start()
+		} else {
+			s.rnode.Start()
+		}
 	}
 	if err := c.Run(); err != nil {
 		return nil, fmt.Errorf("core: PCS bootstrap: %w", err)
 	}
 	for _, s := range c.sites {
+		if s.boot != nil {
+			if !s.boot.Done() {
+				return nil, fmt.Errorf("core: site %d never finished hierarchical bootstrap (missing regions %v)",
+					s.id, s.boot.MissingRegions())
+			}
+			s.adoptHier(s.boot.Finish())
+		}
 		if s.table == nil {
 			return nil, fmt.Errorf("core: site %d never finished PCS construction", s.id)
 		}
@@ -337,6 +366,65 @@ func (c *Cluster) Stats() *simnet.Stats { return c.tr.Stats() }
 // BootstrapCost reports the messages and bytes spent constructing the PCS.
 func (c *Cluster) BootstrapCost() (messages, bytes int64) {
 	return c.bootstrapMessages, c.bootstrapBytes
+}
+
+// routedTTL bounds the hop count of one routed protocol message. Flat
+// clusters derive it from the sphere radius (protocol traffic stays inside
+// spheres); hierarchical clusters route across regions along landmark
+// gradients whose length is bounded by the network, not the radius, so the
+// bound is the loop guard 4n+8 — gradient routing is loop-free, the TTL
+// only catches a corrupted table.
+func (c *Cluster) routedTTL() int {
+	if c.lay != nil {
+		return 4*c.topo.Len() + 8
+	}
+	return 4*c.cfg.Radius + 8
+}
+
+// Layout exposes the region/landmark structure (nil on flat clusters).
+func (c *Cluster) Layout() *hier.Layout { return c.lay }
+
+// BootstrapRounds reports the interruption bound the routing bootstrap ran
+// under: the flat protocol's global round count, or the largest per-region
+// round count of the hierarchy.
+func (c *Cluster) BootstrapRounds() int {
+	if c.lay != nil {
+		return c.lay.MaxRounds()
+	}
+	return routing.RoundsForRadius(c.cfg.Radius)
+}
+
+// RoutingState reports the largest per-site routing-state footprint across
+// the cluster's sites — the hierarchy's O(√n) headline versus the flat
+// table's O(n). Only safe once the cluster has quiesced.
+func (c *Cluster) RoutingState() (maxBytes, maxEntries int) {
+	for _, s := range c.sites {
+		if s == nil || s.table == nil {
+			continue
+		}
+		if b := s.table.StateBytes(); b > maxBytes {
+			maxBytes = b
+		}
+		if e := s.table.StateEntries(); e > maxEntries {
+			maxEntries = e
+		}
+	}
+	return maxBytes, maxEntries
+}
+
+// RemoteRegionViews reports the cross-region liveness digests a landmark
+// has received from its adjacent peers (tests and observability; empty for
+// non-landmarks and flat clusters).
+func (c *Cluster) RemoteRegionViews(id graph.NodeID) map[int][]membership.Entry {
+	out := make(map[int][]membership.Entry)
+	s := c.sites[id]
+	if s == nil {
+		return out
+	}
+	for _, r := range determinism.SortedKeys(s.remoteRegions) {
+		out[r] = append([]membership.Entry(nil), s.remoteRegions[r]...)
+	}
+	return out
 }
 
 // EventsProcessed reports how many discrete events the underlying engine has
@@ -550,6 +638,13 @@ type Summary struct {
 	ControlBytes         int64
 	Dropped              int64 // traversals discarded by the fault injector
 	Disruptions          int   // fault-attributed protocol anomalies
+	// Routing-state footprint (largest per-site table) and cross-region
+	// traffic. CrossRegionMessages is counted only on hierarchical clusters
+	// (flat clusters install no region boundary) and is always 0 when every
+	// submitted job resolved inside its origin's region.
+	RoutingTableBytes   int
+	RoutingEntries      int
+	CrossRegionMessages int64
 }
 
 // Summarize computes the run summary. Call it after Run has drained.
@@ -612,6 +707,18 @@ func (c *Cluster) Summarize() Summary {
 	s.ControlBytes = c.tr.Stats().ControlBytes()
 	s.Dropped = c.tr.Stats().Dropped()
 	s.Disruptions = c.disruptions
+	s.CrossRegionMessages = c.tr.Stats().CrossMessages()
+	for _, site := range c.sites {
+		if site == nil || site.table == nil {
+			continue
+		}
+		if b := site.table.StateBytes(); b > s.RoutingTableBytes {
+			s.RoutingTableBytes = b
+		}
+		if e := site.table.StateEntries(); e > s.RoutingEntries {
+			s.RoutingEntries = e
+		}
+	}
 	return s
 }
 
@@ -631,6 +738,9 @@ func (s Summary) String() string {
 	}
 	if s.Dropped > 0 {
 		out += fmt.Sprintf(" dropped=%d", s.Dropped)
+	}
+	if s.CrossRegionMessages > 0 {
+		out += fmt.Sprintf(" xregion=%d", s.CrossRegionMessages)
 	}
 	if s.Disruptions > 0 {
 		out += fmt.Sprintf(" disruptions=%d", s.Disruptions)

@@ -83,6 +83,19 @@ type Config struct {
 	// parallel code path, just P=1); crash-only plans parallelize fully.
 	// Ignored by wall-clock transports (live, wire).
 	KernelWorkers int
+	// Hier arms two-level region/landmark routing (internal/routing/hier):
+	// the topology is partitioned into ~√n connected regions, each site
+	// bootstraps an exact table of its own region plus a constant-size
+	// landmark vector toward every other region, and per-site routing state
+	// drops from O(n) to O(√n). Commit spheres become region-first — the PCS
+	// is confined to the initiator's region — and an enrollment window that
+	// closes empty escalates once to the adjacent regions' landmarks before
+	// rejecting. Membership heartbeats and repair floods are scoped to the
+	// region; landmarks exchange cross-region liveness digests. Requires the
+	// in-process cluster (node mode runs one site and cannot finalize the
+	// cluster-wide hierarchy), and a connected topology like the flat
+	// bootstrap.
+	Hier bool
 	// Membership arms the distributed membership layer: per-site heartbeats
 	// with suspicion timeouts, flooded death/resurrection notices,
 	// epoch-tagged routing re-floods and the runtime join handshake. When
@@ -203,6 +216,9 @@ func (c Config) power(site int) float64 {
 func (c Config) spherePolicy() policy.Sphere {
 	if c.Policies.Sphere != nil {
 		return c.Policies.Sphere
+	}
+	if c.Hier {
+		return policy.HierSphere{}
 	}
 	return policy.FullSphere{}
 }

@@ -16,6 +16,7 @@ const (
 	EvDeferred  EventKind = "deferred"     // processing deferred (site locked)
 	EvLocalOK   EventKind = "local-accept" // whole DAG guaranteed locally
 	EvEnroll    EventKind = "enroll"       // ACS enrollment started
+	EvEscalate  EventKind = "escalate"     // empty window reopened toward adjacent regions' landmarks
 	EvACSFixed  EventKind = "acs-fixed"    // enrollment window closed
 	EvMapped    EventKind = "mapped"       // trial mapping built
 	EvValidated EventKind = "validated"    // all endorsements collected

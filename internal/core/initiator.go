@@ -79,9 +79,16 @@ func (s *Site) enrollDone(t *activeTxn) {
 	}
 
 	if t.Enrollments() == 0 {
-		// Nobody enrolled before the window closed (§8): reject without
-		// attempting an initiator-only mapping — the local test already
-		// failed, and the paper distributes or rejects.
+		// Nobody enrolled before the window closed (§8). On a hierarchical
+		// cluster the sphere was region-local, so before rejecting the
+		// initiator escalates once: the window reopens toward the adjacent
+		// regions' landmarks — the ACS-underflow widening of the regional
+		// commit sphere. Flat clusters (and a second underflow) reject
+		// without attempting an initiator-only mapping — the local test
+		// already failed, and the paper distributes or rejects.
+		if s.escalateEnrollment(t) {
+			return
+		}
 		s.cluster.event(s.id, job.ID, EvACSFixed, "acs=1 (nobody enrolled)")
 		s.finishTxn(t, Rejected, StageEmptyACS)
 		return
@@ -129,6 +136,46 @@ func (s *Site) enrollDone(t *activeTxn) {
 	// is always cancelled; a lost ValidateReq or ack turns into a reject
 	// instead of a wedged initiator.
 	t.SetTimer(s.after(2*omega+s.cluster.cfg.EnrollSlack, func() { s.validateTimeout(t) }))
+}
+
+// escalateEnrollment reopens an enrollment window that closed empty, once,
+// toward the adjacent regions' landmarks (hierarchical clusters only): the
+// regional commit sphere underflowed, so the transaction widens its fan-out
+// beyond the region border — to exactly the sites the landmark vector can
+// reach deterministically — instead of rejecting. Returns false when there
+// is nothing to escalate to (flat cluster, already escalated, or no
+// reachable adjacent landmark), leaving the reject path to the caller.
+func (s *Site) escalateEnrollment(t *activeTxn) bool {
+	if s.hierTable == nil || t.Escalated {
+		return false
+	}
+	already := make(map[graph.NodeID]bool, len(t.Expected))
+	for _, m := range t.Expected {
+		already[m] = true
+	}
+	var extra []graph.NodeID
+	var diam float64
+	for _, lm := range s.hierTable.EscalationLandmarks() {
+		if lm == s.id || already[lm] {
+			continue
+		}
+		extra = append(extra, lm)
+		if d := s.table.Dist(lm); !math.IsInf(d, 1) && d > diam {
+			diam = d
+		}
+	}
+	if len(extra) == 0 {
+		return false
+	}
+	t.Reopen(extra)
+	timeout := 2*diam + s.cluster.cfg.EnrollSlack
+	s.cluster.event(s.id, t.job.ID, EvEscalate,
+		fmt.Sprintf("landmarks=%d window=%.3g", len(extra), timeout))
+	for _, m := range extra {
+		s.sendTo(m, EnrollReq{Job: t.job.ID, Initiator: s.id, Window: timeout})
+	}
+	t.SetTimer(s.after(timeout, func() { s.enrollDone(t) }))
+	return true
 }
 
 // validateTimeout closes the validation phase when members went silent:

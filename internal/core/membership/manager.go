@@ -189,6 +189,11 @@ func (m *Manager) tick() {
 	m.hooks.After(m.cfg.HeartbeatEvery, m.tick)
 }
 
+// Digest exposes the manager's current view digest (every non-default
+// entry, sorted by site) — the payload a hierarchical landmark shares with
+// its adjacent peers.
+func (m *Manager) Digest() []Entry { return m.digest() }
+
 // digest lists every non-default view entry, self included, sorted by site
 // for determinism.
 func (m *Manager) digest() []Entry {
@@ -543,14 +548,55 @@ func (m *Manager) HandleJoinReq(from graph.NodeID, req JoinReq) {
 	// incarnation) answer with the current view — the handshake is
 	// idempotent.
 	ack := JoinAck{Inc: m.state(from).inc, Epoch: m.epoch, Digest: m.digest()}
+	var snap []routing.WireRoute
 	if m.table != nil {
-		ack.Table = m.table.Snapshot()
+		snap = m.table.Snapshot()
 	} else if m.hooks.Current != nil {
 		if t := m.hooks.Current(); t != nil {
-			ack.Table = t.Snapshot()
+			snap = t.Snapshot()
 		}
 	}
+	if len(snap) <= MaxAckRoutes {
+		ack.Table = snap
+		m.hooks.Send(from, ack)
+		return
+	}
+	// Chunk an oversized snapshot: the ack carries the head, the remainder
+	// follows as epoch-tagged TableChunks the joiner merges like repair
+	// floods. Links are order-preserving, but a lost chunk only costs
+	// routes the re-flood re-delivers anyway.
+	rest := snap[MaxAckRoutes:]
+	total := (len(rest) + MaxAckRoutes - 1) / MaxAckRoutes
+	ack.Table = snap[:MaxAckRoutes]
+	ack.TableChunks = total
 	m.hooks.Send(from, ack)
+	for i := 0; i < total; i++ {
+		hi := (i + 1) * MaxAckRoutes
+		if hi > len(rest) {
+			hi = len(rest)
+		}
+		m.hooks.Send(from, TableChunk{Epoch: m.epoch, Seq: i + 1, Total: total,
+			Entries: rest[i*MaxAckRoutes : hi]})
+	}
+}
+
+// HandleTableChunk merges one continuation chunk of a chunked JoinAck
+// snapshot. Chunks are valid only at the epoch they were cut at — a stale
+// chunk is dropped exactly like a stale repair flood.
+func (m *Manager) HandleTableChunk(from graph.NodeID, c TableChunk) {
+	if !m.started || c.Epoch != m.epoch {
+		m.staleTables++
+		return
+	}
+	delay, ok := m.linkDelay[from]
+	if !ok || m.table == nil {
+		return
+	}
+	if m.table.Merge(from, delay, c.Entries) {
+		m.hooks.Adopt(m.table)
+		m.broadcastTable()
+		m.beginSettle()
+	}
 }
 
 // HandleJoinAck completes the joiner's handshake: adopt the acker's view

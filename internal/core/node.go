@@ -42,6 +42,11 @@ func NewNode(topo *graph.Graph, cfg Config, tr simnet.Transport, self graph.Node
 	if err := cfg.validate(topo.Len()); err != nil {
 		return nil, err
 	}
+	if cfg.Hier {
+		// The hierarchical bootstrap is finalized cluster-wide after the
+		// event queue drains; a single-site node has no such barrier.
+		return nil, fmt.Errorf("core: hierarchical routing requires the in-process cluster")
+	}
 	if !topo.Connected() {
 		return nil, fmt.Errorf("core: topology is not connected")
 	}
@@ -122,6 +127,28 @@ func (n *Node) Ready() bool {
 		return v
 	case <-time.After(probeTimeout):
 		return false
+	}
+}
+
+// RoutingState probes the site's routing-table footprint (bytes and
+// entries) through its execution context — the values behind the node's
+// routing-state gauges. Zero before the bootstrap completes or when the
+// transport is closed.
+func (n *Node) RoutingState() (bytes, entries int) {
+	done := make(chan [2]int, 1)
+	s := n.site
+	n.c.tr.After(s.id, 0, func() {
+		if s.table == nil {
+			done <- [2]int{}
+			return
+		}
+		done <- [2]int{s.table.StateBytes(), s.table.StateEntries()}
+	})
+	select {
+	case v := <-done:
+		return v[0], v[1]
+	case <-time.After(probeTimeout):
+		return 0, 0
 	}
 }
 

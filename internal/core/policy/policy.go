@@ -101,6 +101,24 @@ func (p KRedundant) EnrollSet(pcs []graph.NodeID, dist func(graph.NodeID) float6
 	return set
 }
 
+// HierSphere is the region-first enrollment of the hierarchical routing
+// hierarchy: the precomputed sphere is enrolled unchanged — under two-level
+// routing the sphere is already confined to the initiator's region, because
+// the hierarchical table's Sphere() walks intra-region routes only — and the
+// widening to adjacent regions happens outside this axis, as the initiator's
+// ACS-underflow escalation to the neighboring regions' landmarks. The policy
+// therefore exists to *name* the regional behavior in reports and sweeps;
+// its EnrollSet is deliberately identical to FullSphere's.
+type HierSphere struct{}
+
+// Name implements Sphere.
+func (HierSphere) Name() string { return "hier-region" }
+
+// EnrollSet implements Sphere: the (region-scoped) sphere, unchanged.
+func (HierSphere) EnrollSet(pcs []graph.NodeID, _ func(graph.NodeID) float64) []graph.NodeID {
+	return pcs
+}
+
 // ---------------------------------------------------------------------------
 // Acceptance: the local guarantee test (§5)
 

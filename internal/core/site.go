@@ -10,6 +10,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/graph"
 	"repro/internal/routing"
+	"repro/internal/routing/hier"
 	"repro/internal/schedule"
 	"repro/internal/simnet"
 )
@@ -43,12 +44,25 @@ type Site struct {
 
 	// Membership layer: heartbeats, suspicion, epoch-tagged route repair
 	// and the join handshake. Nil when the cluster runs the faultless
-	// paper model (membership disabled).
+	// paper model (membership disabled). On hierarchical clusters the
+	// manager is scoped to the region: it heartbeats intra-region neighbors
+	// only and repairs the intra-region half of the table.
 	member *membership.Manager
+	// Cross-region liveness, landmarks only: the latest digest received
+	// from each adjacent region's landmark, and the last digest this
+	// landmark shared (so repeats are suppressed).
+	remoteRegions    map[int][]membership.Entry
+	lastRegionDigest []membership.Entry
 
-	// PCS bootstrap (§7)
+	// PCS bootstrap (§7). Exactly one of rnode (flat clusters) and boot
+	// (hierarchical clusters) is non-nil; table is whichever router the
+	// bootstrap produced — the flat *routing.Table, or the two-level
+	// *hier.Table also held in hierTable for the hierarchy-specific calls
+	// (escalation landmarks, intra-table repair).
 	rnode      *routing.Node
-	table      *routing.Table
+	boot       *hier.Bootstrap
+	table      routing.Router
+	hierTable  *hier.Table
 	pcs        []graph.NodeID // sphere members, self excluded
 	sphereDiam float64        // max known delay to a sphere member
 	// enrollSet / enrollDiam cache the sphere policy's fan-out choice and
@@ -119,32 +133,86 @@ func newSite(id graph.NodeID, c *Cluster) *Site {
 		aborts:        make(map[string]*txn.AbortRetry),
 		exec:          make(map[string]*execJob),
 	}
-	rounds := routing.RoundsForRadius(c.cfg.Radius)
 	directSend := func(to graph.NodeID, p simnet.Payload) {
 		if err := c.tr.Send(id, to, p); err != nil {
 			panic(err)
 		}
 	}
-	s.rnode = routing.NewNode(id, c.topo.Neighbors(id), rounds, directSend, s.adoptTable)
+	if c.lay != nil {
+		s.boot = hier.NewBootstrap(id, c.topo.Neighbors(id), c.lay, directSend)
+	} else {
+		rounds := routing.RoundsForRadius(c.cfg.Radius)
+		s.rnode = routing.NewNode(id, c.topo.Neighbors(id), rounds, directSend, s.adoptTable)
+	}
 	if c.mcfg.Enabled {
-		s.member = membership.New(id, c.topo.Neighbors(id), c.mcfg, membership.Hooks{
+		// Region-scoped membership on hierarchical clusters: heartbeats,
+		// suspicion and repair floods stay inside the region (the landmark
+		// summarizes the region's liveness to its peers, see
+		// shareRegionDigest); repairs rebuild the intra-region table only,
+		// the landmark vector survives untouched.
+		nbrs := c.topo.Neighbors(id)
+		adopt := s.adoptTable
+		current := func() *routing.Table {
+			if t, ok := s.table.(*routing.Table); ok {
+				return t
+			}
+			return nil
+		}
+		if c.lay != nil {
+			var intra []graph.Edge
+			for _, e := range nbrs {
+				if c.lay.SameRegion(id, e.To) {
+					intra = append(intra, e)
+				}
+			}
+			nbrs = intra
+			adopt = s.adoptIntra
+			current = func() *routing.Table {
+				if s.hierTable == nil {
+					return nil
+				}
+				return s.hierTable.Intra()
+			}
+		}
+		s.member = membership.New(id, nbrs, c.mcfg, membership.Hooks{
 			Now:     s.now,
 			After:   s.after,
 			Send:    directSend,
-			Adopt:   s.adoptTable,
-			Current: func() *routing.Table { return s.table },
+			Adopt:   adopt,
+			Current: current,
 			Event:   func(kind, detail string) { c.event(s.id, "", EventKind(kind), detail) },
 		})
 	}
 	return s
 }
 
-// adoptTable installs a routing table — the PCS bootstrap result, or a
-// repaired table after a site death — and rebuilds the derived state: sphere
-// membership, sphere delay diameter and the distance vector. Fresh slices
-// are allocated every time because the previous ones may still be referenced
-// by in-flight enrollAcks (receivers treat Dists as read-only).
-func (s *Site) adoptTable(t *routing.Table) {
+// adoptTable installs a flat routing table — the PCS bootstrap result, or a
+// repaired table after a site death.
+func (s *Site) adoptTable(t *routing.Table) { s.adoptRouter(t) }
+
+// adoptHier installs the finished two-level table of the hierarchical
+// bootstrap.
+func (s *Site) adoptHier(t *hier.Table) {
+	s.hierTable = t
+	s.adoptRouter(t)
+}
+
+// adoptIntra installs a repaired intra-region table into the hierarchical
+// table (membership route repair under hierarchy): the landmark vector is
+// kept — nothing outside the region changed — and the derived state is
+// rebuilt from the composite router. Landmarks then share the region's
+// liveness digest with their adjacent peers.
+func (s *Site) adoptIntra(t *routing.Table) {
+	s.hierTable.SetIntra(t)
+	s.adoptRouter(s.hierTable)
+	s.shareRegionDigest()
+}
+
+// adoptRouter rebuilds the routing-derived state: sphere membership, sphere
+// delay diameter and the distance vector. Fresh slices are allocated every
+// time because the previous ones may still be referenced by in-flight
+// enrollAcks (receivers treat Dists as read-only).
+func (s *Site) adoptRouter(t routing.Router) {
 	s.table = t
 	radius := s.cluster.cfg.Radius
 	s.pcs = nil
@@ -187,7 +255,16 @@ func (s *Site) handle(from graph.NodeID, p simnet.Payload) {
 		if s.member != nil && s.member.HandleTable(from, m) {
 			return
 		}
+		if s.boot != nil {
+			s.boot.HandleTable(from, m)
+			return
+		}
 		s.rnode.HandleTable(from, m)
+	case hier.LandmarkAd:
+		if s.boot == nil {
+			panic(fmt.Sprintf("core: site %d got landmark ad on a flat cluster", s.id))
+		}
+		s.boot.HandleAd(from, m)
 	case membership.Heartbeat:
 		if s.member != nil {
 			s.member.HandleHeartbeat(from, m)
@@ -207,6 +284,10 @@ func (s *Site) handle(from graph.NodeID, p simnet.Payload) {
 	case membership.JoinAck:
 		if s.member != nil {
 			s.member.HandleJoinAck(from, m)
+		}
+	case membership.TableChunk:
+		if s.member != nil {
+			s.member.HandleTableChunk(from, m)
 		}
 	case Routed:
 		if m.Dest != s.id {
@@ -241,9 +322,56 @@ func (s *Site) dispatch(src graph.NodeID, p simnet.Payload) {
 		s.onResult(m)
 	case DoneMsg:
 		s.onDone(m)
+	case membership.RegionDigest:
+		s.onRegionDigest(m)
 	default:
 		panic(fmt.Sprintf("core: site %d got unknown payload %q", s.id, p.Kind()))
 	}
+}
+
+// shareRegionDigest forwards this landmark's membership digest to the
+// adjacent regions' landmarks — the cross-region liveness summary of the
+// hierarchy. Non-landmarks and unchanged digests send nothing, so steady
+// state is silent and region-local churn costs one routed message per
+// adjacent region.
+func (s *Site) shareRegionDigest() {
+	if s.hierTable == nil || s.member == nil {
+		return
+	}
+	lay := s.hierTable.Layout()
+	if lay.Landmarks[lay.Region(s.id)] != s.id {
+		return
+	}
+	d := s.member.Digest()
+	if len(d) == len(s.lastRegionDigest) {
+		same := true
+		for i := range d {
+			if d[i] != s.lastRegionDigest[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	s.lastRegionDigest = d
+	msg := membership.RegionDigest{Region: lay.Region(s.id), Digest: d}
+	for _, lm := range s.hierTable.EscalationLandmarks() {
+		s.sendTo(lm, msg)
+	}
+}
+
+// onRegionDigest records an adjacent region's liveness summary at this
+// landmark. The digest is observational — it feeds the membership snapshot
+// and the experiments' liveness accounting, not the routing layer: the
+// landmark vector is a bootstrap artifact and intra-region repair is the
+// region's own business.
+func (s *Site) onRegionDigest(m membership.RegionDigest) {
+	if s.remoteRegions == nil {
+		s.remoteRegions = make(map[int][]membership.Entry)
+	}
+	s.remoteRegions[m.Region] = m.Digest
 }
 
 // sendTo routes a payload toward dest along next hops.
@@ -252,7 +380,7 @@ func (s *Site) sendTo(dest graph.NodeID, p simnet.Payload) {
 		s.dispatch(s.id, p)
 		return
 	}
-	s.forward(Routed{Src: s.id, Dest: dest, TTL: 4*s.cluster.cfg.Radius + 8, Inner: p})
+	s.forward(Routed{Src: s.id, Dest: dest, TTL: s.cluster.routedTTL(), Inner: p})
 }
 
 // forward relays a routed payload one hop. An exhausted TTL or a missing
@@ -366,8 +494,14 @@ func (s *Site) jobArrives(job *Job) {
 		return
 	}
 	if len(s.pcs) == 0 {
-		s.cluster.recordDecision(job, Rejected, StageNoSphere, s.now())
-		return
+		// A hierarchical site whose region-local sphere is empty (a tiny
+		// region) still has the escalation path: the transaction starts
+		// with an empty fan-out, its window closes immediately and the
+		// underflow escalates to the adjacent regions' landmarks.
+		if s.hierTable == nil || len(s.hierTable.EscalationLandmarks()) == 0 {
+			s.cluster.recordDecision(job, Rejected, StageNoSphere, s.now())
+			return
+		}
 	}
 	s.startTxn(job)
 }

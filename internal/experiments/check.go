@@ -193,6 +193,66 @@ func CompareReports(baseline, current BenchReport, evpsTolerance float64) error 
 		problems = append(problems,
 			"gateway benchmark section absent from the baseline (regenerate it)")
 	}
+	// Routing section: fully deterministic (seeded topology, seeded
+	// workload, deterministic DES), so everything is gated exactly. Two
+	// structural invariants bind regardless of the baseline: the per-site
+	// table-bytes curve must grow sub-linearly in the site count — the
+	// hierarchy's whole point — and msgs/job at the largest sweep point
+	// must not exceed what the baseline pins (cheaper passes; regenerate
+	// the baseline to bank an improvement).
+	if baseline.Routing != nil {
+		if current.Routing == nil {
+			problems = append(problems, "routing benchmark section missing from the run")
+		} else {
+			r := current.Routing
+			b := baseline.Routing
+			if len(r.Points) != len(b.Points) {
+				problems = append(problems, fmt.Sprintf(
+					"routing: %d sweep points, baseline pins %d — the benchmark changed (regenerate the baseline)",
+					len(r.Points), len(b.Points)))
+			}
+			for i := 1; i < len(r.Points); i++ {
+				prev, cur := r.Points[i-1], r.Points[i]
+				if prev.TableBytes <= 0 || prev.Sites <= 0 {
+					problems = append(problems, fmt.Sprintf(
+						"routing: degenerate point at %d sites (%d table bytes)", prev.Sites, prev.TableBytes))
+					continue
+				}
+				growth := float64(cur.TableBytes) / float64(prev.TableBytes)
+				linear := float64(cur.Sites) / float64(prev.Sites)
+				if growth >= 0.75*linear {
+					problems = append(problems, fmt.Sprintf(
+						"routing: table bytes grew %.2fx from %d to %d sites (linear would be %.2fx) — per-site state is no longer sub-linear",
+						growth, prev.Sites, cur.Sites, linear))
+				}
+			}
+			for i := range b.Points {
+				if i >= len(r.Points) {
+					break
+				}
+				bp, cp := b.Points[i], r.Points[i]
+				if cp.Sites != bp.Sites || r.Jobs != b.Jobs || r.Seed != b.Seed {
+					problems = append(problems, fmt.Sprintf(
+						"routing: point %d is %d sites (seed %d, %d jobs), baseline pins %d sites (seed %d, %d jobs) — regenerate the baseline",
+						i, cp.Sites, r.Seed, r.Jobs, bp.Sites, b.Seed, b.Jobs))
+					continue
+				}
+				if math.Abs(cp.GuaranteeRatio-bp.GuaranteeRatio) > ratioTolerance {
+					problems = append(problems, fmt.Sprintf(
+						"routing: guarantee ratio at %d sites drifted %+.6f (baseline %.6f, run %.6f)",
+						cp.Sites, cp.GuaranteeRatio-bp.GuaranteeRatio, bp.GuaranteeRatio, cp.GuaranteeRatio))
+				}
+				if i == len(b.Points)-1 && cp.MsgsPerJob > bp.MsgsPerJob+ratioTolerance {
+					problems = append(problems, fmt.Sprintf(
+						"routing: msgs/job at %d sites regressed to %.3f (baseline %.3f)",
+						cp.Sites, cp.MsgsPerJob, bp.MsgsPerJob))
+				}
+			}
+		}
+	} else if current.Routing != nil {
+		problems = append(problems,
+			"routing benchmark section absent from the baseline (regenerate it)")
+	}
 	if evpsTolerance > 0 && baseline.EventsPerSec > 0 && current.EventsPerSec > 0 {
 		floor := baseline.EventsPerSec * (1 - evpsTolerance)
 		if current.EventsPerSec < floor {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/core/txn"
+	"repro/internal/graph"
 	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/internal/sim/par"
@@ -41,6 +42,7 @@ func RunMicroBenches() []MicroBench {
 		micro("wire/decode", benchWireDecode),
 		micro("wire/read-frame", benchWireReadFrame),
 		micro("wire/write-batch", benchWireWriteBatch),
+		micro("graph/partition", benchGraphPartition),
 		micro("sim/event-loop", benchSimEventLoop),
 		micro("sim/par-event-loop", benchParEventLoop),
 		micro("schedule/admit-reject", benchAdmitReject),
@@ -165,6 +167,20 @@ func benchWireWriteBatch(b *testing.B) {
 		if err := wire.WriteBatch(io.Discard, &scratch, batch); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchGraphPartition measures the contiguity-preserving partitioner the
+// parallel kernel and the hierarchical region layout both build on: a
+// 1,024-site random topology split 32 ways. Allocations are proportional
+// to the graph alone (no per-iteration growth), so the pinned count guards
+// the partitioner against accidental quadratic scratch.
+func benchGraphPartition(b *testing.B) {
+	topo := graph.RandomConnected(1024, 4, StdDelays, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topo.Partition(32)
 	}
 }
 

@@ -90,6 +90,8 @@ func Suite() []Named {
 			shards: e13Shards, newTable: e13Table, shardRows: e13Row},
 		{Name: "E14-churn", run: e14Churn,
 			shards: e14Shards, newTable: e14Table, shardRows: e14Row},
+		{Name: "E15-scale", run: e15Scale,
+			shards: e15Shards, newTable: e15Table, shardRows: e15Row},
 	}
 }
 
@@ -339,6 +341,11 @@ type BenchReport struct {
 	// shape and sanity-checks the measurements; absolute numbers are
 	// hardware and never gated.
 	Gateway *GatewayBench `json:"gateway,omitempty"`
+	// Routing records the hierarchical routing sweep (see RunRoutingBench).
+	// CompareReports requires the per-site table-bytes curve to stay
+	// sub-linear in the site count and msgs/job at the largest point not to
+	// regress; both are deterministic.
+	Routing *RoutingBench `json:"routing,omitempty"`
 }
 
 // NewBenchReport summarizes a RunTasks result set into the JSON report.

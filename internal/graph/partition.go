@@ -19,7 +19,16 @@ import "math"
 //     ceil(n/nparts), so parts are contiguous regions of comparable size;
 //  3. refine: a few sweeps move boundary nodes to the neighboring part that
 //     hosts most of their edges when that strictly reduces the number of cut
-//     edges without emptying or overfilling a part.
+//     edges without emptying or overfilling a part;
+//  4. repair: on a connected graph every part is made internally connected —
+//     stray fragments (possible after the capacity-wall fallback of step 2 or
+//     a refinement move) are merged into the neighboring part they touch the
+//     most, then oversize parts shed connectivity-safe boundary nodes back
+//     toward the capacity.
+//
+// Connectivity of every part is what the hierarchical routing layer
+// (internal/routing/hier) builds on: a region's intra-region distance-vector
+// bootstrap can only converge over paths that stay inside the region.
 //
 // The returned slice maps every node to its part in [0, nparts). nparts is
 // clamped to n when larger (every node its own part) and must be >= 1.
@@ -85,19 +94,53 @@ func (g *Graph) Partition(nparts int) []int {
 			}
 		}
 		if !progress {
-			// Every frontier is dry or full. Hand the lowest unclaimed node
-			// to the smallest part (ties to the lowest index) and keep going.
-			u := NodeID(-1)
+			// Every frontier is dry or full. Keep parts contiguous: hand the
+			// lowest unclaimed node that touches an assigned one to the
+			// smallest adjacent part — preferring parts under capacity, but
+			// overflowing an adjacent part rather than teleporting the node
+			// into a disconnected region (shedOversize walks the overflow
+			// back later). Only on a disconnected graph, where an unclaimed
+			// node may touch nothing assigned, fall back to the smallest part
+			// outright.
+			u, best := NodeID(-1), -1
 			for v := range part {
-				if part[v] < 0 {
-					u = NodeID(v)
+				if part[v] >= 0 {
+					continue
+				}
+				underCap, any := -1, -1
+				for _, e := range g.adj[NodeID(v)] {
+					p := part[e.To]
+					if p < 0 {
+						continue
+					}
+					if any < 0 || size[p] < size[any] {
+						any = p
+					}
+					if size[p] < capPer && (underCap < 0 || size[p] < size[underCap]) {
+						underCap = p
+					}
+				}
+				if underCap >= 0 {
+					u, best = NodeID(v), underCap
 					break
 				}
+				if any >= 0 && u < 0 {
+					u, best = NodeID(v), any
+					// Keep scanning: a later node may have an under-cap home.
+				}
 			}
-			best := 0
-			for p := 1; p < nparts; p++ {
-				if size[p] < size[best] {
-					best = p
+			if u < 0 {
+				for v := range part {
+					if part[v] < 0 {
+						u = NodeID(v)
+						break
+					}
+				}
+				best = 0
+				for p := 1; p < nparts; p++ {
+					if size[p] < size[best] {
+						best = p
+					}
 				}
 			}
 			part[u] = best
@@ -108,7 +151,175 @@ func (g *Graph) Partition(nparts int) []int {
 	}
 
 	g.refinePartition(part, size, nparts, capPer)
+	g.repairPartition(part, size, nparts, capPer)
 	return part
+}
+
+// repairPartition makes every part internally connected (on a connected
+// graph) and then walks oversize parts back toward the capacity without
+// breaking what it just established.
+//
+// Fragment merging: a part's connected components are found in ascending
+// node order; the largest component (ties to the one holding the lowest
+// node) stays, every other fragment moves wholesale to the neighboring part
+// it shares the most edges with (ties to the lowest part index). A moved
+// fragment attaches to an existing component of its target, so the total
+// number of (part, component) fragments strictly decreases and the loop
+// terminates. Merges may overshoot capPer; the shed pass below recovers the
+// bound where a connectivity-safe move exists, so callers get balance on
+// real topologies and connectivity always.
+func (g *Graph) repairPartition(part, size []int, nparts, capPer int) {
+	if nparts <= 1 {
+		return
+	}
+	degTo := make([]int, nparts)
+	for {
+		moved := false
+		for p := 0; p < nparts; p++ {
+			comps := g.partComponents(part, p)
+			if len(comps) <= 1 {
+				continue
+			}
+			keep := 0
+			for i, c := range comps {
+				if len(c) > len(comps[keep]) {
+					keep = i
+				}
+			}
+			for i, c := range comps {
+				if i == keep {
+					continue
+				}
+				for q := range degTo {
+					degTo[q] = 0
+				}
+				for _, v := range c {
+					for _, e := range g.adj[v] {
+						if q := part[e.To]; q != p {
+							degTo[q]++
+						}
+					}
+				}
+				best, bestDeg := -1, 0
+				for q := 0; q < nparts; q++ {
+					if q != p && degTo[q] > bestDeg {
+						best, bestDeg = q, degTo[q]
+					}
+				}
+				if best < 0 {
+					continue // the fragment is a whole graph component; leave it
+				}
+				for _, v := range c {
+					part[v] = best
+				}
+				size[p] -= len(c)
+				size[best] += len(c)
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	g.shedOversize(part, size, nparts, capPer)
+}
+
+// shedOversize moves boundary nodes out of parts that exceed capPer into
+// adjacent parts with room, but only when the source part stays connected
+// without the node. Deterministic sweeps in ascending node order; stops when
+// no oversize part can shed anything.
+func (g *Graph) shedOversize(part, size []int, nparts, capPer int) {
+	degTo := make([]int, nparts)
+	for {
+		moved := false
+		for v := 0; v < g.n; v++ {
+			home := part[v]
+			if size[home] <= capPer || size[home] <= 1 {
+				continue
+			}
+			for p := range degTo {
+				degTo[p] = 0
+			}
+			for _, e := range g.adj[v] {
+				degTo[part[e.To]]++
+			}
+			best, bestDeg := -1, 0
+			for p := 0; p < nparts; p++ {
+				if p != home && size[p] < capPer && degTo[p] > bestDeg {
+					best, bestDeg = p, degTo[p]
+				}
+			}
+			if best < 0 || !g.connectedWithout(part, home, NodeID(v)) {
+				continue
+			}
+			part[v] = best
+			size[home]--
+			size[best]++
+			moved = true
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+// partComponents lists the connected components of part p's induced
+// subgraph, discovered in ascending node order (each component's first node
+// is its lowest).
+func (g *Graph) partComponents(part []int, p int) [][]NodeID {
+	var comps [][]NodeID
+	seen := make([]bool, g.n)
+	for v := 0; v < g.n; v++ {
+		if part[v] != p || seen[v] {
+			continue
+		}
+		comp := []NodeID{NodeID(v)}
+		seen[v] = true
+		for i := 0; i < len(comp); i++ {
+			for _, e := range g.adj[comp[i]] {
+				if part[e.To] == p && !seen[e.To] {
+					seen[e.To] = true
+					comp = append(comp, e.To)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// connectedWithout reports whether part p stays connected when node skip is
+// removed from it.
+func (g *Graph) connectedWithout(part []int, p int, skip NodeID) bool {
+	start := NodeID(-1)
+	total := 0
+	for v := 0; v < g.n; v++ {
+		if part[v] == p && NodeID(v) != skip {
+			if start < 0 {
+				start = NodeID(v)
+			}
+			total++
+		}
+	}
+	if total <= 1 {
+		return true
+	}
+	seen := make(map[NodeID]bool, total)
+	seen[start] = true
+	stack := []NodeID{start}
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[u] {
+			if part[e.To] == p && e.To != skip && !seen[e.To] {
+				seen[e.To] = true
+				count++
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return count == total
 }
 
 // partitionSeeds picks nparts spread-out seed nodes by farthest-point
@@ -184,7 +395,7 @@ func (g *Graph) refinePartition(part, size []int, nparts, capPer int) {
 					best, bestDeg = p, degTo[p]
 				}
 			}
-			if best != home {
+			if best != home && g.connectedWithout(part, home, NodeID(v)) {
 				part[v] = best
 				size[home]--
 				size[best]++

@@ -20,13 +20,22 @@ func TestPartitionAssignsEveryNodeWithinCapacity(t *testing.T) {
 			}
 			size[p]++
 		}
+		// Connectivity takes precedence over the strict capacity: a node
+		// whose only assigned neighbors sit in full parts overflows one of
+		// them rather than teleporting into a disconnected region, so the
+		// balance bound carries one node of slack.
 		capPer := (64 + nparts - 1) / nparts
 		for p, s := range size {
 			if s == 0 {
 				t.Fatalf("nparts=%d: part %d empty", nparts, p)
 			}
-			if s > capPer {
-				t.Fatalf("nparts=%d: part %d holds %d nodes, capacity %d", nparts, p, s, capPer)
+			if s > capPer+1 {
+				t.Fatalf("nparts=%d: part %d holds %d nodes, capacity %d+1", nparts, p, s, capPer)
+			}
+		}
+		for p := 0; p < nparts; p++ {
+			if comps := g.partComponents(part, p); len(comps) > 1 {
+				t.Fatalf("nparts=%d: part %d splits into %d components", nparts, p, len(comps))
 			}
 		}
 	}
@@ -71,6 +80,60 @@ func TestPartitionBeatsRoundRobinCut(t *testing.T) {
 	}
 	if got, worst := g.CutEdges(part), g.CutEdges(striped); got >= worst {
 		t.Fatalf("partitioner cut %d edges, striping cuts %d", got, worst)
+	}
+}
+
+// TestPartitionAtScale is the property suite backing the hierarchical
+// routing layer: at n ∈ {256, 1024, 4096} with ~√n parts, every region must
+// be non-empty, internally connected (the intra-region distance-vector
+// bootstrap only converges over paths that stay inside the region), balanced
+// within 2·ceil(n/nparts), and the assignment must be a pure function of the
+// graph.
+func TestPartitionAtScale(t *testing.T) {
+	for _, n := range []int{256, 1024, 4096} {
+		nparts := 1
+		for nparts*nparts < n {
+			nparts++
+		}
+		for _, seed := range []int64{1, 42} {
+			g := RandomConnected(n, 4, DelayRange{Min: 0.05, Max: 0.3}, seed)
+			part := g.Partition(nparts)
+			size := make([]int, nparts)
+			for v, p := range part {
+				if p < 0 || p >= nparts {
+					t.Fatalf("n=%d seed=%d: node %d in out-of-range part %d", n, seed, v, p)
+				}
+				size[p]++
+			}
+			capPer := (n + nparts - 1) / nparts
+			for p, s := range size {
+				if s == 0 {
+					t.Errorf("n=%d seed=%d: part %d empty", n, seed, p)
+				}
+				if s > 2*capPer {
+					t.Errorf("n=%d seed=%d: part %d holds %d nodes, balance bound %d",
+						n, seed, p, s, 2*capPer)
+				}
+			}
+			for p := 0; p < nparts; p++ {
+				if comps := g.partComponents(part, p); len(comps) > 1 {
+					t.Errorf("n=%d seed=%d: part %d splits into %d components (sizes %d, %d, ...)",
+						n, seed, p, len(comps), len(comps[0]), len(comps[1]))
+				}
+			}
+			if again := g.Partition(nparts); !reflect.DeepEqual(part, again) {
+				t.Errorf("n=%d seed=%d: two runs disagree", n, seed)
+			}
+		}
+	}
+}
+
+func BenchmarkPartition(b *testing.B) {
+	g := RandomConnected(1024, 4, DelayRange{Min: 0.05, Max: 0.3}, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Partition(32)
 	}
 }
 

@@ -127,11 +127,14 @@ type StatsReply struct {
 	Disruptions        int              `json:"disruptions"`
 	DecisionLatencyP50 float64          `json:"decision_latency_p50"`
 	DecisionLatencyP99 float64          `json:"decision_latency_p99"`
+	RoutingTableBytes  int              `json:"routing_table_bytes"`
+	RoutingEntries     int              `json:"routing_entries"`
 }
 
 func (s *Server) stats() StatsReply {
 	st := s.node.Stats()
 	bm, bb := s.node.BootstrapCost()
+	rb, re := s.node.RoutingState()
 	reply := StatsReply{
 		Site:              int(s.node.Self()),
 		Ready:             s.ready.Load(),
@@ -143,6 +146,8 @@ func (s *Server) stats() StatsReply {
 		BootstrapBytes:    bb,
 		Violations:        len(s.node.Violations()),
 		Disruptions:       s.node.FaultDisruptions(),
+		RoutingTableBytes: rb,
+		RoutingEntries:    re,
 	}
 	var latency metrics.Sample
 	for _, j := range s.node.JobStatuses() {

@@ -48,6 +48,10 @@ func buildPromRegistry(st StatsReply) *metrics.Registry {
 		"Protocol invariant violations detected by the runtime oracle.").Add(float64(st.Violations))
 	r.NewCounter("rtds_node_disruptions_total",
 		"Fault-injection disruptions applied to this node.").Add(float64(st.Disruptions))
+	r.NewGauge("rtds_node_routing_table_bytes",
+		"Per-site routing-state footprint in bytes (intra-region table plus landmark vector under hierarchical routing; the full table when flat).").Set(float64(st.RoutingTableBytes))
+	r.NewGauge("rtds_node_routing_entries",
+		"Destinations the local routing state resolves directly (region members plus landmarks under hierarchical routing; all sites when flat).").Set(float64(st.RoutingEntries))
 	r.NewGauge("rtds_node_decision_latency_p50_seconds",
 		"Median decision latency of locally submitted jobs, in virtual seconds.").Set(st.DecisionLatencyP50)
 	r.NewGauge("rtds_node_decision_latency_p99_seconds",

@@ -1,0 +1,60 @@
+package hier
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Build runs the full two-phase hierarchical bootstrap over a private
+// discrete-event network and returns every site's table plus the
+// communication statistics of the construction — the hierarchical
+// counterpart of routing.Build, used by tests and offline tooling. The
+// live protocol path (internal/core) drives the same Bootstrap state
+// machines over the cluster's own transport instead.
+func Build(topo *graph.Graph) (map[graph.NodeID]*Table, *Layout, *simnet.Stats, error) {
+	lay, err := NewLayout(topo)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	engine := sim.New()
+	tr := simnet.NewDES(engine, topo)
+	boots := make(map[graph.NodeID]*Bootstrap, topo.Len())
+	for id := graph.NodeID(0); int(id) < topo.Len(); id++ {
+		id := id
+		boots[id] = NewBootstrap(id, topo.Neighbors(id), lay,
+			func(to graph.NodeID, p simnet.Payload) {
+				if err := tr.Send(id, to, p); err != nil {
+					panic(err) // the bootstrap only sends to direct neighbors
+				}
+			})
+		tr.Attach(id, func(from graph.NodeID, p simnet.Payload) {
+			switch msg := p.(type) {
+			case routing.TableMsg:
+				boots[id].HandleTable(from, msg)
+			case LandmarkAd:
+				boots[id].HandleAd(from, msg)
+			default:
+				panic(fmt.Sprintf("hier: unexpected payload %q", p.Kind()))
+			}
+		})
+	}
+	for id := graph.NodeID(0); int(id) < topo.Len(); id++ {
+		boots[id].Start()
+	}
+	if err := engine.Run(); err != nil {
+		return nil, nil, nil, fmt.Errorf("hier: bootstrap did not converge: %w", err)
+	}
+	tables := make(map[graph.NodeID]*Table, topo.Len())
+	for id := graph.NodeID(0); int(id) < topo.Len(); id++ {
+		if !boots[id].Done() {
+			return nil, nil, nil, fmt.Errorf("hier: site %d drained without converging (missing regions %v)",
+				id, boots[id].MissingRegions())
+		}
+		tables[id] = boots[id].Finish()
+	}
+	return tables, lay, tr.Stats(), nil
+}

@@ -1,0 +1,197 @@
+// Package hier implements two-level region/landmark routing on top of the
+// flat §7 distance-vector protocol of internal/routing, so per-site routing
+// state stays sub-linear in the network size:
+//
+//   - the topology is partitioned into ~√n connected regions
+//     (graph.Partition), and each region deterministically elects the
+//     member with the smallest intra-region hop eccentricity as its
+//     landmark (ties to the lowest site ID);
+//   - every site runs the interrupted distance-vector bootstrap over its
+//     intra-region links only, producing an exact table of its region
+//     (O(√n) entries);
+//   - every landmark floods a small advertisement through the whole
+//     network; each site keeps, per region, its best distance/next-hop
+//     toward that region's landmark (O(√n) entries of constant size) and
+//     re-forwards only improvements, so the flood quiesces.
+//
+// Forwarding: a destination in the local region follows the exact intra
+// table; any other destination is forwarded along the landmark gradient of
+// its region until the message enters that region, where the intra table
+// takes over. Intra-region paths never leave the region (the bootstrap only
+// saw intra-region links), so region-local protocol traffic crosses zero
+// region boundaries.
+//
+// Per-site state is therefore O(√n) entries — versus O(n) for the flat
+// table — and the bootstrap exchanges O(regionEdges·regionDiam) table
+// messages plus O(E·√n) constant-size advertisements instead of flooding
+// O(n)-entry tables network-wide.
+package hier
+
+import (
+	"fmt"
+
+	"repro/internal/determinism"
+	"repro/internal/graph"
+)
+
+// Layout is the deterministic region/landmark structure derived from a
+// topology: a pure function of the graph, shared by every site (the same
+// way every site already knows the topology's delay ranges and its own
+// neighbor list). It carries no per-site routing state.
+type Layout struct {
+	// Regions is the number of regions (~√n).
+	Regions int
+	// Assign maps every site to its region.
+	Assign []int
+	// Members lists each region's sites in ascending ID order.
+	Members [][]graph.NodeID
+	// Landmarks names each region's elected landmark.
+	Landmarks []graph.NodeID
+	// Rounds is the per-region intra-region bootstrap round count:
+	// routing.RoundsForRadius of the region's hop diameter, the same
+	// interruption idiom as the flat protocol.
+	Rounds []int
+	// Adjacent lists, per region, the regions it shares a cut edge with,
+	// in ascending order.
+	Adjacent [][]int
+}
+
+// RegionsFor returns the region count used for an n-site network: ⌈√n⌉.
+func RegionsFor(n int) int {
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}
+
+// NewLayout partitions the topology into ⌈√n⌉ regions and elects the
+// landmarks. The topology must be connected (graph.Partition then yields
+// internally connected regions, which the intra-region bootstrap requires).
+func NewLayout(topo *graph.Graph) (*Layout, error) {
+	n := topo.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("hier: empty topology")
+	}
+	if !topo.Connected() {
+		return nil, fmt.Errorf("hier: topology is not connected")
+	}
+	nregions := RegionsFor(n)
+	lay := &Layout{
+		Regions:   nregions,
+		Assign:    topo.Partition(nregions),
+		Members:   make([][]graph.NodeID, nregions),
+		Landmarks: make([]graph.NodeID, nregions),
+		Rounds:    make([]int, nregions),
+		Adjacent:  make([][]int, nregions),
+	}
+	for v, r := range lay.Assign {
+		lay.Members[r] = append(lay.Members[r], graph.NodeID(v))
+	}
+	adj := make([]map[int]bool, nregions)
+	for r := range adj {
+		adj[r] = make(map[int]bool)
+	}
+	for v := 0; v < n; v++ {
+		for _, e := range topo.Neighbors(graph.NodeID(v)) {
+			if a, b := lay.Assign[v], lay.Assign[e.To]; a != b {
+				adj[a][b] = true
+			}
+		}
+	}
+	for r := 0; r < nregions; r++ {
+		if len(lay.Members[r]) == 0 {
+			return nil, fmt.Errorf("hier: region %d is empty", r)
+		}
+		landmark, diam, err := electLandmark(topo, lay.Assign, lay.Members[r])
+		if err != nil {
+			return nil, fmt.Errorf("hier: region %d: %w", r, err)
+		}
+		lay.Landmarks[r] = landmark
+		lay.Rounds[r] = roundsForDiameter(diam)
+		lay.Adjacent[r] = determinism.SortedKeys(adj[r])
+	}
+	return lay, nil
+}
+
+// roundsForDiameter converts a region's hop diameter into intra-region
+// bootstrap rounds, mirroring routing.RoundsForRadius: 2·diam−1 rounds
+// discover every intra-region path of at most 2·diam edges — the same
+// "stop after 2h phases" interruption the flat protocol applies globally.
+func roundsForDiameter(diam int) int {
+	if diam < 1 {
+		return 0
+	}
+	return 2*diam - 1
+}
+
+// electLandmark returns the region member with the smallest hop
+// eccentricity within the region's induced subgraph (ties to the lowest
+// ID, which the ascending member order provides), plus the region's hop
+// diameter. Errors if the region is not internally connected.
+func electLandmark(topo *graph.Graph, assign []int, members []graph.NodeID) (graph.NodeID, int, error) {
+	best, bestEcc, diam := graph.NodeID(-1), -1, 0
+	for _, m := range members {
+		ecc, err := regionEccentricity(topo, assign, m, len(members))
+		if err != nil {
+			return -1, 0, err
+		}
+		if best < 0 || ecc < bestEcc {
+			best, bestEcc = m, ecc
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return best, diam, nil
+}
+
+// regionEccentricity BFSes from src over intra-region links only and
+// returns the maximum hop distance to any region member. Errors if some
+// member is unreachable inside the region.
+func regionEccentricity(topo *graph.Graph, assign []int, src graph.NodeID, members int) (int, error) {
+	region := assign[src]
+	dist := map[graph.NodeID]int{src: 0}
+	queue := []graph.NodeID{src}
+	ecc := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range topo.Neighbors(u) {
+			if assign[e.To] != region {
+				continue
+			}
+			if _, ok := dist[e.To]; ok {
+				continue
+			}
+			dist[e.To] = dist[u] + 1
+			if dist[e.To] > ecc {
+				ecc = dist[e.To]
+			}
+			queue = append(queue, e.To)
+		}
+	}
+	if len(dist) != members {
+		return 0, fmt.Errorf("region of site %d is not internally connected (%d of %d members reachable)",
+			src, len(dist), members)
+	}
+	return ecc, nil
+}
+
+// MaxRounds reports the largest per-region bootstrap round count — the
+// bound every region's intra path length stays under.
+func (l *Layout) MaxRounds() int {
+	max := 0
+	for _, r := range l.Rounds {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// Region reports the region of a site.
+func (l *Layout) Region(site graph.NodeID) int { return l.Assign[site] }
+
+// SameRegion reports whether two sites share a region.
+func (l *Layout) SameRegion(a, b graph.NodeID) bool { return l.Assign[a] == l.Assign[b] }

@@ -1,0 +1,169 @@
+package hier
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+func testTopo(n int, seed int64) *graph.Graph {
+	return graph.RandomConnected(n, 4, graph.DelayRange{Min: 0.05, Max: 0.3}, seed)
+}
+
+func TestLayoutDeterministicAndConnected(t *testing.T) {
+	topo := testTopo(128, 7)
+	a, err := NewLayout(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLayout(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Regions != RegionsFor(128) {
+		t.Fatalf("Regions = %d, want %d", a.Regions, RegionsFor(128))
+	}
+	for r := 0; r < a.Regions; r++ {
+		if a.Landmarks[r] != b.Landmarks[r] {
+			t.Fatalf("region %d: landmark %d vs %d across runs", r, a.Landmarks[r], b.Landmarks[r])
+		}
+		if got := a.Assign[a.Landmarks[r]]; got != r {
+			t.Fatalf("region %d: landmark %d lives in region %d", r, a.Landmarks[r], got)
+		}
+		if len(a.Members[r]) == 0 {
+			t.Fatalf("region %d empty", r)
+		}
+	}
+	for v, r := range a.Assign {
+		if r != b.Assign[v] {
+			t.Fatalf("site %d: region %d vs %d across runs", v, r, b.Assign[v])
+		}
+	}
+}
+
+// TestBuildDeliversEverywhere drives the full two-phase bootstrap and then
+// forwards a probe between every ordered site pair using only the
+// per-site NextHop answers: every probe must arrive, and probes between
+// region mates must never leave the region (the zero-cross-region-traffic
+// property the regional commit spheres rely on).
+func TestBuildDeliversEverywhere(t *testing.T) {
+	topo := testTopo(96, 3)
+	tables, lay, _, err := Build(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := topo.Len()
+	maxHops := 4 * n // generous loop guard; gradient routing is loop-free
+	for s := graph.NodeID(0); int(s) < n; s++ {
+		for d := graph.NodeID(0); int(d) < n; d++ {
+			if s == d {
+				continue
+			}
+			cur, hops := s, 0
+			for cur != d {
+				next, ok := tables[cur].NextHop(d)
+				if !ok {
+					t.Fatalf("no route at %d toward %d (from %d)", cur, d, s)
+				}
+				if !topo.HasEdge(cur, next) {
+					t.Fatalf("table at %d forwards to non-neighbor %d", cur, next)
+				}
+				if lay.SameRegion(s, d) && !lay.SameRegion(cur, next) {
+					t.Fatalf("intra-region probe %d->%d left the region at %d->%d", s, d, cur, next)
+				}
+				cur = next
+				if hops++; hops > maxHops {
+					t.Fatalf("probe %d->%d looped", s, d)
+				}
+			}
+		}
+	}
+}
+
+func TestIntraTableMatchesRegionOracle(t *testing.T) {
+	topo := testTopo(64, 11)
+	tables, lay, _, err := Build(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The intra table of each site must equal the flat protocol's table
+	// over the region's induced subgraph at the region's round count.
+	for r := 0; r < lay.Regions; r++ {
+		sub, remap := regionSubgraph(topo, lay, r)
+		oracle := routing.CentralTables(sub, lay.Rounds[r])
+		for local, site := range lay.Members[r] {
+			intra := tables[site].Intra()
+			for localD, siteD := range lay.Members[r] {
+				want := oracle[local].Dist(graph.NodeID(localD))
+				got := intra.Dist(siteD)
+				if got != want {
+					t.Fatalf("region %d: dist %d->%d = %v, oracle %v", r, site, siteD, got, want)
+				}
+			}
+			_ = remap
+		}
+	}
+}
+
+// regionSubgraph builds the induced subgraph of region r with nodes
+// renumbered to 0..len(members)-1 in member order.
+func regionSubgraph(topo *graph.Graph, lay *Layout, r int) (*graph.Graph, map[graph.NodeID]graph.NodeID) {
+	members := lay.Members[r]
+	remap := make(map[graph.NodeID]graph.NodeID, len(members))
+	for i, m := range members {
+		remap[m] = graph.NodeID(i)
+	}
+	sub := graph.New(len(members))
+	for _, m := range members {
+		for _, e := range topo.Neighbors(m) {
+			if lay.Assign[e.To] == r && m < e.To {
+				sub.MustAddEdge(remap[m], remap[e.To], e.Delay)
+			}
+		}
+	}
+	return sub, remap
+}
+
+// TestStateSubLinear pins the headline: per-site state entries grow like
+// √n, not n. At 1,024 sites the largest per-site state must stay under an
+// eighth of the flat table's n entries.
+func TestStateSubLinear(t *testing.T) {
+	topo := testTopo(1024, 1)
+	tables, _, _, err := Build(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0
+	for id := graph.NodeID(0); int(id) < topo.Len(); id++ {
+		if e := tables[id].StateEntries(); e > worst {
+			worst = e
+		}
+	}
+	if worst >= 1024/8 {
+		t.Fatalf("worst per-site state %d entries at n=1024; want sub-linear (< %d)", worst, 1024/8)
+	}
+}
+
+func TestEscalationLandmarks(t *testing.T) {
+	topo := testTopo(64, 5)
+	tables, lay, _, err := Build(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := graph.NodeID(0); int(id) < topo.Len(); id++ {
+		r := lay.Region(id)
+		esc := tables[id].EscalationLandmarks()
+		if len(esc) != len(lay.Adjacent[r]) {
+			t.Fatalf("site %d: %d escalation landmarks, %d adjacent regions", id, len(esc), len(lay.Adjacent[r]))
+		}
+		for _, lm := range esc {
+			if lay.Region(lm) == r {
+				t.Fatalf("site %d: escalation landmark %d is in its own region", id, lm)
+			}
+			if lay.Landmarks[lay.Region(lm)] != lm {
+				t.Fatalf("site %d: %d is not the landmark of region %d", id, lm, lay.Region(lm))
+			}
+		}
+	}
+}

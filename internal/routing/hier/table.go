@@ -1,0 +1,286 @@
+package hier
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/determinism"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/simnet"
+)
+
+const distEps = 1e-9
+
+// Landmark is one line of a site's landmark vector: the best known way
+// toward a region's landmark.
+type Landmark struct {
+	Site    graph.NodeID // the region's landmark
+	Dist    float64      // accumulated delay from the landmark
+	NextHop graph.NodeID // neighbor to forward to
+	Hops    int          // edges on the advertisement path
+}
+
+// landmarkBytes approximates the encoded size of one landmark-vector line:
+// region (2), landmark site (4), distance (8), hops (2).
+const landmarkBytes = 16
+
+// better reports whether candidate c should replace l (deterministic
+// tie-breaking mirroring routing.Route.better: delay, then hops, then
+// next-hop ID).
+func (l Landmark) better(c Landmark) bool {
+	if c.Dist < l.Dist-distEps {
+		return true
+	}
+	if c.Dist > l.Dist+distEps {
+		return false
+	}
+	if c.Hops != l.Hops {
+		return c.Hops < l.Hops
+	}
+	return c.NextHop < l.NextHop
+}
+
+// LandmarkAd is the constant-size advertisement a landmark floods through
+// the network; every re-forwarding site accumulates its own best distance
+// into it. The "pcs." prefix classifies it as bootstrap control traffic in
+// the simnet stats, exactly like the flat protocol's table messages.
+type LandmarkAd struct {
+	Region   int
+	Landmark graph.NodeID
+	Dist     float64 // sender's best known delay from the landmark
+	Hops     int     // edges on the sender's advertisement path
+}
+
+// Kind implements simnet.Payload.
+func (LandmarkAd) Kind() string { return "pcs.landmark" }
+
+// SizeBytes implements simnet.Payload: header plus one landmark line.
+func (LandmarkAd) SizeBytes() int { return 8 + landmarkBytes }
+
+// Table is one site's two-level routing state: the exact intra-region
+// table plus the landmark vector. It implements routing.Router.
+type Table struct {
+	Self  graph.NodeID
+	lay   *Layout
+	intra *routing.Table
+	vec   map[int]Landmark
+}
+
+// NewTable assembles a hierarchical table from a finished intra-region
+// bootstrap and a converged landmark vector. The vector map is owned by
+// the table afterwards.
+func NewTable(self graph.NodeID, lay *Layout, intra *routing.Table, vec map[int]Landmark) *Table {
+	return &Table{Self: self, lay: lay, intra: intra, vec: vec}
+}
+
+// Layout exposes the shared region structure.
+func (t *Table) Layout() *Layout { return t.lay }
+
+// Intra exposes the exact intra-region table (the membership layer's
+// repair floods operate on it).
+func (t *Table) Intra() *routing.Table { return t.intra }
+
+// SetIntra swaps in a repaired intra-region table, keeping the landmark
+// vector (membership route repair after a death inside the region).
+func (t *Table) SetIntra(intra *routing.Table) { t.intra = intra }
+
+// NextHop implements routing.Router: intra-region destinations follow the
+// exact table; any other destination follows the landmark gradient of its
+// region until the message enters that region.
+func (t *Table) NextHop(dest graph.NodeID) (graph.NodeID, bool) {
+	if dest == t.Self {
+		return 0, false
+	}
+	if t.lay.SameRegion(t.Self, dest) {
+		return t.intra.NextHop(dest)
+	}
+	lm, ok := t.vec[t.lay.Region(dest)]
+	if !ok {
+		return 0, false
+	}
+	return lm.NextHop, true
+}
+
+// Dist implements routing.Router. For destinations outside the local
+// region the distance toward the region's landmark is returned — exact for
+// the landmark itself, a routing estimate for its region mates.
+func (t *Table) Dist(dest graph.NodeID) float64 {
+	if t.lay.SameRegion(t.Self, dest) {
+		return t.intra.Dist(dest)
+	}
+	if lm, ok := t.vec[t.lay.Region(dest)]; ok {
+		return lm.Dist
+	}
+	return math.Inf(1)
+}
+
+// Destinations implements routing.Router: the region mates plus every
+// known landmark, in increasing ID order. Including the landmarks gives
+// the initiator finite pairwise distances for escalated commit spheres
+// (the ω phase-timer computation skips unknown pairs).
+func (t *Table) Destinations() []graph.NodeID {
+	seen := make(map[graph.NodeID]bool, t.intra.Len()+len(t.vec))
+	for _, d := range t.intra.Destinations() {
+		seen[d] = true
+	}
+	for _, r := range determinism.SortedKeys(t.vec) {
+		seen[t.vec[r].Site] = true
+	}
+	return determinism.SortedKeys(seen)
+}
+
+// Sphere implements routing.Router: the radius-h PCS within the region.
+// The commit sphere is region-first by construction; escalation reaches
+// outside it via EscalationLandmarks, not via the sphere.
+func (t *Table) Sphere(h int) []graph.NodeID { return t.intra.Sphere(h) }
+
+// SphereDelayDiameter implements routing.Router.
+func (t *Table) SphereDelayDiameter(h int) float64 { return t.intra.SphereDelayDiameter(h) }
+
+// StateBytes implements routing.Router: the intra table plus the landmark
+// vector.
+func (t *Table) StateBytes() int { return t.intra.StateBytes() + 8 + landmarkBytes*len(t.vec) }
+
+// StateEntries implements routing.Router.
+func (t *Table) StateEntries() int { return t.intra.StateEntries() + len(t.vec) }
+
+// EscalationLandmarks lists the landmarks of the regions adjacent to this
+// site's region that the landmark vector can reach, in increasing site-ID
+// order — the second enrollment wave when the intra-region sphere
+// underflows.
+func (t *Table) EscalationLandmarks() []graph.NodeID {
+	var out []graph.NodeID
+	for _, r := range t.lay.Adjacent[t.lay.Region(t.Self)] {
+		if lm, ok := t.vec[r]; ok {
+			out = append(out, lm.Site)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MaxVecHops reports the longest advertisement path in the vector — a
+// component of the routed-message TTL bound under hierarchy.
+func (t *Table) MaxVecHops() int {
+	max := 0
+	for _, r := range determinism.SortedKeys(t.vec) {
+		if h := t.vec[r].Hops; h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// ---------------------------------------------------------------------------
+// Per-site bootstrap state machine
+
+// Bootstrap runs one site's part of the two-phase hierarchical bootstrap:
+// the intra-region interrupted distance-vector protocol (phase 1, a
+// routing.Node over intra-region links only) and the landmark-gradient
+// flood (phase 2, LandmarkAd relaying). The two phases run concurrently;
+// the flood quiesces on its own because only strict improvements are
+// re-forwarded. The owner drives it exactly like a routing.Node: deliver
+// incoming payloads, then collect the table once the network drains.
+type Bootstrap struct {
+	self   graph.NodeID
+	lay    *Layout
+	intra  *routing.Node
+	nbrs   []graph.NodeID // all neighbors, ascending
+	direct map[graph.NodeID]float64
+	vec    map[int]Landmark
+	table  *routing.Table // finished intra table
+	send   func(to graph.NodeID, p simnet.Payload)
+}
+
+// NewBootstrap creates the state machine for one site. neighbors is the
+// site's full adjacency; the intra-region subset drives phase 1 and the
+// full set relays phase 2.
+func NewBootstrap(self graph.NodeID, neighbors []graph.Edge, lay *Layout,
+	send func(to graph.NodeID, p simnet.Payload)) *Bootstrap {
+	b := &Bootstrap{
+		self:   self,
+		lay:    lay,
+		direct: make(map[graph.NodeID]float64, len(neighbors)),
+		vec:    make(map[int]Landmark),
+		send:   send,
+	}
+	var intraNbrs []graph.Edge
+	for _, e := range neighbors {
+		b.nbrs = append(b.nbrs, e.To)
+		b.direct[e.To] = e.Delay
+		if lay.SameRegion(self, e.To) {
+			intraNbrs = append(intraNbrs, e)
+		}
+	}
+	region := lay.Region(self)
+	b.intra = routing.NewNode(self, intraNbrs, lay.Rounds[region], send,
+		func(t *routing.Table) { b.table = t })
+	return b
+}
+
+// Start begins both phases: the intra-region round 0 broadcast, and — when
+// this site is its region's landmark — the advertisement flood.
+func (b *Bootstrap) Start() {
+	b.intra.Start()
+	region := b.lay.Region(b.self)
+	if b.lay.Landmarks[region] == b.self {
+		b.vec[region] = Landmark{Site: b.self, Dist: 0, NextHop: b.self, Hops: 0}
+		b.broadcastAd(region)
+	}
+}
+
+// HandleTable feeds an intra-region table message to phase 1.
+func (b *Bootstrap) HandleTable(from graph.NodeID, msg routing.TableMsg) {
+	b.intra.HandleTable(from, msg)
+}
+
+// HandleAd relaxes one landmark advertisement: if it improves this site's
+// entry for the advertised region, the entry is updated and the improved
+// advertisement re-broadcast to every neighbor. Non-improvements are
+// dropped, which is what terminates the flood.
+func (b *Bootstrap) HandleAd(from graph.NodeID, ad LandmarkAd) {
+	delay, ok := b.direct[from]
+	if !ok {
+		return // not a neighbor; cannot have come over a real link
+	}
+	cand := Landmark{Site: ad.Landmark, Dist: ad.Dist + delay, NextHop: from, Hops: ad.Hops + 1}
+	cur, have := b.vec[ad.Region]
+	if have && !cur.better(cand) {
+		return
+	}
+	b.vec[ad.Region] = cand
+	b.broadcastAd(ad.Region)
+}
+
+func (b *Bootstrap) broadcastAd(region int) {
+	lm := b.vec[region]
+	ad := LandmarkAd{Region: region, Landmark: lm.Site, Dist: lm.Dist, Hops: lm.Hops}
+	for _, nbr := range b.nbrs {
+		b.send(nbr, ad)
+	}
+}
+
+// Done reports whether both phases have completed at this site: the intra
+// rounds ran out and every region's landmark is reachable.
+func (b *Bootstrap) Done() bool {
+	return b.table != nil && len(b.vec) == b.lay.Regions
+}
+
+// Finish assembles the hierarchical table. Call only after the network has
+// drained (Done reports true); the vector map is handed over.
+func (b *Bootstrap) Finish() *Table {
+	return NewTable(b.self, b.lay, b.table, b.vec)
+}
+
+// MissingRegions lists the regions with no landmark entry yet (diagnostic
+// for a bootstrap that drained without converging), ascending.
+func (b *Bootstrap) MissingRegions() []int {
+	var out []int
+	for r := 0; r < b.lay.Regions; r++ {
+		if _, ok := b.vec[r]; !ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -46,7 +46,7 @@ func drive(t testing.TB, c Cluster) Result {
 }
 
 func TestRegistryContents(t *testing.T) {
-	want := []string{"broadcast", "fab", "local", "oracle", "rtds", "spread"}
+	want := []string{"broadcast", "fab", "local", "oracle", "rtds", "rtds-hier", "spread"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("registry %v, want %v", got, want)

@@ -43,6 +43,15 @@ func init() {
 			return cfg
 		},
 	})
+	Register(coreScheme{
+		name: "rtds-hier",
+		desc: "hierarchical variant: √n regions, landmark routing, region-first commit spheres with escalation",
+		base: func(*graph.Graph) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.Hier = true
+			return cfg
+		},
+	})
 	Register(fabScheme{})
 	Register(oracleScheme{})
 }

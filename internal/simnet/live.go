@@ -183,7 +183,7 @@ func (l *Live) Send(from, to graph.NodeID, p Payload) error {
 		}
 		delay = time.Duration(jittered * float64(l.scale))
 	}
-	l.stats.Record(p)
+	l.stats.RecordEdge(from, to, p)
 	l.pending.Add(1)
 	lk.queue.push(linkItem{
 		deliverAt: time.Now().Add(delay),

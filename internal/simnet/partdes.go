@@ -107,7 +107,7 @@ func (t *PartDES) Send(from, to graph.NodeID, p Payload) error {
 			}
 		}
 	}
-	sh.Record(p)
+	sh.RecordEdge(from, to, p)
 	t.engine.Schedule(int(from), int(to), now+delay, func() {
 		h := t.handlers[to]
 		if h == nil {

@@ -89,6 +89,8 @@ type Stats struct {
 	controlMsgs int64
 	controlB    int64
 	dropped     int64
+	crossMsgs   int64
+	boundary    func(from, to graph.NodeID) bool
 	byKind      map[string]int64
 	shards      []*Stats
 }
@@ -105,20 +107,35 @@ func NewStats() *Stats {
 func (s *Stats) Shard() *Stats {
 	child := NewStats()
 	s.mu.Lock()
+	child.boundary = s.boundary
 	s.shards = append(s.shards, child)
 	s.mu.Unlock()
 	return child
 }
 
+// SetBoundary installs a link classifier: traversals for which fn reports
+// true are additionally counted as boundary crossings (CrossMessages). The
+// hierarchical routing layer uses it to count cross-region traffic; nil (the
+// default) counts nothing. Propagates to existing and future shards.
+func (s *Stats) SetBoundary(fn func(from, to graph.NodeID) bool) {
+	s.mu.Lock()
+	s.boundary = fn
+	shards := s.shards
+	s.mu.Unlock()
+	for _, c := range shards {
+		c.SetBoundary(fn)
+	}
+}
+
 // statTotals is one flat aggregate of the scalar counters.
 type statTotals struct {
-	messages, bytes, controlMsgs, controlB, dropped int64
+	messages, bytes, controlMsgs, controlB, dropped, crossMsgs int64
 }
 
 // totals sums s's own counters and every shard's, recursively.
 func (s *Stats) totals() statTotals {
 	s.mu.Lock()
-	t := statTotals{s.messages, s.bytes, s.controlMsgs, s.controlB, s.dropped}
+	t := statTotals{s.messages, s.bytes, s.controlMsgs, s.controlB, s.dropped, s.crossMsgs}
 	shards := s.shards
 	s.mu.Unlock()
 	for _, c := range shards {
@@ -128,6 +145,7 @@ func (s *Stats) totals() statTotals {
 		t.controlMsgs += ct.controlMsgs
 		t.controlB += ct.controlB
 		t.dropped += ct.dropped
+		t.crossMsgs += ct.crossMsgs
 	}
 	return t
 }
@@ -154,6 +172,28 @@ func (s *Stats) Record(p Payload) {
 		s.controlB += int64(p.SizeBytes())
 	}
 }
+
+// RecordEdge counts one sent payload with its link endpoints, so traversals
+// crossing the installed boundary classifier are also counted. Transports
+// that know the link (DES, PartDES, Live) use this instead of Record.
+func (s *Stats) RecordEdge(from, to graph.NodeID, p Payload) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.messages++
+	s.bytes += int64(p.SizeBytes())
+	s.byKind[p.Kind()]++
+	if controlKind(p.Kind()) {
+		s.controlMsgs++
+		s.controlB += int64(p.SizeBytes())
+	}
+	if s.boundary != nil && s.boundary(from, to) {
+		s.crossMsgs++
+	}
+}
+
+// CrossMessages reports how many traversals crossed the boundary installed
+// with SetBoundary (0 when no classifier is installed).
+func (s *Stats) CrossMessages() int64 { return s.totals().crossMsgs }
 
 // ControlMessages reports how many traversals carried control-plane
 // payloads (membership and routing-table traffic); ControlBytes is their
@@ -202,7 +242,7 @@ func (s *Stats) ByKind() map[string]int64 {
 func (s *Stats) Reset() {
 	s.mu.Lock()
 	s.messages, s.bytes, s.dropped = 0, 0, 0
-	s.controlMsgs, s.controlB = 0, 0
+	s.controlMsgs, s.controlB, s.crossMsgs = 0, 0, 0
 	s.byKind = make(map[string]int64)
 	shards := s.shards
 	s.mu.Unlock()
@@ -280,7 +320,7 @@ func (d *DES) Send(from, to graph.NodeID, p Payload) error {
 			return nil
 		}
 	}
-	d.stats.Record(p)
+	d.stats.RecordEdge(from, to, p)
 	// Deliveries are fire-and-forget: the protocol never cancels an in-flight
 	// message, so skip the engine's cancellation index on this hot path.
 	d.engine.AfterFixed(delay, func() {

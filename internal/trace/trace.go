@@ -117,3 +117,49 @@ func TopologyDOT(name string, g *graph.Graph) string {
 	sb.WriteString("}\n")
 	return sb.String()
 }
+
+// regionPalette cycles fill colors for RegionDOT. Graphviz X11 names,
+// picked light so black node labels stay readable.
+var regionPalette = []string{
+	"lightblue", "lightpink", "lightgreen", "lightyellow", "lightsalmon",
+	"lightcyan", "plum", "wheat", "palegreen", "lightgrey",
+	"khaki", "thistle", "peachpuff", "powderblue", "mistyrose", "honeydew",
+}
+
+// RegionDOT renders a topology with its hierarchical region partition:
+// nodes are filled by region (palette cycling past 16 regions),
+// landmarks are drawn as doubled circles, and cross-region edges are
+// dashed so the region boundary — where the landmark vector takes over
+// from the exact intra-region table — is visible at a glance. assign
+// maps each node to its region; landmarks lists one elected site per
+// region.
+func RegionDOT(name string, g *graph.Graph, assign []int, landmarks []graph.NodeID) string {
+	landmark := make(map[graph.NodeID]bool, len(landmarks))
+	for _, l := range landmarks {
+		landmark[l] = true
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %q {\n  layout=neato;\n", name)
+	for u := graph.NodeID(0); int(u) < g.Len(); u++ {
+		color := regionPalette[assign[u]%len(regionPalette)]
+		shape := "circle"
+		if landmark[u] {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&sb, "  %d [shape=%s,style=filled,fillcolor=%q,label=\"%d/r%d\"];\n",
+			u, shape, color, u, assign[u])
+	}
+	for u := graph.NodeID(0); int(u) < g.Len(); u++ {
+		for _, e := range g.Neighbors(u) {
+			if e.To > u {
+				style := ""
+				if assign[u] != assign[e.To] {
+					style = ",style=dashed"
+				}
+				fmt.Fprintf(&sb, "  %d -- %d [label=\"%.3g\"%s];\n", u, e.To, e.Delay, style)
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mapper"
 	"repro/internal/routing"
+	"repro/internal/routing/hier"
 	"repro/internal/simnet"
 )
 
@@ -76,6 +77,19 @@ func samples(t testing.TB) []simnet.Payload {
 		}, Table: []routing.WireRoute{
 			{Dest: 0, Dist: 0.5, PathHops: 1, MinHops: 1},
 			{Dest: 3, Dist: 2.25, PathHops: 4, MinHops: 3},
+		}, TableChunks: 3},
+		membership.TableChunk{},
+		membership.TableChunk{Epoch: 11, Seq: 2, Total: 3, Entries: []routing.WireRoute{
+			{Dest: 513, Dist: 4.5, PathHops: 6, MinHops: 5},
+			{Dest: 700, Dist: 0.25, PathHops: 1, MinHops: 1},
+		}},
+		// Hierarchical routing: landmark floods and cross-region digests.
+		hier.LandmarkAd{},
+		hier.LandmarkAd{Region: 17, Landmark: 450, Dist: 3.125, Hops: 7},
+		membership.RegionDigest{},
+		membership.RegionDigest{Region: 4, Digest: []membership.Entry{
+			{Site: 40, Inc: 1, Dead: false},
+			{Site: 41, Inc: 3, Dead: true},
 		}},
 		// The ten protocol messages: zero value, then max-field.
 		core.EnrollReq{},

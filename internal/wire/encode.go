@@ -11,6 +11,7 @@ import (
 	"repro/internal/determinism"
 	"repro/internal/graph"
 	"repro/internal/routing"
+	"repro/internal/routing/hier"
 	"repro/internal/simnet"
 )
 
@@ -170,6 +171,23 @@ func encodePayload(e *enc, p simnet.Payload) error {
 		e.uvarint(m.Epoch)
 		encodeEntries(e, m.Digest)
 		encodeRoutes(e, m.Table)
+		e.varint(int64(m.TableChunks))
+	case membership.TableChunk:
+		e.kind(kindTableChunk)
+		e.uvarint(m.Epoch)
+		e.varint(int64(m.Seq))
+		e.varint(int64(m.Total))
+		encodeRoutes(e, m.Entries)
+	case membership.RegionDigest:
+		e.kind(kindRegionDigest)
+		e.varint(int64(m.Region))
+		encodeEntries(e, m.Digest)
+	case hier.LandmarkAd:
+		e.kind(kindLandmarkAd)
+		e.varint(int64(m.Region))
+		e.varint(int64(m.Landmark))
+		e.f64(m.Dist)
+		e.varint(int64(m.Hops))
 	default:
 		return fmt.Errorf("wire: cannot encode payload type %T (kind %q)", p, p.Kind())
 	}

@@ -27,8 +27,10 @@ import "fmt"
 
 // Version is the wire format version carried in every frame. Version 2
 // added the membership layer: the epoch tag in routing-table bodies and
-// the heartbeat/notice/join message kinds.
-const Version = 2
+// the heartbeat/notice/join message kinds. Version 3 added hierarchical
+// routing: the landmark-advertisement, region-digest and table-chunk
+// kinds, and the chunk count in join-ack bodies.
+const Version = 3
 
 // MaxFrame bounds a frame's encoded size. The largest legitimate frames are
 // commit messages carrying a job DAG — well under a mebibyte — so anything
@@ -63,6 +65,9 @@ const (
 	kindAlive
 	kindJoinReq
 	kindJoinAck
+	kindLandmarkAd
+	kindRegionDigest
+	kindTableChunk
 )
 
 // String names the kind for diagnostics. Hand-written because the build is
@@ -106,6 +111,12 @@ func (k Kind) String() string {
 		return "join-req"
 	case kindJoinAck:
 		return "join-ack"
+	case kindLandmarkAd:
+		return "landmark-ad"
+	case kindRegionDigest:
+		return "region-digest"
+	case kindTableChunk:
+		return "table-chunk"
 	}
 	return fmt.Sprintf("Kind(%d)", byte(k))
 }
